@@ -1,0 +1,89 @@
+// Command spash-bench regenerates the paper's evaluation: every figure
+// and table of §VI, measured on the simulated PM platform in virtual
+// time.
+//
+// Usage:
+//
+//	spash-bench [-fig all|1|7|8|9|10|11|12a|12b|12c|12d|table1|ext-doubling|ext-hotspot|ext-eadr] [-scale small|medium|large]
+//
+// Output is a sequence of labelled tables (one per figure panel); see
+// EXPERIMENTS.md for the mapping to the paper's figures and the
+// expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"spash/internal/harness"
+)
+
+type figure struct {
+	name string
+	desc string
+	run  func(io.Writer, harness.Scale) error
+}
+
+var figures = []figure{
+	{"1", "PM write bandwidth under flush strategies (Fig 1)", harness.Fig1},
+	{"7", "single-operation throughput vs workers (Fig 7)", harness.Fig7},
+	{"8", "PM accesses per operation (Fig 8)", harness.Fig8},
+	{"9", "load factor vs inserted entries (Fig 9)", harness.Fig9},
+	{"10", "YCSB, inlined key-values (Fig 10)", harness.Fig10},
+	{"11", "YCSB, variable-sized values (Fig 11)", harness.Fig11},
+	{"12a", "adaptive in-place update ablation (Fig 12a)", harness.Fig12a},
+	{"12b", "compacted-flush insertion ablation (Fig 12b)", harness.Fig12b},
+	{"12c", "concurrency-protocol ablation (Fig 12c)", harness.Fig12c},
+	{"12d", "pipeline depth (Fig 12d)", harness.Fig12d},
+	{"table1", "adaptive flush policy validation (Table I)", harness.Table1},
+	{"ext-doubling", "staged vs monolithic doubling tail latency (extension)", harness.ExtDoublingTail},
+	{"ext-hotspot", "hotspot detector sizing sweep (extension)", harness.ExtHotspotSweep},
+	{"ext-eadr", "eADR+HTM vs legacy-ADR discipline (extension)", harness.ExtEADRBenefit},
+}
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure to regenerate (all, 1, 7-11, 12a-12d, table1, ext-doubling, ext-hotspot, ext-eadr)")
+	scaleFlag := flag.String("scale", "medium", "workload scale (small, medium, large)")
+	flag.Parse()
+
+	scale, err := harness.ScaleByName(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	wanted := strings.Split(*figFlag, ",")
+	match := func(name string) bool {
+		for _, w := range wanted {
+			if w == "all" || w == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Printf("spash-bench: scale=%s (micro %d keys / %d ops, ycsb %d keys / %d ops, %d workers)\n",
+		*scaleFlag, scale.MicroLoad, scale.MicroOps, scale.YCSBLoad, scale.YCSBOps, scale.MaxThreads)
+	ran := 0
+	for _, f := range figures {
+		if !match(f.name) {
+			continue
+		}
+		ran++
+		fmt.Printf("\n==> %s\n", f.desc)
+		start := time.Now()
+		if err := f.run(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(%s regenerated in %.1fs wall time)\n", f.desc, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no figure matches %q\n", *figFlag)
+		os.Exit(2)
+	}
+}

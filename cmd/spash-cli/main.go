@@ -1,0 +1,146 @@
+// Command spash-cli is an interactive shell over a Spash index on a
+// simulated PM device: put/get/update/delete keys, inspect index and
+// memory statistics, and inject power failures with recovery.
+//
+// Usage:
+//
+//	spash-cli
+//	> put user1 hello
+//	> get user1
+//	> stats
+//	> crash        (power failure + recovery)
+//	> help
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"spash"
+)
+
+func main() {
+	db, err := spash.Open(spash.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := db.Session()
+	fmt.Println("spash-cli — type 'help' for commands")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Print(`commands:
+  put <key> <value>     insert or replace
+  get <key>             look up
+  update <key> <value>  update existing key (adaptive in-place)
+  del <key>             delete
+  len                   number of entries
+  lf                    load factor
+  stats                 index + PM memory counters
+  crash                 simulate power failure, then recover
+  shrink                try to halve the directory
+  quit
+`)
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			if err := s.Insert([]byte(fields[1]), []byte(fields[2])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, ok, err := s.Get([]byte(fields[1]), nil)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !ok:
+				fmt.Println("(not found)")
+			default:
+				fmt.Printf("%q\n", v)
+			}
+		case "update":
+			if len(fields) != 3 {
+				fmt.Println("usage: update <key> <value>")
+				continue
+			}
+			found, err := s.Update([]byte(fields[1]), []byte(fields[2]))
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !found:
+				fmt.Println("(not found)")
+			default:
+				fmt.Println("ok")
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			found, err := s.Delete([]byte(fields[1]))
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !found:
+				fmt.Println("(not found)")
+			default:
+				fmt.Println("ok")
+			}
+		case "len":
+			fmt.Println(db.Len())
+		case "lf":
+			fmt.Printf("%.3f\n", db.LoadFactor())
+		case "stats":
+			st := db.Stats()
+			fmt.Printf("entries=%d segments=%d depth-splits=%d merges=%d doublings=%d\n",
+				st.Index.Entries, st.Index.Segments, st.Index.Splits, st.Index.Merges, st.Index.Doubles)
+			fmt.Printf("htm: conflicts=%d capacity=%d fallbacks=%d collab-stages=%d hot-hits=%d\n",
+				st.Index.TxConflicts, st.Index.TxCapacity, st.Index.Fallbacks, st.Index.CollabStages, st.Index.HotHits)
+			fmt.Printf("pm: cache hit/miss=%d/%d, media reads=%d XPLines, media writes=%d XPLines, flushes=%d\n",
+				st.Memory.CacheHits, st.Memory.CacheMisses, st.Memory.XPLineReads, st.Memory.XPLineWrites, st.Memory.Flushes)
+		case "crash":
+			s.Close()
+			platform := db.Platform()
+			lost := db.Crash()
+			db2, err := spash.Recover(platform, spash.Options{})
+			if err != nil {
+				fmt.Println("recovery failed:", err)
+				os.Exit(1)
+			}
+			db = db2
+			s = db.Session()
+			fmt.Printf("power failure: %d cachelines lost (eADR keeps everything); recovered %d entries\n",
+				lost, db.Len())
+		case "shrink":
+			if db.TryShrink() {
+				fmt.Println("directory halved")
+			} else {
+				fmt.Println("(no shrink possible)")
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command spash-ycsb is a standalone YCSB-style workload driver: pick
+// an index, a distribution, a mixture and a value size, and get a
+// load/run report with throughput (virtual time), PM media traffic and
+// the binding bottleneck.
+//
+// Examples:
+//
+//	spash-ycsb -index spash -workload balanced -records 200000 -ops 200000
+//	spash-ycsb -index level -workload write-intensive -dist zipfian -threads 56
+//	spash-ycsb -index all -valuesize 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"spash/internal/harness"
+	"spash/internal/ixapi"
+	"spash/internal/ycsb"
+)
+
+func main() {
+	var (
+		index    = flag.String("index", "spash", "index to drive (spash, cceh, dash, level, clevel, plush, halo, all)")
+		workload = flag.String("workload", "balanced", "run mixture (read-intensive, balanced, write-intensive, search-only, update-only)")
+		dist     = flag.String("dist", "zipfian", "request distribution (zipfian, uniform)")
+		records  = flag.Int("records", 200000, "records loaded")
+		ops      = flag.Int("ops", 200000, "run-phase operations")
+		threads  = flag.Int("threads", 56, "worker count")
+		valSize  = flag.Int("valuesize", 8, "value size in bytes (8 = inline)")
+		theta    = flag.Float64("theta", ycsb.DefaultTheta, "zipfian skew")
+	)
+	flag.Parse()
+
+	var mix ycsb.Mix
+	switch *workload {
+	case "read-intensive":
+		mix = ycsb.ReadIntensive
+	case "balanced":
+		mix = ycsb.Balanced
+	case "write-intensive":
+		mix = ycsb.WriteIntensive
+	case "search-only":
+		mix = ycsb.SearchOnly
+	case "update-only":
+		mix = ycsb.UpdateOnly
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	th := *theta
+	if *dist == "uniform" {
+		th = 0 // signalled below
+	}
+
+	scale := harness.Scale{
+		YCSBLoad: *records, YCSBOps: *ops,
+		MicroLoad: *records, MicroOps: *ops,
+		MaxThreads: *threads,
+		CacheBytes: 1 << 20,
+	}
+
+	entries := harness.MacroRoster()
+	if *index != "all" {
+		found := false
+		for _, e := range entries {
+			if strings.EqualFold(e.Name, *index) || strings.EqualFold(strings.ReplaceAll(e.Name, "-", ""), *index) {
+				entries = []harness.Entry{e}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown index %q\n", *index)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("spash-ycsb: %d records, %d ops, %s %s, %dB values, %d workers\n\n",
+		*records, *ops, *dist, mix.Name(), *valSize, *threads)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index\tload Mops/s\trun Mops/s\tbound\tXP-reads/op\tXP-writes/op")
+	fmt.Fprintln(tw, "-----\t-----------\t----------\t-----\t-----------\t------------")
+	for _, e := range entries {
+		ix, err := e.New(scale.Platform())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		load := harness.LoadIndex(ix, *threads, *records, *valSize, false)
+		run := runMix(ix, e, scale, mix, th, *valSize)
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t%.2f\t%.2f\n",
+			e.Name, load.Throughput(), run.Throughput(), run.Bound,
+			run.PerOp(run.Mem.XPLineReads), run.PerOp(run.Mem.XPLineWrites))
+	}
+	tw.Flush()
+}
+
+func runMix(ix ixapi.Index, e harness.Entry, s harness.Scale, mix ycsb.Mix, theta float64, valSize int) harness.Result {
+	per := s.YCSBOps / s.MaxThreads
+	if per == 0 {
+		per = 1
+	}
+	return harness.RunWorkload(mix.Name(), ix, s.MaxThreads, per, e.Pipeline,
+		harness.MixSourceFor(mix, uint64(s.YCSBLoad), theta, valSize, 12345))
+}

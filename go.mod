@@ -1,0 +1,3 @@
+module spash
+
+go 1.23

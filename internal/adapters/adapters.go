@@ -1,0 +1,83 @@
+// Package adapters exposes Spash through the common ixapi interface
+// used by the conformance suite and the benchmark harness, with
+// factories for the ablation variants of §VI-D.
+package adapters
+
+import (
+	"spash/internal/alloc"
+	"spash/internal/core"
+	"spash/internal/ixapi"
+	"spash/internal/pmem"
+	"spash/internal/vsync"
+)
+
+// Spash adapts core.Index to ixapi.Index.
+type Spash struct {
+	ix   *core.Index
+	name string
+}
+
+// NewSpashFactory returns a factory building a Spash index with the
+// given configuration. name labels the variant in benchmark output
+// (e.g. "Spash", "Spash-noPipe", "Spash(w/ write lock)").
+func NewSpashFactory(name string, cfg core.Config) ixapi.Factory {
+	return func(platform pmem.Config) (ixapi.Index, error) {
+		pool := pmem.New(platform)
+		c := pool.NewCtx()
+		al, err := alloc.New(c, pool)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.Open(c, pool, al, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Spash{ix: ix, name: name}, nil
+	}
+}
+
+// Name implements ixapi.Index.
+func (s *Spash) Name() string { return s.name }
+
+// NewWorker implements ixapi.Index.
+func (s *Spash) NewWorker() ixapi.Worker { return &spashWorker{h: s.ix.NewHandle(nil)} }
+
+// Len implements ixapi.Index.
+func (s *Spash) Len() int { return s.ix.Len() }
+
+// LoadFactor implements ixapi.Index.
+func (s *Spash) LoadFactor() float64 { return s.ix.LoadFactor() }
+
+// Pool implements ixapi.Index.
+func (s *Spash) Pool() *pmem.Pool { return s.ix.Pool() }
+
+// Group implements ixapi.Index.
+func (s *Spash) Group() *vsync.Group { return s.ix.Group() }
+
+// Core returns the wrapped index (harness ablation hooks).
+func (s *Spash) Core() *core.Index { return s.ix }
+
+type spashWorker struct {
+	h *core.Handle
+}
+
+func (w *spashWorker) Insert(key, val []byte) error { return w.h.Insert(key, val) }
+func (w *spashWorker) Search(key, dst []byte) ([]byte, bool, error) {
+	return w.h.Search(key, dst)
+}
+func (w *spashWorker) Update(key, val []byte) (bool, error) { return w.h.Update(key, val) }
+func (w *spashWorker) Delete(key []byte) (bool, error)      { return w.h.Delete(key) }
+func (w *spashWorker) Ctx() *pmem.Ctx                       { return w.h.Ctx() }
+func (w *spashWorker) Close()                               { w.h.Close() }
+
+// Handle exposes the core handle (for pipelined batches).
+func (w *spashWorker) Handle() *core.Handle { return w.h }
+
+// BatchWorker is implemented by workers that support pipelined batch
+// execution (the harness uses it for Spash's pipeline).
+type BatchWorker interface {
+	ExecBatch(ops []core.BatchOp)
+}
+
+// ExecBatch implements BatchWorker.
+func (w *spashWorker) ExecBatch(ops []core.BatchOp) { w.h.ExecBatch(ops) }

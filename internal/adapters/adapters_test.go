@@ -1,0 +1,22 @@
+package adapters
+
+import (
+	"testing"
+
+	"spash/internal/core"
+	"spash/internal/indextest"
+)
+
+func TestSpashConformance(t *testing.T) {
+	indextest.Run(t, NewSpashFactory("Spash", core.Config{}))
+}
+
+func TestSpashWriteLockConformance(t *testing.T) {
+	indextest.Run(t, NewSpashFactory("Spash(w/ write lock)",
+		core.Config{Concurrency: core.ModeWriteLock, LockStripeBits: 4}))
+}
+
+func TestSpashRWLockConformance(t *testing.T) {
+	indextest.Run(t, NewSpashFactory("Spash(w/ write & read lock)",
+		core.Config{Concurrency: core.ModeRWLock, LockStripeBits: 4}))
+}

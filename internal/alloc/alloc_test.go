@@ -1,0 +1,339 @@
+package alloc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spash/internal/pmem"
+)
+
+func newTestAlloc(t *testing.T) (*Allocator, *pmem.Pool, *pmem.Ctx) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{PoolSize: 32 << 20})
+	c := pool.NewCtx()
+	a, err := New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, pool, c
+}
+
+func TestClassSizes(t *testing.T) {
+	cases := []struct{ req, want int }{
+		{1, 16}, {16, 16}, {17, 32}, {64, 64}, {65, 128},
+		{128, 128}, {129, 256}, {1024, 1024}, {1025, 2048},
+		{4096, 4096}, {5000, 5120},
+	}
+	for _, c := range cases {
+		if got := ClassSize(c.req); got != c.want {
+			t.Errorf("ClassSize(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+}
+
+func TestAllocReturnsDistinctAlignedBlocks(t *testing.T) {
+	a, _, c := newTestAlloc(t)
+	h := a.NewHandle()
+	seen := map[uint64]bool{}
+	for _, size := range []int{16, 64, 128, 256, 1024} {
+		for i := 0; i < 100; i++ {
+			addr, _, err := h.Alloc(c, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if addr == 0 || addr%8 != 0 {
+				t.Fatalf("bad address %#x for size %d", addr, size)
+			}
+			if seen[addr] {
+				t.Fatalf("address %#x handed out twice", addr)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+// Small-class allocations must be physically contiguous within an
+// XPLine chunk and signal exactly when the chunk fills — the contract
+// compacted-flush insertion depends on.
+func TestSmallClassChunkCompaction(t *testing.T) {
+	a, _, c := newTestAlloc(t)
+	h := a.NewHandle()
+	const size = 64
+	perChunk := pmem.XPLineSize / size
+	var prev uint64
+	for i := 0; i < perChunk*3; i++ {
+		addr, filled, err := h.Alloc(c, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%perChunk == 0 {
+			if addr%pmem.XPLineSize != 0 {
+				t.Fatalf("chunk start %#x not XPLine-aligned", addr)
+			}
+		} else if addr != prev+size {
+			t.Fatalf("alloc %d at %#x, want contiguous %#x", i, addr, prev+size)
+		}
+		wantFilled := i%perChunk == perChunk-1
+		if (filled != 0) != wantFilled {
+			t.Fatalf("alloc %d: filledChunk=%#x, want filled=%v", i, filled, wantFilled)
+		}
+		if filled != 0 && filled != addr-uint64(size)*(uint64(perChunk)-1) {
+			t.Fatalf("filled chunk base %#x inconsistent with last block %#x", filled, addr)
+		}
+		prev = addr
+	}
+}
+
+func TestLargeClassBlocksDoNotOverlap(t *testing.T) {
+	a, _, c := newTestAlloc(t)
+	h := a.NewHandle()
+	addrs := make([]uint64, 0, 64)
+	for i := 0; i < 64; i++ {
+		addr, _, err := h.Alloc(c, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	for i, x := range addrs {
+		for j, y := range addrs {
+			if i != j && x < y+1024 && y < x+1024 {
+				t.Fatalf("blocks %#x and %#x overlap", x, y)
+			}
+		}
+	}
+}
+
+func TestFreeReuses(t *testing.T) {
+	a, _, c := newTestAlloc(t)
+	h := a.NewHandle()
+	addr, _, err := h.Alloc(c, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Free(c, addr, 256)
+	again, _, err := h.Alloc(c, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != addr {
+		t.Fatalf("freed block not reused: got %#x, want %#x", again, addr)
+	}
+}
+
+func TestFreeSpillsToGlobalList(t *testing.T) {
+	a, _, c := newTestAlloc(t)
+	h1 := a.NewHandle()
+	addrs := make([]uint64, 0, 200)
+	for i := 0; i < 200; i++ {
+		addr, _, err := h1.Alloc(c, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs {
+		h1.Free(c, addr, 256)
+	}
+	h1.Close()
+	// A different handle must be able to drain the recycled blocks.
+	h2 := a.NewHandle()
+	before := a.Stats().WatermarkBytes
+	for i := 0; i < 200; i++ {
+		if _, _, err := h2.Alloc(c, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := a.Stats().WatermarkBytes; after != before {
+		t.Fatalf("allocations carved new space (%d -> %d) despite free list", before, after)
+	}
+}
+
+func TestAllocRawAlignedAndExclusive(t *testing.T) {
+	a, _, c := newTestAlloc(t)
+	r1, err := a.AllocRaw(c, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.AllocRaw(c, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1%pmem.XPLineSize != 0 || r2%pmem.XPLineSize != 0 {
+		t.Fatalf("raw spans not aligned: %#x %#x", r1, r2)
+	}
+	if r2 < r1+10000 {
+		t.Fatalf("raw spans overlap: %#x %#x", r1, r2)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 1 << 20})
+	c := pool.NewCtx()
+	a, err := New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocRaw(c, 2<<20); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestConcurrentHandles(t *testing.T) {
+	a, _, _ := newTestAlloc(t)
+	pool := a.pool
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := pool.NewCtx()
+			h := a.NewHandle()
+			local := make([]uint64, 0, 500)
+			for i := 0; i < 500; i++ {
+				size := []int{16, 64, 256, 1024}[i%4]
+				addr, _, err := h.Alloc(c, size)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, addr)
+			}
+			mu.Lock()
+			for _, addr := range local {
+				if seen[addr] {
+					t.Errorf("address %#x handed out twice", addr)
+				}
+				seen[addr] = true
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestAttachRecoversWatermarkAndFreeLists(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 32 << 20})
+	c := pool.NewCtx()
+	a, err := New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.NewHandle()
+	live := make([]uint64, 0, 10)
+	dead := make([]uint64, 0, 10)
+	for i := 0; i < 20; i++ {
+		addr, _, err := h.Alloc(c, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			live = append(live, addr)
+		} else {
+			dead = append(dead, addr)
+		}
+	}
+	wm := a.Stats().WatermarkBytes
+
+	pool.Crash()
+	a2, err := Attach(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.Stats().WatermarkBytes; got != wm {
+		t.Fatalf("recovered watermark %d, want %d", got, wm)
+	}
+	for _, addr := range live {
+		a2.MarkLive(addr)
+	}
+	if err := a2.FinishRecovery(c); err != nil {
+		t.Fatal(err)
+	}
+	// New allocations must reuse dead blocks and never collide with
+	// live ones.
+	h2 := a2.NewHandle()
+	liveSet := map[uint64]bool{}
+	for _, addr := range live {
+		liveSet[addr] = true
+	}
+	deadSet := map[uint64]bool{}
+	for _, addr := range dead {
+		deadSet[addr] = true
+	}
+	reusedDead := 0
+	for i := 0; i < len(dead); i++ {
+		addr, _, err := h2.Alloc(c, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if liveSet[addr] {
+			t.Fatalf("recovery reissued live block %#x", addr)
+		}
+		if deadSet[addr] {
+			reusedDead++
+		}
+	}
+	if reusedDead == 0 {
+		t.Fatal("recovery reclaimed no dead blocks")
+	}
+}
+
+func TestAttachUnformattedFails(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 1 << 20})
+	c := pool.NewCtx()
+	if _, err := Attach(c, pool); err == nil {
+		t.Fatal("Attach on unformatted pool succeeded")
+	}
+}
+
+func TestNewOnFormattedFails(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 1 << 20})
+	c := pool.NewCtx()
+	if _, err := New(c, pool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, pool); err == nil {
+		t.Fatal("double format succeeded")
+	}
+}
+
+// Property: any interleaving of allocations and frees never hands out
+// overlapping blocks among the live set.
+func TestAllocFreePropertyNoOverlap(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 64 << 20})
+	c := pool.NewCtx()
+	a, err := New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.NewHandle()
+	type block struct{ addr, size uint64 }
+	var live []block
+	rng := rand.New(rand.NewSource(321))
+	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
+	for step := 0; step < 20000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			h.Free(c, live[i].addr, int(live[i].size))
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := sizes[rng.Intn(len(sizes))]
+		addr, _, err := h.Alloc(c, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := uint64(ClassSize(size))
+		for _, b := range live {
+			if addr < b.addr+b.size && b.addr < addr+cs {
+				t.Fatalf("step %d: block [%#x,%#x) overlaps live [%#x,%#x)",
+					step, addr, addr+cs, b.addr, b.addr+b.size)
+			}
+		}
+		live = append(live, block{addr, cs})
+	}
+}

@@ -1,0 +1,129 @@
+package alloc
+
+import (
+	"fmt"
+
+	"spash/internal/pmem"
+)
+
+// refillCounts is how many blocks a handle pulls from the global class
+// state at once, per class. Small classes refill in whole XPLine
+// chunks so the handle's allocations stay physically contiguous.
+func refillCount(ci int) int {
+	size := classSizes[ci]
+	if size <= smallClassMax {
+		return pmem.XPLineSize / size // one XPLine chunk
+	}
+	return 8
+}
+
+// Handle is a per-worker allocation cache (DCMM's thread-local free
+// block lists). A Handle must not be used concurrently.
+type Handle struct {
+	a     *Allocator
+	cache [numClasses][]uint64
+
+	// chunk tracking for compacted-flush: for each small class, the
+	// base of the XPLine chunk currently being handed out and how
+	// many of its blocks remain.
+	chunkBase [numClasses]uint64
+	chunkLeft [numClasses]int
+}
+
+// NewHandle returns a fresh per-worker handle.
+func (a *Allocator) NewHandle() *Handle {
+	return &Handle{a: a}
+}
+
+// Alloc returns a block of at least size bytes. For small classes
+// (≤128 B) blocks are handed out in ascending address order within an
+// XPLine chunk; when an allocation consumes the last block of a chunk,
+// filledChunk is the chunk's base address — the caller implementing
+// compacted-flush insertion (paper §III-C) should issue one XPLine
+// flush for [filledChunk, filledChunk+256).
+//
+// Requests larger than the biggest class are served as raw spans and
+// cannot be freed.
+func (h *Handle) Alloc(c *pmem.Ctx, size int) (addr uint64, filledChunk uint64, err error) {
+	ci := classFor(size)
+	if ci < 0 {
+		addr, err = h.a.AllocRaw(c, uint64(size))
+		return addr, 0, err
+	}
+	cs := classSizes[ci]
+	if cs <= smallClassMax {
+		return h.allocSmall(c, ci)
+	}
+	if len(h.cache[ci]) == 0 {
+		h.cache[ci], err = h.a.refill(c, ci, h.cache[ci][:0], refillCount(ci))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	n := len(h.cache[ci]) - 1
+	addr = h.cache[ci][n]
+	h.cache[ci] = h.cache[ci][:n]
+	return addr, 0, nil
+}
+
+// allocSmall serves small classes. Recycled blocks (from Free) are
+// preferred; otherwise blocks come from the handle's current XPLine
+// chunk in ascending address order so consecutive insertions compact.
+func (h *Handle) allocSmall(c *pmem.Ctx, ci int) (uint64, uint64, error) {
+	if len(h.cache[ci]) == 0 {
+		h.cache[ci] = h.a.popFree(ci, h.cache[ci][:0], refillCount(ci))
+	}
+	if n := len(h.cache[ci]); n > 0 {
+		addr := h.cache[ci][n-1]
+		h.cache[ci] = h.cache[ci][:n-1]
+		return addr, 0, nil
+	}
+	size := uint64(classSizes[ci])
+	if h.chunkLeft[ci] == 0 {
+		base, count, err := h.a.refillChunk(c, ci)
+		if err != nil {
+			return 0, 0, err
+		}
+		h.chunkBase[ci] = base
+		h.chunkLeft[ci] = count
+	}
+	idx := refillCount(ci) - h.chunkLeft[ci]
+	addr := h.chunkBase[ci] + uint64(idx)*size
+	h.chunkLeft[ci]--
+	if h.chunkLeft[ci] == 0 {
+		return addr, h.chunkBase[ci], nil
+	}
+	return addr, 0, nil
+}
+
+// Free returns a block allocated with size to the handle's cache.
+// Oversized caches spill to the global class list.
+func (h *Handle) Free(c *pmem.Ctx, addr uint64, size int) {
+	ci := classFor(size)
+	if ci < 0 {
+		panic(fmt.Sprintf("alloc: Free of raw span (%d bytes)", size))
+	}
+	h.cache[ci] = append(h.cache[ci], addr)
+	if len(h.cache[ci]) > 4*refillCount(ci) {
+		spill := len(h.cache[ci]) / 2
+		h.a.freeBatch(ci, h.cache[ci][:spill])
+		h.cache[ci] = append(h.cache[ci][:0], h.cache[ci][spill:]...)
+	}
+}
+
+// Close spills the handle's caches back to the allocator.
+func (h *Handle) Close() {
+	for ci := range h.cache {
+		if len(h.cache[ci]) > 0 {
+			h.a.freeBatch(ci, h.cache[ci])
+			h.cache[ci] = nil
+		}
+		// Unissued blocks of a partially consumed chunk go back too.
+		size := uint64(classSizes[ci])
+		for h.chunkLeft[ci] > 0 {
+			idx := refillCount(ci) - h.chunkLeft[ci]
+			h.a.freeBatch(ci, []uint64{h.chunkBase[ci] + uint64(idx)*size})
+			h.chunkLeft[ci]--
+		}
+	}
+}

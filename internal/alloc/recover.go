@@ -1,0 +1,50 @@
+package alloc
+
+import (
+	"errors"
+
+	"spash/internal/pmem"
+)
+
+// MarkLive records, during recovery, that the block starting at addr
+// is reachable from an index and must not be reused. Safe for
+// concurrent use (recovery scans may be parallel).
+func (a *Allocator) MarkLive(addr uint64) {
+	a.liveMu.Lock()
+	a.live[addr] = struct{}{}
+	a.liveMu.Unlock()
+}
+
+// FinishRecovery completes an Attach: it sweeps every class arena
+// recorded in the persistent directory and rebuilds the global free
+// lists from the blocks not marked live. After it returns the
+// allocator is fully usable and the recovery mark set is dropped.
+func (a *Allocator) FinishRecovery(c *pmem.Ctx) error {
+	if !a.recovering {
+		return errors.New("alloc: FinishRecovery without Attach")
+	}
+	addr := a.dataBase
+	for i := uint64(0); i < a.dirLen; i++ {
+		e := a.pool.Load64(c, a.dirBase+i*8)
+		classSize := e >> 32
+		span := (e & 0xFFFFFFFF) * pmem.XPLineSize
+		if classSize != 0 {
+			// Sweep in descending address order: free lists pop from
+			// the tail, so reclaimed low-address blocks are reused
+			// before fresh high-address ones (better locality).
+			for b := addr + span - classSize; ; b -= classSize {
+				if _, ok := a.live[b]; !ok {
+					ci := classFor(int(classSize))
+					a.classes[ci].free = append(a.classes[ci].free, b)
+				}
+				if b == addr {
+					break
+				}
+			}
+		}
+		addr += span
+	}
+	a.recovering = false
+	a.live = nil
+	return nil
+}

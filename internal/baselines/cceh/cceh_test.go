@@ -1,0 +1,11 @@
+package cceh
+
+import (
+	"testing"
+
+	"spash/internal/indextest"
+)
+
+func TestCCEHConformance(t *testing.T) {
+	indextest.Run(t, NewFactory())
+}

@@ -1,0 +1,11 @@
+package clevel
+
+import (
+	"testing"
+
+	"spash/internal/indextest"
+)
+
+func TestCLevelConformance(t *testing.T) {
+	indextest.Run(t, NewFactory())
+}

@@ -1,0 +1,181 @@
+// Package common holds the pieces shared by the reimplemented
+// baseline indexes (CCEH, Dash, Level hashing, CLevel, Plush, Halo):
+// the 16-byte slot encoding for inline/pointer keys and values, the
+// out-of-line record format, and a PM-resident lock-word helper that
+// models the PM traffic of locks kept in persistent memory.
+//
+// Following the paper's methodology (§VI-A), the baselines run with
+// cacheline flush instructions and persistence barriers removed — the
+// eADR platform makes them unnecessary — so these helpers never flush;
+// the baselines' PM write traffic comes from cache evictions, exactly
+// as in the paper's "extended implementations".
+package common
+
+import (
+	"encoding/binary"
+
+	"spash/internal/alloc"
+	"spash/internal/hash"
+	"spash/internal/pmem"
+)
+
+// Slot word encoding (no fingerprints — that is a Spash refinement):
+//
+//	[63 occupied][62 inline][47..0 payload]
+const (
+	Occupied   = uint64(1) << 63
+	Inline     = uint64(1) << 62
+	PayloadMax = uint64(1) << 48
+	Payload    = PayloadMax - 1
+)
+
+// MaxKVLen mirrors the core limit.
+const MaxKVLen = 64 << 10
+
+// HashKey hashes a request key (fast path for 8-byte keys).
+func HashKey(key []byte) uint64 {
+	if len(key) == 8 {
+		return hash.Sum64Uint64(binary.LittleEndian.Uint64(key))
+	}
+	return hash.Sum64(key)
+}
+
+// InlinePayload returns the inline encoding of an 8-byte datum when it
+// fits 48 bits.
+func InlinePayload(b []byte) (uint64, bool) {
+	if len(b) != 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(b)
+	if v >= PayloadMax {
+		return 0, false
+	}
+	return v, true
+}
+
+// MakeWord builds an occupied slot word.
+func MakeWord(inline bool, payload uint64) uint64 {
+	w := Occupied | payload&Payload
+	if inline {
+		w |= Inline
+	}
+	return w
+}
+
+// IsOccupied, IsInline and PayloadOf decode a slot word.
+func IsOccupied(w uint64) bool  { return w&Occupied != 0 }
+func IsInline(w uint64) bool    { return w&Inline != 0 }
+func PayloadOf(w uint64) uint64 { return w & Payload }
+
+// Record layout: [u64 len][payload, word-padded].
+const RecordHeader = 8
+
+// WriteRecord allocates and writes an out-of-line record (no flush).
+func WriteRecord(c *pmem.Ctx, pool *pmem.Pool, h *alloc.Handle, data []byte) (uint64, error) {
+	addr, _, err := h.Alloc(c, RecordHeader+len(data))
+	if err != nil {
+		return 0, err
+	}
+	pool.Store64(c, addr, uint64(len(data)))
+	pool.Write(c, addr+RecordHeader, data)
+	return addr, nil
+}
+
+// ReadRecord appends a record's payload to dst, clamping garbage
+// lengths (a doomed optimistic reader may see a reused block).
+func ReadRecord(c *pmem.Ctx, pool *pmem.Pool, addr uint64, dst []byte) []byte {
+	n := int(pool.Load64(c, addr))
+	if n < 0 || n > MaxKVLen {
+		n = 0
+	}
+	buf := make([]byte, n)
+	pool.Read(c, addr+RecordHeader, buf)
+	return append(dst, buf...)
+}
+
+// RecordLen returns a record's payload length (clamped).
+func RecordLen(c *pmem.Ctx, pool *pmem.Pool, addr uint64) int {
+	n := int(pool.Load64(c, addr))
+	if n < 0 || n > MaxKVLen {
+		return 0
+	}
+	return n
+}
+
+// RecordEquals compares a record's payload with key.
+func RecordEquals(c *pmem.Ctx, pool *pmem.Pool, addr uint64, key []byte) bool {
+	if RecordLen(c, pool, addr) != len(key) {
+		return false
+	}
+	for off := 0; off < len(key); off += 8 {
+		w := pool.Load64(c, addr+RecordHeader+uint64(off))
+		var b [8]byte
+		copy(b[:], key[off:])
+		if n := len(key) - off; n < 8 {
+			mask := uint64(1)<<(8*uint(n)) - 1
+			if w&mask != binary.LittleEndian.Uint64(b[:])&mask {
+				return false
+			}
+		} else if w != binary.LittleEndian.Uint64(b[:]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FreeRecord returns a record's block to the allocator cache.
+func FreeRecord(c *pmem.Ctx, h *alloc.Handle, addr uint64, payloadLen int) {
+	h.Free(c, addr, alloc.ClassSize(RecordHeader+payloadLen))
+}
+
+// EncodeKV encodes a key and value into slot words, allocating records
+// for out-of-line data. Returns the words plus the record addresses (0
+// when inline).
+func EncodeKV(c *pmem.Ctx, pool *pmem.Pool, h *alloc.Handle, key, val []byte) (kw, vw, krec, vrec uint64, err error) {
+	kp, ki := InlinePayload(key)
+	if !ki {
+		krec, err = WriteRecord(c, pool, h, key)
+		if err != nil {
+			return
+		}
+		kp = krec
+	}
+	kw = MakeWord(ki, kp)
+	vp, vi := InlinePayload(val)
+	if !vi {
+		vrec, err = WriteRecord(c, pool, h, val)
+		if err != nil {
+			return
+		}
+		vp = vrec
+	}
+	vw = MakeWord(vi, vp)
+	return
+}
+
+// KeyWordMatches reports whether an occupied key word identifies key.
+func KeyWordMatches(c *pmem.Ctx, pool *pmem.Pool, kw uint64, key []byte) bool {
+	if IsInline(kw) {
+		p, ok := InlinePayload(key)
+		return ok && PayloadOf(kw) == p
+	}
+	return RecordEquals(c, pool, PayloadOf(kw), key)
+}
+
+// LoadValueWord appends the value identified by vw to dst.
+func LoadValueWord(c *pmem.Ctx, pool *pmem.Pool, vw uint64, dst []byte) []byte {
+	if IsInline(vw) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], PayloadOf(vw))
+		return append(dst, b[:]...)
+	}
+	return ReadRecord(c, pool, PayloadOf(vw), dst)
+}
+
+// PMLockTraffic issues the PM store that a lock word kept in
+// persistent memory costs per acquire or release. The paper attributes
+// part of CCEH's and Level hashing's slowness to exactly this traffic
+// ("produce PM writes to maintain read locks", §VI-B).
+func PMLockTraffic(c *pmem.Ctx, pool *pmem.Pool, lockAddr uint64) {
+	pool.Store64(c, lockAddr, pool.Load64(c, lockAddr)+1)
+}

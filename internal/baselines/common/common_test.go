@@ -1,0 +1,150 @@
+package common
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"spash/internal/alloc"
+	"spash/internal/pmem"
+)
+
+func setup(t *testing.T) (*pmem.Pool, *pmem.Ctx, *alloc.Handle) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{PoolSize: 64 << 20})
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, c, al.NewHandle()
+}
+
+func TestWordCodecProperty(t *testing.T) {
+	f := func(p uint64, inline bool) bool {
+		p &= Payload
+		w := MakeWord(inline, p)
+		return IsOccupied(w) && IsInline(w) == inline && PayloadOf(w) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInlinePayload(t *testing.T) {
+	small := make([]byte, 8)
+	binary.LittleEndian.PutUint64(small, 12345)
+	if p, ok := InlinePayload(small); !ok || p != 12345 {
+		t.Fatalf("small: %d %v", p, ok)
+	}
+	big := make([]byte, 8)
+	binary.LittleEndian.PutUint64(big, 1<<48)
+	if _, ok := InlinePayload(big); ok {
+		t.Fatal("48-bit overflow accepted")
+	}
+	if _, ok := InlinePayload([]byte("seven77")); ok {
+		t.Fatal("non-8-byte accepted")
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	pool, c, h := setup(t)
+	f := func(data []byte) bool {
+		if len(data) > 4000 {
+			data = data[:4000]
+		}
+		addr, err := WriteRecord(c, pool, h, data)
+		if err != nil {
+			return false
+		}
+		if RecordLen(c, pool, addr) != len(data) {
+			return false
+		}
+		if !RecordEquals(c, pool, addr, data) {
+			return false
+		}
+		got := ReadRecord(c, pool, addr, nil)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordEqualsRejectsDifferent(t *testing.T) {
+	pool, c, h := setup(t)
+	addr, err := WriteRecord(c, pool, h, []byte("hello-world-0123"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range [][]byte{
+		[]byte("hello-world-0124"), // last byte differs
+		[]byte("hello-world-012"),  // shorter
+		[]byte("hello-world-01234"),
+		[]byte(""),
+		[]byte("Hello-world-0123"), // first byte differs
+	} {
+		if RecordEquals(c, pool, addr, other) {
+			t.Fatalf("matched %q", other)
+		}
+	}
+}
+
+func TestEncodeKVAndKeyWordMatches(t *testing.T) {
+	pool, c, h := setup(t)
+	inlineKey := make([]byte, 8)
+	binary.LittleEndian.PutUint64(inlineKey, 7)
+	bigKey := []byte("a-sixteen-byte-k")
+	bigVal := bytes.Repeat([]byte{9}, 300)
+
+	kw, vw, krec, vrec, err := EncodeKV(c, pool, h, inlineKey, inlineKey)
+	if err != nil || krec != 0 || vrec != 0 {
+		t.Fatalf("inline KV allocated records: %v %v %v", krec, vrec, err)
+	}
+	if !KeyWordMatches(c, pool, kw, inlineKey) {
+		t.Fatal("inline key word mismatch")
+	}
+	if got := LoadValueWord(c, pool, vw, nil); !bytes.Equal(got, inlineKey) {
+		t.Fatalf("inline value: %v", got)
+	}
+
+	kw2, vw2, krec2, vrec2, err := EncodeKV(c, pool, h, bigKey, bigVal)
+	if err != nil || krec2 == 0 || vrec2 == 0 {
+		t.Fatalf("big KV: %v %v %v", krec2, vrec2, err)
+	}
+	if !KeyWordMatches(c, pool, kw2, bigKey) {
+		t.Fatal("big key word mismatch")
+	}
+	if KeyWordMatches(c, pool, kw2, []byte("a-sixteen-byte-K")) {
+		t.Fatal("big key false match")
+	}
+	if got := LoadValueWord(c, pool, vw2, nil); !bytes.Equal(got, bigVal) {
+		t.Fatal("big value mismatch")
+	}
+}
+
+func TestHashKeyConsistency(t *testing.T) {
+	k := make([]byte, 8)
+	binary.LittleEndian.PutUint64(k, 99)
+	if HashKey(k) != HashKey(k) {
+		t.Fatal("non-deterministic")
+	}
+	if HashKey(k) == HashKey([]byte("different-key-xx")) {
+		t.Fatal("suspicious collision")
+	}
+}
+
+func TestPMLockTrafficTouchesPM(t *testing.T) {
+	pool, c, h := setup(t)
+	addr, _, err := h.Alloc(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pool.Stats()
+	PMLockTraffic(c, pool, addr)
+	after := pool.Stats()
+	if after.CacheHits+after.CacheMisses == before.CacheHits+before.CacheMisses {
+		t.Fatal("lock traffic produced no PM accesses")
+	}
+}

@@ -1,0 +1,11 @@
+package dash
+
+import (
+	"testing"
+
+	"spash/internal/indextest"
+)
+
+func TestDashConformance(t *testing.T) {
+	indextest.Run(t, NewFactory())
+}

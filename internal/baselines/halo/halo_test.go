@@ -1,0 +1,11 @@
+package halo
+
+import (
+	"testing"
+
+	"spash/internal/indextest"
+)
+
+func TestHaloConformance(t *testing.T) {
+	indextest.Run(t, NewFactory())
+}

@@ -1,0 +1,11 @@
+package levelhash
+
+import (
+	"testing"
+
+	"spash/internal/indextest"
+)
+
+func TestLevelConformance(t *testing.T) {
+	indextest.Run(t, NewFactory())
+}

@@ -1,0 +1,11 @@
+package plush
+
+import (
+	"testing"
+
+	"spash/internal/indextest"
+)
+
+func TestPlushConformance(t *testing.T) {
+	indextest.Run(t, NewFactory())
+}

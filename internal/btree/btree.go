@@ -1,0 +1,207 @@
+// Package btree demonstrates the paper's §V generality claim: "most
+// of the design of Spash can be applied to other PM-based indexes
+// (e.g., B+-Tree)". It is a persistent B-link tree for the same
+// simulated eADR platform, built from the same ingredients as the
+// hash index:
+//
+//   - volatile routing over PM data: a DRAM leaf directory (sorted
+//     separator array, in the spirit of NBTree's DRAM inner nodes)
+//     over XPLine-sized PM leaves. The directory is only a hint:
+//     leaves carry a high key and a next pointer (Lehman/Yao), so an
+//     operation that lands left of its target simply hops right inside
+//     its transaction — no atomic directory/leaf coupling needed;
+//   - HTM-based concurrency: every leaf mutation (including the
+//     sorted-shift insert and the leaf split) is one transaction; the
+//     transaction's read set covers the words that determine the
+//     decision, so conflicting mutations abort and retry — no locks;
+//   - adaptive in-place updates: the hash index's Table-I policy,
+//     driven by the same hotspot-detector shape;
+//   - compacted-flush insertion: small out-of-line value records come
+//     from the allocator's XPLine chunks, flushed once per chunk;
+//   - crash recovery: the leaf chain starts at a persistent root word,
+//     so one chain walk rebuilds the directory and the allocator's
+//     live set.
+//
+// Keys are uint64 in sorted order (range scans — the operation the
+// hash index cannot provide); values are arbitrary bytes, inline when
+// they fit 48 bits.
+package btree
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"spash/internal/alloc"
+	"spash/internal/baselines/common"
+	"spash/internal/htm"
+	"spash/internal/pmem"
+	"spash/internal/vsync"
+)
+
+// Leaf layout (one XPLine):
+//
+//	word 0: count
+//	word 1: next-leaf address (0 = rightmost)
+//	word 2: high key (exclusive upper bound; MaxUint64 = unbounded)
+//	word 3: reserved
+//	words 4..31: 14 slots of [key][value word]
+//
+// Keys within a leaf are sorted; the value word uses the common
+// inline/pointer encoding. No lock, bitmap, or fingerprint metadata:
+// durable linearizability comes from the transactions, as in the hash
+// index.
+const (
+	leafBytes = 256
+	leafSlots = 14
+	offCount  = 0
+	offNext   = 8
+	offHigh   = 16
+	offSlots  = 32
+)
+
+const unbounded = ^uint64(0)
+
+// MaxValueLen bounds values.
+const MaxValueLen = common.MaxKVLen
+
+// dir is the immutable DRAM leaf directory (a routing hint): seps[i]
+// is a lower bound of leaves[i]'s key range.
+type dir struct {
+	seps   []uint64
+	leaves []uint64
+}
+
+func (d *dir) find(key uint64) int {
+	i := sort.Search(len(d.seps), func(i int) bool { return d.seps[i] > key })
+	return i - 1
+}
+
+// Tree is the persistent B-link tree.
+type Tree struct {
+	pool *pmem.Pool
+	al   *alloc.Allocator
+	tm   *htm.TM
+	grp  *vsync.Group
+
+	dir   atomic.Pointer[dir]
+	dirMu sync.Mutex // serialises directory-hint rebuilds
+
+	headLeaf uint64
+
+	hot     *hotspot
+	entries atomic.Int64
+	leaves  atomic.Int64
+	splits  atomic.Int64
+	hops    atomic.Int64
+}
+
+// hotspot is the hash index's detector shape (§III-B), keyed by the
+// integer key: 2^12 partitions of two LRU slots.
+type hotspot struct {
+	parts []uint64
+}
+
+const hotParts = 1 << 12
+
+func newHotspot() *hotspot { return &hotspot{parts: make([]uint64, 2*hotParts)} }
+
+func (hs *hotspot) touch(key uint64) bool {
+	p := (key * 0x9E3779B97F4A7C15 >> 52) % hotParts * 2
+	if atomic.LoadUint64(&hs.parts[p]) == key {
+		return true
+	}
+	if atomic.LoadUint64(&hs.parts[p+1]) == key {
+		atomic.StoreUint64(&hs.parts[p+1], atomic.LoadUint64(&hs.parts[p]))
+		atomic.StoreUint64(&hs.parts[p], key)
+		return true
+	}
+	atomic.StoreUint64(&hs.parts[p+1], atomic.LoadUint64(&hs.parts[p]))
+	atomic.StoreUint64(&hs.parts[p], key)
+	return false
+}
+
+// New creates a tree on a formatted pool. rootSlot selects the
+// allocator root word holding the persistent head-leaf pointer.
+func New(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, rootSlot int) (*Tree, error) {
+	t := newTree(pool, al)
+	h := al.NewHandle()
+	defer h.Close()
+	leaf, _, err := h.Alloc(c, leafBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < leafBytes/8; i++ {
+		pool.Store64(c, leaf+i*8, 0)
+	}
+	pool.Store64(c, leaf+offHigh, unbounded)
+	t.headLeaf = leaf
+	pool.Store64(c, alloc.RootAddr(rootSlot), leaf)
+	pool.Flush(c, alloc.RootAddr(rootSlot), 8)
+	pool.Fence(c)
+	t.dir.Store(&dir{seps: []uint64{0}, leaves: []uint64{leaf}})
+	t.leaves.Store(1)
+	return t, nil
+}
+
+// Recover rebuilds a tree from the persistent leaf chain (and reports
+// live blocks to the allocator's mark phase).
+func Recover(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, rootSlot int) (*Tree, error) {
+	head := pool.Load64(c, alloc.RootAddr(rootSlot))
+	if head == 0 {
+		return nil, errors.New("btree: no tree at root slot")
+	}
+	t := newTree(pool, al)
+	t.headLeaf = head
+	d := &dir{}
+	entries := int64(0)
+	for leaf := head; leaf != 0; leaf = pool.Load64(c, leaf+offNext) {
+		al.MarkLive(leaf)
+		count := int(pool.Load64(c, leaf+offCount))
+		sep := uint64(0)
+		if len(d.leaves) > 0 && count > 0 {
+			sep = pool.Load64(c, leaf+offSlots)
+		} else if len(d.leaves) > 0 {
+			sep = pool.Load64(c, leaf+offHigh) // empty leaf: use bound
+		}
+		for s := 0; s < count; s++ {
+			vw := pool.Load64(c, slotAddr(leaf, s)+8)
+			if !common.IsInline(vw) {
+				al.MarkLive(common.PayloadOf(vw))
+			}
+		}
+		d.seps = append(d.seps, sep)
+		d.leaves = append(d.leaves, leaf)
+		entries += int64(count)
+		t.leaves.Add(1)
+	}
+	d.seps[0] = 0
+	t.entries.Store(entries)
+	t.dir.Store(d)
+	return t, nil
+}
+
+func newTree(pool *pmem.Pool, al *alloc.Allocator) *Tree {
+	t := &Tree{pool: pool, al: al, grp: &vsync.Group{}, hot: newHotspot()}
+	t.tm = htm.New(htm.Config{})
+	t.tm.Group = t.grp
+	return t
+}
+
+// Len returns the number of live keys.
+func (t *Tree) Len() int { return int(t.entries.Load()) }
+
+// Leaves returns the leaf count.
+func (t *Tree) Leaves() int { return int(t.leaves.Load()) }
+
+// Splits returns the number of leaf splits.
+func (t *Tree) Splits() int { return int(t.splits.Load()) }
+
+// Hops returns the number of right-hops taken (directory staleness).
+func (t *Tree) Hops() int { return int(t.hops.Load()) }
+
+// Group exposes the serialisation group.
+func (t *Tree) Group() *vsync.Group { return t.grp }
+
+func slotAddr(leaf uint64, s int) uint64 { return leaf + offSlots + uint64(s)*16 }

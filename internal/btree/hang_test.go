@@ -1,0 +1,43 @@
+package btree
+
+import (
+	"sync"
+	"testing"
+)
+
+// Regression test: concurrent splits publish their directory hints in
+// arbitrary order; an earlier version keyed the hint insert on finding
+// the splitting leaf in the directory, so one out-of-order publication
+// froze the hint at the growing edge and lookups degraded into
+// unbounded right-hop walks. Interleaved sorted inserts from several
+// workers reproduce that pattern deterministically.
+func TestHintKeepsUpUnderConcurrentSortedInserts(t *testing.T) {
+	_, tr, _ := newTestTree(t)
+	const sensors, events = 4, 25000
+	var wg sync.WaitGroup
+	for sensor := 0; sensor < sensors; sensor++ {
+		wg.Add(1)
+		go func(sensor int) {
+			defer wg.Done()
+			w := tr.NewWorker(nil)
+			defer w.Close()
+			payload := make([]byte, 48)
+			for i := 0; i < events; i++ {
+				ts := uint64(i*sensors + sensor)
+				if err := w.Insert(ts, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(sensor)
+	}
+	wg.Wait()
+	if tr.Len() != sensors*events {
+		t.Fatalf("len = %d, want %d", tr.Len(), sensors*events)
+	}
+	// The routing hint must track the growing edge: hops should be a
+	// tiny fraction of splits, not a multiple.
+	if tr.Hops() > tr.Splits() {
+		t.Fatalf("routing degraded: %d hops for %d splits", tr.Hops(), tr.Splits())
+	}
+}

@@ -1,0 +1,429 @@
+package btree
+
+import (
+	"errors"
+
+	"spash/internal/alloc"
+	"spash/internal/baselines/common"
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// Worker is a per-goroutine handle (virtual clock, allocator cache).
+type Worker struct {
+	t  *Tree
+	c  *pmem.Ctx
+	ah *alloc.Handle
+}
+
+// NewWorker returns a worker handle (nil ctx = fresh context).
+func (t *Tree) NewWorker(c *pmem.Ctx) *Worker {
+	if c == nil {
+		c = t.pool.NewCtx()
+	}
+	return &Worker{t: t, c: c, ah: t.al.NewHandle()}
+}
+
+// Ctx returns the worker's pmem context.
+func (w *Worker) Ctx() *pmem.Ctx { return w.c }
+
+// Close releases the worker's caches.
+func (w *Worker) Close() { w.ah.Close() }
+
+var errNeedSplit = errors.New("btree: leaf full")
+
+// locate hops right from the directory hint until the leaf whose
+// range contains key, all inside the transaction: the traversed count,
+// next and high-key words join the read set, so a racing split aborts
+// this transaction rather than letting it act on a stale leaf.
+func (w *Worker) locate(tx *htm.Txn, key uint64) (leaf uint64, count int) {
+	d := w.t.dir.Load()
+	leaf = d.leaves[d.find(key)]
+	for {
+		high := tx.Load(leaf + offHigh)
+		if key < high {
+			break
+		}
+		leaf = tx.Load(leaf + offNext)
+		w.t.hops.Add(1)
+	}
+	return leaf, int(tx.Load(leaf + offCount))
+}
+
+// findSlot locates key in a sorted leaf; returns the slot, or the
+// insertion position with found=false.
+func (w *Worker) findSlot(tx *htm.Txn, leaf uint64, key uint64, count int) (int, bool) {
+	for s := 0; s < count; s++ {
+		k := tx.Load(slotAddr(leaf, s))
+		if k == key {
+			return s, true
+		}
+		if k > key {
+			return s, false
+		}
+	}
+	return count, false
+}
+
+// run retries body until it commits, splitting when it reports a full
+// leaf.
+func (w *Worker) run(key uint64, body func(tx *htm.Txn) error) error {
+	for {
+		code, err := w.t.tm.Run(w.c, w.t.pool, body)
+		switch code {
+		case htm.Committed:
+			return nil
+		case htm.Explicit:
+			if err == errNeedSplit {
+				if serr := w.split(key); serr != nil {
+					return serr
+				}
+				continue
+			}
+			return err
+		}
+		// Conflict/capacity: retry.
+	}
+}
+
+// Get returns the value stored under key.
+func (w *Worker) Get(key uint64, dst []byte) (val []byte, found bool, err error) {
+	err = w.run(key, func(tx *htm.Txn) error {
+		found, val = false, dst
+		leaf, count := w.locate(tx, key)
+		s, ok := w.findSlot(tx, leaf, key, count)
+		if !ok {
+			return nil
+		}
+		found = true
+		val = loadValue(tx, tx.Load(slotAddr(leaf, s)+8), dst)
+		return nil
+	})
+	return val, found, err
+}
+
+// loadValue reads a value word transactionally (in-place updates of
+// records are transactional, so the read set protects the bytes).
+func loadValue(tx *htm.Txn, vw uint64, dst []byte) []byte {
+	if common.IsInline(vw) {
+		p := common.PayloadOf(vw)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(p>>(8*i)))
+		}
+		return dst
+	}
+	addr := common.PayloadOf(vw)
+	n := int(tx.Load(addr))
+	if n < 0 || n > MaxValueLen {
+		n = 0
+	}
+	for off := 0; off < n; off += 8 {
+		word := tx.Load(addr + 8 + uint64(off))
+		for i := 0; i < 8 && off+i < n; i++ {
+			dst = append(dst, byte(word>>(8*i)))
+		}
+	}
+	return dst
+}
+
+// encodeValue prepares a value word, allocating a record under the
+// compacted-flush policy for out-of-line values.
+func (w *Worker) encodeValue(val []byte) (uint64, error) {
+	if p, ok := common.InlinePayload(val); ok {
+		return common.MakeWord(true, p), nil
+	}
+	addr, filled, err := w.ah.Alloc(w.c, 8+len(val))
+	if err != nil {
+		return 0, err
+	}
+	w.t.pool.Store64(w.c, addr, uint64(len(val)))
+	w.t.pool.Write(w.c, addr+8, val)
+	if filled != 0 {
+		w.t.pool.Flush(w.c, filled, pmem.XPLineSize) // compacted-flush
+	} else if 8+len(val) > 128 {
+		w.t.pool.Flush(w.c, addr, uint64(8+len(val))) // large cold record
+	}
+	return common.MakeWord(false, addr), nil
+}
+
+// Insert stores key→val (upsert), keeping the leaf sorted.
+func (w *Worker) Insert(key uint64, val []byte) error {
+	if len(val) > MaxValueLen {
+		return errors.New("btree: value too large")
+	}
+	vw, err := w.encodeValue(val)
+	if err != nil {
+		return err
+	}
+	inserted := false
+	err = w.run(key, func(tx *htm.Txn) error {
+		inserted = false
+		leaf, count := w.locate(tx, key)
+		s, ok := w.findSlot(tx, leaf, key, count)
+		if ok {
+			tx.Store(slotAddr(leaf, s)+8, vw)
+			return nil
+		}
+		if count == leafSlots {
+			return errNeedSplit
+		}
+		// Shift the tail right to keep the leaf sorted.
+		for i := count; i > s; i-- {
+			tx.Store(slotAddr(leaf, i), tx.Load(slotAddr(leaf, i-1)))
+			tx.Store(slotAddr(leaf, i)+8, tx.Load(slotAddr(leaf, i-1)+8))
+		}
+		tx.Store(slotAddr(leaf, s), key)
+		tx.Store(slotAddr(leaf, s)+8, vw)
+		tx.Store(leaf+offCount, uint64(count+1))
+		inserted = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if inserted {
+		w.t.entries.Add(1)
+	}
+	return nil
+}
+
+// Update replaces an existing key's value with the adaptive in-place
+// policy: same-class records are rewritten in place inside the
+// transaction; the flush decision follows Table I.
+func (w *Worker) Update(key uint64, val []byte) (bool, error) {
+	if len(val) > MaxValueLen {
+		return false, errors.New("btree: value too large")
+	}
+	found := false
+	var flushAddr uint64
+	var newVW uint64 // lazily allocated replacement record
+	err := w.run(key, func(tx *htm.Txn) error {
+		found, flushAddr = false, 0
+		leaf, count := w.locate(tx, key)
+		s, ok := w.findSlot(tx, leaf, key, count)
+		if !ok {
+			return nil
+		}
+		found = true
+		va := slotAddr(leaf, s) + 8
+		vw := tx.Load(va)
+		if p, inline := common.InlinePayload(val); inline {
+			tx.Store(va, common.MakeWord(true, p))
+			return nil
+		}
+		if !common.IsInline(vw) {
+			old := common.PayloadOf(vw)
+			oldLen := int(tx.Load(old))
+			if oldLen >= 0 && oldLen <= MaxValueLen &&
+				alloc.ClassSize(8+oldLen) == alloc.ClassSize(8+len(val)) {
+				// In-place, transactional (atomic + durable, §III-B).
+				tx.Store(old, uint64(len(val)))
+				for off := 0; off < len(val); off += 8 {
+					var word uint64
+					for i := 0; i < 8 && off+i < len(val); i++ {
+						word |= uint64(val[off+i]) << (8 * i)
+					}
+					tx.Store(old+8+uint64(off), word)
+				}
+				flushAddr = old
+				return nil
+			}
+		}
+		if newVW == 0 {
+			v, err := w.encodeValue(val)
+			if err != nil {
+				return err
+			}
+			newVW = v
+		}
+		tx.Store(va, newVW)
+		return nil
+	})
+	if err != nil || !found {
+		return false, err
+	}
+	// Table I: hot or ≤64B → no flush; cold large → async flush.
+	if flushAddr != 0 && len(val) > pmem.CachelineSize && !w.t.hot.touch(key) {
+		w.t.pool.Flush(w.c, flushAddr, uint64(8+len(val)))
+	} else {
+		w.t.hot.touch(key)
+	}
+	return true, nil
+}
+
+// Delete removes key, reporting whether it was present. Leaves are
+// never merged (like most persistent B+-Trees, deletion leaves slack
+// for future inserts).
+func (w *Worker) Delete(key uint64) (bool, error) {
+	found := false
+	err := w.run(key, func(tx *htm.Txn) error {
+		found = false
+		leaf, count := w.locate(tx, key)
+		s, ok := w.findSlot(tx, leaf, key, count)
+		if !ok {
+			return nil
+		}
+		found = true
+		for i := s; i < count-1; i++ {
+			tx.Store(slotAddr(leaf, i), tx.Load(slotAddr(leaf, i+1)))
+			tx.Store(slotAddr(leaf, i)+8, tx.Load(slotAddr(leaf, i+1)+8))
+		}
+		tx.Store(slotAddr(leaf, count-1), 0)
+		tx.Store(slotAddr(leaf, count-1)+8, 0)
+		tx.Store(leaf+offCount, uint64(count-1))
+		return nil
+	})
+	if err == nil && found {
+		w.t.entries.Add(-1)
+	}
+	return found, err
+}
+
+// split divides the full leaf covering key: the upper half moves to a
+// fresh right sibling (written privately before the transaction), and
+// one transaction rewrites the left leaf's count/high/next — the
+// B-link publication point. The directory hint is refreshed afterwards.
+func (w *Worker) split(key uint64) error {
+	t := w.t
+	for {
+		// Snapshot the target leaf raw (prep phase).
+		var snap [leafBytes / 8]uint64
+		d := t.dir.Load()
+		leaf := d.leaves[d.find(key)]
+		for {
+			high := t.pool.Load64(w.c, leaf+offHigh)
+			if key < high {
+				break
+			}
+			leaf = t.pool.Load64(w.c, leaf+offNext)
+		}
+		for i := range snap {
+			snap[i] = t.pool.Load64(w.c, leaf+uint64(i)*8)
+		}
+		count := int(snap[offCount/8])
+		if count < leafSlots {
+			return nil // someone else split it first
+		}
+		mid := count / 2
+		sepKey := snap[offSlots/8+2*mid]
+
+		right, _, err := w.ah.Alloc(w.c, leafBytes)
+		if err != nil {
+			return err
+		}
+		t.pool.Store64(w.c, right+offCount, uint64(count-mid))
+		t.pool.Store64(w.c, right+offNext, snap[offNext/8])
+		t.pool.Store64(w.c, right+offHigh, snap[offHigh/8])
+		t.pool.Store64(w.c, right+24, 0)
+		for s := mid; s < count; s++ {
+			t.pool.Store64(w.c, slotAddr(right, s-mid), snap[offSlots/8+2*s])
+			t.pool.Store64(w.c, slotAddr(right, s-mid)+8, snap[offSlots/8+2*s+1])
+		}
+		for s := count - mid; s < leafSlots; s++ {
+			t.pool.Store64(w.c, slotAddr(right, s), 0)
+			t.pool.Store64(w.c, slotAddr(right, s)+8, 0)
+		}
+
+		code, _ := t.tm.Run(w.c, t.pool, func(tx *htm.Txn) error {
+			for i := range snap {
+				if tx.Load(leaf+uint64(i)*8) != snap[i] {
+					return errors.New("btree: leaf changed")
+				}
+			}
+			tx.Store(leaf+offCount, uint64(mid))
+			tx.Store(leaf+offNext, right)
+			tx.Store(leaf+offHigh, sepKey)
+			for s := mid; s < count; s++ {
+				tx.Store(slotAddr(leaf, s), 0)
+				tx.Store(slotAddr(leaf, s)+8, 0)
+			}
+			return nil
+		})
+		switch code {
+		case htm.Committed:
+			// DP2: both leaves are cold XPLine-sized writes.
+			t.pool.Flush(w.c, leaf, leafBytes)
+			t.pool.Flush(w.c, right, leafBytes)
+			t.leaves.Add(1)
+			t.splits.Add(1)
+			t.refreshDir(sepKey, right)
+			return nil
+		case htm.Explicit:
+			w.ah.Free(w.c, right, leafBytes)
+			// Leaf changed: re-examine (it may no longer be full).
+		default:
+			w.ah.Free(w.c, right, leafBytes)
+		}
+	}
+}
+
+// refreshDir inserts the new (separator, leaf) hint into a
+// copy-on-write directory, positioned purely by separator order.
+// Keying on the separator (rather than on the splitting leaf) matters:
+// concurrent splits publish their hints in arbitrary order, and a hint
+// whose left neighbour has not been published yet must still land in
+// the right place, or the directory would stop tracking the growing
+// edge and lookups would degrade into long right-hop walks.
+func (t *Tree) refreshDir(sep uint64, right uint64) {
+	t.dirMu.Lock()
+	defer t.dirMu.Unlock()
+	old := t.dir.Load()
+	i := old.find(sep)
+	if i >= 0 && old.seps[i] == sep {
+		return // already hinted (idempotent)
+	}
+	nd := &dir{
+		seps:   make([]uint64, 0, len(old.seps)+1),
+		leaves: make([]uint64, 0, len(old.leaves)+1),
+	}
+	nd.seps = append(nd.seps, old.seps[:i+1]...)
+	nd.leaves = append(nd.leaves, old.leaves[:i+1]...)
+	nd.seps = append(nd.seps, sep)
+	nd.leaves = append(nd.leaves, right)
+	nd.seps = append(nd.seps, old.seps[i+1:]...)
+	nd.leaves = append(nd.leaves, old.leaves[i+1:]...)
+	t.dir.Store(nd)
+}
+
+// Scan visits keys in [from, to] in ascending order, calling fn until
+// it returns false. Each leaf is read in its own transaction; the
+// B-link chain makes the walk safe against concurrent splits.
+func (w *Worker) Scan(from, to uint64, fn func(key uint64, val []byte) bool) error {
+	t := w.t
+	cur := from
+	for {
+		type kvPair struct {
+			k uint64
+			v []byte
+		}
+		var batch []kvPair
+		var next uint64
+		var high uint64
+		code, _ := t.tm.Run(w.c, t.pool, func(tx *htm.Txn) error {
+			batch = batch[:0]
+			leaf, count := w.locate(tx, cur)
+			next = tx.Load(leaf + offNext)
+			high = tx.Load(leaf + offHigh)
+			for s := 0; s < count; s++ {
+				k := tx.Load(slotAddr(leaf, s))
+				if k < cur || k > to {
+					continue
+				}
+				batch = append(batch, kvPair{k, loadValue(tx, tx.Load(slotAddr(leaf, s)+8), nil)})
+			}
+			return nil
+		})
+		if code != htm.Committed {
+			continue // retry this leaf
+		}
+		for _, kv := range batch {
+			if !fn(kv.k, kv.v) {
+				return nil
+			}
+		}
+		if high > to || next == 0 {
+			return nil
+		}
+		cur = high
+	}
+}

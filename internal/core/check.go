@@ -1,0 +1,156 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spash/internal/hash"
+	"spash/internal/pmem"
+)
+
+// CheckInvariants scans the whole index and verifies its structural
+// invariants. It is meant for tests and debugging; the index must be
+// quiescent. Checked:
+//
+//   - directory well-formedness: every segment is referenced by a
+//     contiguous, aligned covering range of 2^(G-depth) entries whose
+//     position matches the segment's hash prefix;
+//   - registry agreement: each segment's persistent registry entry
+//     records exactly that prefix and depth (so recovery would rebuild
+//     this directory);
+//   - slot placement: every occupied entry hashes to this segment and,
+//     if it sits outside its main bucket, a hint in the main bucket
+//     points at it with the right overflow fingerprint;
+//   - hint hygiene: every valid hint points at an occupied overflow
+//     slot homed in that bucket;
+//   - the live-entry counter equals the number of occupied slots.
+func (ix *Index) CheckInvariants(c *pmem.Ctx) error {
+	d := ix.dir.Load()
+	g := d.depth
+	m := rawMem{ix.pool, c}
+
+	type segInfo struct {
+		first uint64
+		count uint64
+		depth uint
+	}
+	segs := map[uint64]*segInfo{}
+	for i, e := range d.entries {
+		seg := entrySeg(e)
+		if seg == 0 {
+			return fmt.Errorf("directory entry %#x is nil", i)
+		}
+		si, ok := segs[seg]
+		if !ok {
+			segs[seg] = &segInfo{first: uint64(i), count: 1, depth: entryDepth(e)}
+			continue
+		}
+		if entryDepth(e) != si.depth {
+			return fmt.Errorf("segment %#x has mixed depths in directory", seg)
+		}
+		if uint64(i) != si.first+si.count {
+			return fmt.Errorf("segment %#x covering range not contiguous", seg)
+		}
+		si.count++
+	}
+
+	total := int64(0)
+	for seg, si := range segs {
+		want := uint64(1) << (g - si.depth)
+		if si.count != want {
+			return fmt.Errorf("segment %#x covered by %d entries, want %d", seg, si.count, want)
+		}
+		if si.first%want != 0 {
+			return fmt.Errorf("segment %#x covering range misaligned", seg)
+		}
+		prefix := si.first >> (g - si.depth)
+		re := ix.pool.Load64(c, ix.regAddrOf(seg))
+		if re&regValid == 0 {
+			return fmt.Errorf("segment %#x missing registry entry", seg)
+		}
+		if regPrefix(re) != prefix || regDepth(re) != si.depth {
+			return fmt.Errorf("segment %#x registry (prefix %#x depth %d) disagrees with directory (prefix %#x depth %d)",
+				seg, regPrefix(re), regDepth(re), prefix, si.depth)
+		}
+
+		n, err := ix.checkSegment(c, m, seg, prefix, si.depth)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	if got := ix.entries.Load(); got != total {
+		return fmt.Errorf("entry counter %d != %d occupied slots", got, total)
+	}
+	return nil
+}
+
+// checkSegment validates one segment's slots and hints, returning the
+// occupied-slot count.
+func (ix *Index) checkSegment(c *pmem.Ctx, m mem, seg, prefix uint64, depth uint) (int64, error) {
+	var kb [8]byte
+	count := int64(0)
+	for s := 0; s < SlotsPerSegment; s++ {
+		kw := m.load(slotAddr(seg, s))
+		if !keyOccupied(kw) {
+			continue
+		}
+		count++
+		var key []byte
+		if keyIsInline(kw) {
+			binary.LittleEndian.PutUint64(kb[:], wordPayload(kw))
+			key = kb[:]
+		} else {
+			key = readRecord(m, wordPayload(kw), nil)
+		}
+		h := hashKey(key)
+		if hash.Prefix(h, depth) != prefix {
+			return 0, fmt.Errorf("segment %#x slot %d: key routes to prefix %#x, segment owns %#x",
+				seg, s, hash.Prefix(h, depth), prefix)
+		}
+		if keyFP(kw) != hash.KeyFingerprint(h) {
+			return 0, fmt.Errorf("segment %#x slot %d: stored fingerprint mismatch", seg, s)
+		}
+		b := mainBucket(h)
+		if bucketOf(s) != b {
+			// Overflow entry: a hint in the main bucket must identify it.
+			found := false
+			for hs := b * SlotsPerBucket; hs < (b+1)*SlotsPerBucket; hs++ {
+				hv := m.load(slotAddr(seg, hs) + 8)
+				if hintValid(hv) && hintIdx(hv) == s {
+					if hintFP(hv) != hash.OverflowFingerprint(h) {
+						return 0, fmt.Errorf("segment %#x slot %d: hint fingerprint mismatch", seg, s)
+					}
+					found = true
+				}
+			}
+			if !found {
+				return 0, fmt.Errorf("segment %#x slot %d: overflow entry without hint", seg, s)
+			}
+		}
+		// The entry must be locatable through the public read path.
+		r := makeReq(key)
+		if idx, _, _ := ix.locate(m, c, seg, &r); idx != s {
+			return 0, fmt.Errorf("segment %#x slot %d: locate found %d", seg, s, idx)
+		}
+	}
+	// Hint hygiene: every valid hint points at a live overflow entry
+	// of its bucket.
+	for b := 0; b < BucketsPerSegment; b++ {
+		for hs := b * SlotsPerBucket; hs < (b+1)*SlotsPerBucket; hs++ {
+			hv := m.load(slotAddr(seg, hs) + 8)
+			if !hintValid(hv) {
+				continue
+			}
+			oi := hintIdx(hv)
+			okw := m.load(slotAddr(seg, oi))
+			if !keyOccupied(okw) {
+				return 0, fmt.Errorf("segment %#x bucket %d: dangling hint to slot %d", seg, b, oi)
+			}
+			if bucketOf(oi) == b {
+				return 0, fmt.Errorf("segment %#x bucket %d: hint to non-overflow slot %d", seg, b, oi)
+			}
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"spash/internal/alloc"
+	"spash/internal/pmem"
+)
+
+// Concurrent disjoint inserts followed by a full verification: no lost
+// inserts, no duplicates, across all concurrency modes.
+func TestConcurrentDisjointInserts(t *testing.T) {
+	for _, mode := range []ConcurrencyMode{ModeHTM, ModeWriteLock, ModeRWLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ix, h0 := newTestIndex(t, Config{Concurrency: mode, InitialDepth: 2, LockStripeBits: 4})
+			const workers, per = 8, 3000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := ix.NewHandle(nil)
+					defer h.Close()
+					for i := 0; i < per; i++ {
+						key := uint64(w*per + i)
+						if err := h.Insert(k64(key), k64(key*2)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if got := ix.Len(); got != workers*per {
+				t.Fatalf("len = %d, want %d", got, workers*per)
+			}
+			for i := uint64(0); i < workers*per; i++ {
+				v, ok, err := h0.Search(k64(i), nil)
+				if err != nil || !ok || binary.LittleEndian.Uint64(v) != i*2 {
+					t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// Concurrent updates of a single hot key: the final value must be one
+// of the written values and reads must never observe a torn mix
+// (values are out-of-line multi-word records, so atomicity is real).
+func TestConcurrentHotKeyUpdates(t *testing.T) {
+	for _, mode := range []ConcurrencyMode{ModeHTM, ModeWriteLock, ModeRWLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ix, h0 := newTestIndex(t, Config{Concurrency: mode, LockStripeBits: 4})
+			key := []byte("the-one-hot-key!")
+			mkval := func(tag byte) []byte {
+				v := make([]byte, 256)
+				for i := range v {
+					v[i] = tag
+				}
+				return v
+			}
+			if err := h0.Insert(key, mkval(0)); err != nil {
+				t.Fatal(err)
+			}
+			const writers, readers, iters = 4, 3, 1500
+			var wwg, rwg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					h := ix.NewHandle(nil)
+					defer h.Close()
+					for i := 0; i < iters; i++ {
+						if found, err := h.Update(key, mkval(byte(w+1))); err != nil || !found {
+							t.Errorf("update: found=%v err=%v", found, err)
+							return
+						}
+					}
+				}(w)
+			}
+			for rd := 0; rd < readers; rd++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					h := ix.NewHandle(nil)
+					defer h.Close()
+					buf := make([]byte, 0, 256)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						v, ok, err := h.Search(key, buf[:0])
+						if err != nil || !ok {
+							t.Errorf("search: ok=%v err=%v", ok, err)
+							return
+						}
+						if len(v) != 256 {
+							t.Errorf("torn read: %d bytes", len(v))
+							return
+						}
+						for i := 1; i < len(v); i++ {
+							if v[i] != v[0] {
+								t.Errorf("torn read: mixed tags %d/%d", v[0], v[i])
+								return
+							}
+						}
+					}
+				}()
+			}
+			wwg.Wait()
+			close(stop)
+			rwg.Wait()
+		})
+	}
+}
+
+// Mixed concurrent workload over a shared key space with per-worker
+// verification of the worker's own last write (monotonic tags).
+func TestConcurrentMixedWorkload(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{InitialDepth: 2})
+	const workers, keys, iters = 6, 500, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := ix.NewHandle(nil)
+			defer h.Close()
+			rng := uint64(w)*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				key := k64(rng % keys)
+				switch rng >> 60 & 3 {
+				case 0:
+					if err := h.Insert(key, k64(rng)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := h.Update(key, k64(rng)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := h.Delete(key); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, _, err := h.Search(key, nil); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The index must still be internally consistent: every present
+	// key is findable and Len matches a full enumeration via deletes.
+	h := ix.NewHandle(nil)
+	defer h.Close()
+	count := 0
+	for i := uint64(0); i < keys; i++ {
+		if _, ok, err := h.Search(k64(i), nil); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			count++
+		}
+	}
+	if count != ix.Len() {
+		t.Fatalf("enumerated %d keys, Len() = %d", count, ix.Len())
+	}
+}
+
+// Concurrent inserts that force splits and directory doublings while
+// readers run: exercises collaborative staged doubling.
+func TestConcurrentGrowthWithDoubling(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{InitialDepth: 1})
+	const workers, per = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := ix.NewHandle(nil)
+			defer h.Close()
+			for i := 0; i < per; i++ {
+				key := uint64(w*per + i)
+				if err := h.Insert(k64(key), k64(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				// Interleave reads of already-inserted keys.
+				if i%7 == 0 && i > 0 {
+					back := uint64(w*per + i/2)
+					if _, ok, err := h.Search(k64(back), nil); err != nil || !ok {
+						t.Errorf("readback %d: ok=%v err=%v", back, ok, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := ix.Stats()
+	if st.Doubles == 0 {
+		t.Fatal("no doubling happened")
+	}
+	if st.Entries != workers*per {
+		t.Fatalf("entries = %d, want %d", st.Entries, workers*per)
+	}
+	h := ix.NewHandle(nil)
+	defer h.Close()
+	for i := uint64(0); i < workers*per; i++ {
+		if _, ok, _ := h.Search(k64(i), nil); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+// Force the fallback-lock path with a tiny retry budget and heavy
+// contention; correctness must hold and fallbacks must be taken.
+func TestFallbackPathUnderContention(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 64 << 20})
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(c, pool, al, Config{MaxTxRetries: 1, InitialDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := ix.NewHandle(nil)
+			defer h.Close()
+			for i := 0; i < iters; i++ {
+				key := uint64(i % 50) // heavy contention on few keys
+				if err := h.Insert(k64(key), k64(uint64(w))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 50 {
+		t.Fatalf("len = %d, want 50", ix.Len())
+	}
+	h := ix.NewHandle(nil)
+	for i := uint64(0); i < 50; i++ {
+		if _, ok, _ := h.Search(k64(i), nil); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+}
+
+func TestConcurrentDeleteInsertChurn(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{InitialDepth: 2})
+	const workers, keysPerWorker, rounds = 6, 300, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := ix.NewHandle(nil)
+			defer h.Close()
+			base := uint64(w * keysPerWorker)
+			for r := 0; r < rounds; r++ {
+				for i := uint64(0); i < keysPerWorker; i++ {
+					if err := h.Insert(k64(base+i), k64(uint64(r))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := uint64(0); i < keysPerWorker; i++ {
+					if ok, err := h.Delete(k64(base + i)); err != nil || !ok {
+						t.Errorf("round %d delete %d: ok=%v err=%v", r, base+i, ok, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 0 {
+		t.Fatalf("len = %d after churn, want 0", ix.Len())
+	}
+}
+
+var _ = alloc.ClassSize // keep import when tests shrink

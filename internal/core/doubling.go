@@ -1,0 +1,200 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// triggerDouble grows the directory via collaborative staged doubling
+// (§IV-B). One thread claims the doubling role; the old directory is
+// divided into cacheline-sized partitions and each partition is copied
+// into the doubled directory by its own small HTM transaction, so no
+// transaction approaches the HTM capacity limit. Concurrent operations
+// are never blocked: reads consult the partition-progress words to
+// pick the old or new directory, and splits copy their own partitions
+// (collaborating) before modifying the new directory. Threads that
+// lose the race to claim the role simply wait for the resize.
+func (ix *Index) triggerDouble(c *pmem.Ctx) {
+	if !ix.resizeFlag.CompareAndSwap(0, 1) {
+		ix.waitResize()
+		return
+	}
+	if ix.cfg.MonolithicResize {
+		// Ablation: traditional stop-the-world doubling. Concurrent
+		// operations wait out the whole copy — the blocking the
+		// paper's staged design eliminates (§IV-B).
+		ix.stopWorldResize(c, func(old *directory) *directory {
+			if old.depth >= maxDepth {
+				return nil
+			}
+			nd := newDirectory(old.depth + 1)
+			for j, e := range old.entries {
+				nd.entries[2*j] = e
+				nd.entries[2*j+1] = e
+			}
+			return nd
+		})
+		ix.doubles.Add(1)
+		return
+	}
+	old := ix.dir.Load()
+	if old.depth >= maxDepth {
+		ix.resizeFlag.Store(0)
+		return
+	}
+	ds := &doublingState{
+		old: old,
+		new: newDirectory(old.depth + 1),
+	}
+	ds.partDone = make([]uint64, ds.partitions())
+	ix.doubling.Store(ds)
+	gen := atomic.LoadUint64(&ix.dirGen)
+	ix.tm.BumpStoreVol(c, &ix.dirGen, gen+1) // odd: doubling visible
+
+	// The doubling role runs as its own virtual worker: the stage
+	// copies execute concurrently with every operation thread (the
+	// whole point of §IV-B), so their cost must not land on the
+	// triggering operation's clock — it lives on a dedicated context
+	// whose clock participates in the run's elapsed time like any
+	// other worker's.
+	dc := ix.pool.NewCtx()
+	parts := int64(ds.partitions())
+	for {
+		s := ds.next.Add(1) - 1
+		if s >= parts {
+			break
+		}
+		ix.copyStage(dc, ds, int(s), false)
+	}
+	// Collaborators may still be completing stages they claimed.
+	for p := 0; p < int(parts); p++ {
+		for atomic.LoadUint64(ds.partDonePtr(p)) != 1 {
+			runtime.Gosched()
+		}
+	}
+
+	ix.dir.Store(ds.new)
+	ix.tm.BumpStoreVol(dc, &ix.dirGen, gen+2) // even: doubling done
+	dc.Release()
+	ix.doubling.Store(nil)
+	ix.resizeFlag.Store(0)
+	ix.doubles.Add(1)
+}
+
+// copyStage copies one directory partition from the old to the new
+// directory in a single small HTM transaction. Idempotent: concurrent
+// helpers racing on the same partition conflict and the losers observe
+// partDone. Stages skip (and spin on) fallback-locked entries so a
+// lock holder's entry is never silently relocated.
+func (ix *Index) copyStage(c *pmem.Ctx, ds *doublingState, part int, collab bool) {
+	for {
+		code, _ := ix.tm.Run(c, ix.pool, func(tx *htm.Txn) error {
+			if tx.LoadVol(ds.partDonePtr(part)) == 1 {
+				return nil
+			}
+			base := part * entriesPerPartition
+			end := base + entriesPerPartition
+			if end > len(ds.old.entries) {
+				end = len(ds.old.entries)
+			}
+			for j := base; j < end; j++ {
+				e := tx.LoadVol(&ds.old.entries[j])
+				if entryLocked(e) {
+					return errLocked
+				}
+				tx.StoreVol(&ds.new.entries[2*j], e)
+				tx.StoreVol(&ds.new.entries[2*j+1], e)
+			}
+			tx.StoreVol(ds.partDonePtr(part), 1)
+			return nil
+		})
+		switch code {
+		case htm.Committed:
+			if collab {
+				ix.collabStages.Add(1)
+			}
+			return
+		case htm.Conflict, htm.Capacity:
+			if atomic.LoadUint64(ds.partDonePtr(part)) == 1 {
+				return
+			}
+		case htm.Explicit: // errLocked: wait for the fallback holder
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryShrink halves the directory when every segment's local depth is
+// below the global depth. Unlike doubling — which the paper engineers
+// to be fully concurrent because it sits on the insert path — halving
+// is a maintenance operation here: it briefly quiesces the index
+// (concurrent operations wait out the resize) and swaps in the halved
+// directory. Returns whether a halving was performed.
+func (ix *Index) TryShrink(c *pmem.Ctx) bool {
+	if ix.cfg.Concurrency != ModeHTM {
+		return ix.tryShrinkLocked(c)
+	}
+	if !ix.resizeFlag.CompareAndSwap(0, 1) {
+		return false
+	}
+	return ix.stopWorldResize(c, func(old *directory) *directory {
+		if old.depth <= 1 {
+			return nil
+		}
+		for i := range old.entries {
+			if entryDepth(atomic.LoadUint64(&old.entries[i])) >= old.depth {
+				return nil
+			}
+		}
+		nd := newDirectory(old.depth - 1)
+		for j := range nd.entries {
+			nd.entries[j] = atomic.LoadUint64(&old.entries[2*j])
+		}
+		return nd
+	})
+}
+
+// stopWorldResize quiesces the index (in-flight transactions abort on
+// the generation word, new operations wait, fallback-lock holders
+// drain) and swaps in the directory returned by build (nil = abort the
+// resize). The caller must hold resizeFlag; it is released here.
+func (ix *Index) stopWorldResize(c *pmem.Ctx, build func(old *directory) *directory) bool {
+	start := c.Clock()
+	old := ix.dir.Load()
+	ds := &doublingState{old: old, new: nil, halving: true}
+	ix.doubling.Store(ds)
+	gen := atomic.LoadUint64(&ix.dirGen)
+	ix.tm.BumpStoreVol(c, &ix.dirGen, gen+1)
+
+	// Wait for fallback-lock holders to drain.
+	for {
+		clean := true
+		for i := range old.entries {
+			if entryLocked(atomic.LoadUint64(&old.entries[i])) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	nd := build(old)
+	if nd != nil {
+		// The copy is DRAM work; charge it so the resize has a
+		// virtual duration.
+		c.ChargeDRAM(len(old.entries) + len(nd.entries))
+		ix.dir.Store(nd)
+	}
+	ix.lastResizeCost.Store(c.Clock() - start)
+	ix.resizeEpoch.Add(1)
+	ix.tm.BumpStoreVol(c, &ix.dirGen, gen+2)
+	ix.doubling.Store(nil)
+	ix.resizeFlag.Store(0)
+	return nd != nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// DumpInfo is a structural snapshot of the index, for introspection
+// and debugging tools (cmd/spash-dump). Collecting it scans every
+// segment; the index should be quiescent.
+type DumpInfo struct {
+	GlobalDepth uint
+	// DepthHistogram[d] is the number of segments with local depth d.
+	DepthHistogram []int
+	// OccupancyHistogram[k] is the number of segments holding exactly
+	// k entries (0..SlotsPerSegment).
+	OccupancyHistogram []int
+	// OverflowEntries counts entries living outside their main bucket
+	// (each carries a hint; the paper reports ~9% of searches touch
+	// an overflow bucket).
+	OverflowEntries int64
+	// KeyRecords/ValueRecords count out-of-line keys and values.
+	KeyRecords, ValueRecords int64
+	// MaxDepthCount / MaxOccupancyCount are the histogram maxima
+	// (rendering convenience).
+	MaxDepthCount, MaxOccupancyCount int
+}
+
+// Dump collects a DumpInfo.
+func (ix *Index) Dump(c *pmem.Ctx) DumpInfo {
+	d := ix.dir.Load()
+	info := DumpInfo{
+		GlobalDepth:        d.depth,
+		DepthHistogram:     make([]int, d.depth+1),
+		OccupancyHistogram: make([]int, SlotsPerSegment+1),
+	}
+	m := rawMem{ix.pool, c}
+	seen := make(map[uint64]bool)
+	for _, e := range d.entries {
+		seg := entrySeg(e)
+		if seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		depth := entryDepth(e)
+		if int(depth) < len(info.DepthHistogram) {
+			info.DepthHistogram[depth]++
+		}
+		occ := 0
+		for s := 0; s < SlotsPerSegment; s++ {
+			kw := m.load(slotAddr(seg, s))
+			if !keyOccupied(kw) {
+				continue
+			}
+			occ++
+			if !keyIsInline(kw) {
+				info.KeyRecords++
+			}
+			vw := m.load(slotAddr(seg, s) + 8)
+			if !valueIsInline(vw) {
+				info.ValueRecords++
+			}
+		}
+		info.OccupancyHistogram[occ]++
+		// Overflow entries: occupied slots referenced by a hint.
+		for s := 0; s < SlotsPerSegment; s++ {
+			hv := m.load(slotAddr(seg, s) + 8)
+			if hintValid(hv) && keyOccupied(m.load(slotAddr(seg, hintIdx(hv)))) {
+				info.OverflowEntries++
+			}
+		}
+	}
+	for _, n := range info.DepthHistogram {
+		if n > info.MaxDepthCount {
+			info.MaxDepthCount = n
+		}
+	}
+	for _, n := range info.OccupancyHistogram {
+		if n > info.MaxOccupancyCount {
+			info.MaxOccupancyCount = n
+		}
+	}
+	return info
+}
+
+// ForEach visits every live entry once, calling fn with the key and
+// value bytes (valid only during the call). Each segment is read in
+// its own transaction, so the visit of one segment is atomic, but the
+// iteration as a whole is not a snapshot — concurrent writers may be
+// seen or missed, like iterating any live hash table. Returns early if
+// fn returns false.
+func (ix *Index) ForEach(h *Handle, fn func(key, val []byte) bool) error {
+	d := ix.dir.Load()
+	seen := make(map[uint64]bool)
+	var kb [8]byte
+	for _, e := range d.entries {
+		seg := entrySeg(e)
+		if seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		type kvPair struct{ k, v []byte }
+		var batch []kvPair
+		for {
+			code, _ := ix.tm.Run(h.c, ix.pool, func(tx *htm.Txn) error {
+				batch = batch[:0]
+				m := txMem{tx}
+				for s := 0; s < SlotsPerSegment; s++ {
+					kw := m.load(slotAddr(seg, s))
+					if !keyOccupied(kw) {
+						continue
+					}
+					var key []byte
+					if keyIsInline(kw) {
+						binary.LittleEndian.PutUint64(kb[:], wordPayload(kw))
+						key = append([]byte(nil), kb[:]...)
+					} else {
+						key = readRecord(m, wordPayload(kw), nil)
+					}
+					vw := m.load(slotAddr(seg, s) + 8)
+					batch = append(batch, kvPair{key, loadValue(m, vw, nil)})
+				}
+				return nil
+			})
+			if code == htm.Committed {
+				break
+			}
+			// Conflict/resize: retry this segment. If the directory
+			// changed structurally, stale segments abort their reads
+			// and re-resolve below.
+			if ix.dir.Load() != d {
+				// Segment may have been merged away; skip if its
+				// registry entry is gone.
+				if ix.pool.Load64(h.c, ix.regAddrOf(seg))&regValid == 0 {
+					batch = nil
+					break
+				}
+			}
+		}
+		for _, kv := range batch {
+			if !fn(kv.k, kv.v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"spash/internal/hash"
+	"spash/internal/pmem"
+)
+
+// req is a normalised request key: its hash, the fingerprints derived
+// from it, and the inline encoding when the key fits a slot.
+type req struct {
+	key []byte
+	h   uint64
+	fp  uint16 // key fingerprint (13 bits)
+	ofp uint16 // overflow fingerprint (10 bits)
+	// kpay/kInline: the inline payload if the key inlines.
+	kpay    uint64
+	kInline bool
+}
+
+func makeReq(key []byte) req {
+	h := hashKey(key)
+	r := req{
+		key: key,
+		h:   h,
+		fp:  hash.KeyFingerprint(h),
+		ofp: hash.OverflowFingerprint(h),
+	}
+	r.kpay, r.kInline = inlineKeyPayload(key)
+	return r
+}
+
+// keyMatches checks whether an occupied key word identifies r's key.
+// Fingerprint filtering happens first, so out-of-line key records are
+// dereferenced only on a 13-bit fingerprint match (§III-A).
+func (ix *Index) keyMatches(c *pmem.Ctx, kw uint64, r *req) bool {
+	if keyFP(kw) != r.fp {
+		return false
+	}
+	if keyIsInline(kw) {
+		return r.kInline && wordPayload(kw) == r.kpay
+	}
+	return keyRecordEquals(c, ix.pool, wordPayload(kw), r.key)
+}
+
+// locate finds r's slot in the segment: the main bucket first, then
+// the overflow entries advertised by the bucket's hints. Thanks to the
+// every-overflow-entry-has-a-hint invariant, a miss here proves
+// absence. Returns the slot index with its current words, or idx = -1.
+func (ix *Index) locate(m mem, c *pmem.Ctx, seg uint64, r *req) (idx int, kw, vw uint64) {
+	b := mainBucket(r.h)
+	base := b * SlotsPerBucket
+	// Main bucket scan.
+	for s := base; s < base+SlotsPerBucket; s++ {
+		w := m.load(slotAddr(seg, s))
+		if keyOccupied(w) && ix.keyMatches(c, w, r) {
+			return s, w, m.load(slotAddr(seg, s) + 8)
+		}
+	}
+	// Hint scan: every overflow entry homed in this bucket has a hint
+	// in one of the bucket's four value words.
+	for s := base; s < base+SlotsPerBucket; s++ {
+		hv := m.load(slotAddr(seg, s) + 8)
+		if !hintValid(hv) || hintFP(hv) != r.ofp {
+			continue
+		}
+		oi := hintIdx(hv)
+		w := m.load(slotAddr(seg, oi))
+		if keyOccupied(w) && ix.keyMatches(c, w, r) {
+			return oi, w, m.load(slotAddr(seg, oi) + 8)
+		}
+	}
+	return -1, 0, 0
+}
+
+// findFree picks the slot for a new entry following circular probing
+// (§III-A): the main bucket's first free slot, else the first free
+// slot of the overflow buckets in circular order — which additionally
+// requires a free hint word in the main bucket. It returns the slot
+// index, the hint-word slot (-1 when none is needed) and ok=false when
+// the segment cannot take the entry (split required).
+func findFree(m mem, seg uint64, h uint64) (idx, hintSlot int, ok bool) {
+	b := mainBucket(h)
+	base := b * SlotsPerBucket
+	for s := base; s < base+SlotsPerBucket; s++ {
+		if !keyOccupied(m.load(slotAddr(seg, s))) {
+			return s, -1, true
+		}
+	}
+	// Main bucket full: find a hint word first.
+	hintSlot = -1
+	for s := base; s < base+SlotsPerBucket; s++ {
+		if !hintValid(m.load(slotAddr(seg, s) + 8)) {
+			hintSlot = s
+			break
+		}
+	}
+	if hintSlot < 0 {
+		return 0, 0, false
+	}
+	for off := 1; off < BucketsPerSegment; off++ {
+		ob := (b + off) % BucketsPerSegment
+		for s := ob * SlotsPerBucket; s < (ob+1)*SlotsPerBucket; s++ {
+			if !keyOccupied(m.load(slotAddr(seg, s))) {
+				return s, hintSlot, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// placeEntry writes a new entry into slot idx, preserving the target
+// value word's hint bits and installing the overflow hint when idx is
+// outside the main bucket.
+func placeEntry(m mem, seg uint64, idx, hintSlot int, r *req, kw, vwBase uint64) {
+	va := slotAddr(seg, idx) + 8
+	m.store(va, m.load(va)&hintMask|vwBase)
+	m.store(slotAddr(seg, idx), kw)
+	if hintSlot >= 0 {
+		ha := slotAddr(seg, hintSlot) + 8
+		m.store(ha, m.load(ha)&^hintMask|makeHint(r.ofp, idx))
+	}
+}
+
+// clearEntry removes the entry at slot idx: the key word is zeroed and
+// the value word keeps only its hint bits (which belong to the bucket,
+// not to this entry). If the entry lived in an overflow bucket, its
+// hint in the main bucket is cleared as well.
+func clearEntry(m mem, seg uint64, idx int, h uint64) {
+	m.store(slotAddr(seg, idx), 0)
+	va := slotAddr(seg, idx) + 8
+	m.store(va, m.load(va)&hintMask)
+	b := mainBucket(h)
+	if bucketOf(idx) == b {
+		return
+	}
+	base := b * SlotsPerBucket
+	for s := base; s < base+SlotsPerBucket; s++ {
+		ha := slotAddr(seg, s) + 8
+		hv := m.load(ha)
+		if hintValid(hv) && hintIdx(hv) == idx {
+			m.store(ha, hv&^hintMask)
+			return
+		}
+	}
+}
+
+// segmentEmpty reports whether no slot of the segment is occupied.
+func segmentEmpty(m mem, seg uint64) bool {
+	for s := 0; s < SlotsPerSegment; s++ {
+		if keyOccupied(m.load(slotAddr(seg, s))) {
+			return false
+		}
+	}
+	return true
+}
+
+// loadValue appends the value identified by vw to dst through m.
+func loadValue(m mem, vw uint64, dst []byte) []byte {
+	if valueIsInline(vw) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], wordPayload(vw))
+		return append(dst, b[:]...)
+	}
+	return readRecord(m, wordPayload(vw), dst)
+}
+
+// segEntry is one decoded live entry of a segment, used by split,
+// merge and recovery.
+type segEntry struct {
+	kw, vw uint64
+	h      uint64
+}
+
+// decodeSegment collects the live entries of a segment with their key
+// hashes (re-hashing inline keys, reading key records raw for
+// out-of-line ones).
+func (ix *Index) decodeSegment(c *pmem.Ctx, m mem, seg uint64) []segEntry {
+	entries := make([]segEntry, 0, SlotsPerSegment)
+	var kb [8]byte
+	for s := 0; s < SlotsPerSegment; s++ {
+		kw := m.load(slotAddr(seg, s))
+		if !keyOccupied(kw) {
+			continue
+		}
+		vw := m.load(slotAddr(seg, s) + 8)
+		var h uint64
+		if keyIsInline(kw) {
+			binary.LittleEndian.PutUint64(kb[:], wordPayload(kw))
+			h = hashKey(kb[:])
+		} else {
+			buf := readRecord(rawMem{ix.pool, c}, wordPayload(kw), nil)
+			h = hashKey(buf)
+		}
+		entries = append(entries, segEntry{kw: kw, vw: vw &^ hintMask, h: h})
+	}
+	return entries
+}
+
+// layoutSegment arranges entries into a fresh segment image: each
+// entry in its main bucket when possible, overflow entries placed by
+// circular probing with hints installed. ok=false when the entries do
+// not fit (more than 4+4 entries homed in one bucket, or more than 16
+// total).
+func layoutSegment(entries []segEntry) (img [SegmentSize / 8]uint64, ok bool) {
+	if len(entries) > SlotsPerSegment {
+		return img, false
+	}
+	kwAt := func(i int) *uint64 { return &img[i*2] }
+	vwAt := func(i int) *uint64 { return &img[i*2+1] }
+	var overflow []segEntry
+	for _, e := range entries {
+		b := mainBucket(e.h)
+		placed := false
+		for s := b * SlotsPerBucket; s < (b+1)*SlotsPerBucket; s++ {
+			if *kwAt(s) == 0 {
+				*kwAt(s) = e.kw
+				*vwAt(s) |= e.vw
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			overflow = append(overflow, e)
+		}
+	}
+	for _, e := range overflow {
+		b := mainBucket(e.h)
+		hintSlot := -1
+		for s := b * SlotsPerBucket; s < (b+1)*SlotsPerBucket; s++ {
+			if !hintValid(*vwAt(s)) {
+				hintSlot = s
+				break
+			}
+		}
+		if hintSlot < 0 {
+			return img, false
+		}
+		placed := false
+		for off := 1; off < BucketsPerSegment && !placed; off++ {
+			ob := (b + off) % BucketsPerSegment
+			for s := ob * SlotsPerBucket; s < (ob+1)*SlotsPerBucket; s++ {
+				if *kwAt(s) == 0 {
+					*kwAt(s) = e.kw
+					*vwAt(s) |= e.vw
+					*vwAt(hintSlot) |= makeHint(hash.OverflowFingerprint(e.h), s)
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return img, false
+		}
+	}
+	return img, true
+}

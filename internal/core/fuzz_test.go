@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"spash/internal/alloc"
+	"spash/internal/pmem"
+)
+
+// FuzzInsertSearchDelete drives the index with arbitrary key/value
+// bytes; the seed corpus runs in every normal `go test`, and
+// `go test -fuzz=FuzzInsertSearchDelete ./internal/core` explores
+// further.
+func FuzzInsertSearchDelete(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"))
+	f.Add([]byte{0}, []byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xFF}, 8), bytes.Repeat([]byte{0xAA}, 200))
+	f.Add(bytes.Repeat([]byte{7}, 100), bytes.Repeat([]byte{9}, 1024))
+
+	pool := pmem.New(pmem.Config{PoolSize: 256 << 20})
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix, err := Open(c, pool, al, Config{InitialDepth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := ix.NewHandle(c)
+	f.Fuzz(func(t *testing.T, key, val []byte) {
+		if len(key) == 0 || len(key) > MaxKVLen || len(val) > MaxKVLen {
+			if err := h.Insert(key, val); err == nil && (len(key) == 0 || len(key) > MaxKVLen || len(val) > MaxKVLen) {
+				t.Fatal("oversized/empty key accepted")
+			}
+			return
+		}
+		if err := h.Insert(key, val); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := h.Search(key, nil)
+		if err != nil || !ok || !bytes.Equal(got, val) {
+			t.Fatalf("round trip: ok=%v err=%v", ok, err)
+		}
+		if ok, _ := h.Delete(key); !ok {
+			t.Fatal("delete missed")
+		}
+		if _, ok, _ := h.Search(key, nil); ok {
+			t.Fatal("present after delete")
+		}
+	})
+}
+
+// FuzzSlotCodec checks the compound-slot bit packing against arbitrary
+// inputs.
+func FuzzSlotCodec(f *testing.F) {
+	f.Add(uint16(0), uint64(0), true)
+	f.Add(uint16(0x1FFF), uint64(1)<<47, false)
+	f.Fuzz(func(t *testing.T, fp uint16, p uint64, inline bool) {
+		fp &= 0x1FFF
+		p &= payload
+		kw := makeKeyWord(inline, fp, p)
+		if !keyOccupied(kw) || keyIsInline(kw) != inline || keyFP(kw) != fp || wordPayload(kw) != p {
+			t.Fatalf("key word round trip: %#x", kw)
+		}
+		ofp := fp & 0x3FF
+		idx := int(p % SlotsPerSegment)
+		vw := makeValueWord(inline, p) | makeHint(ofp, idx)
+		if !hintValid(vw) || hintFP(vw) != ofp || hintIdx(vw) != idx ||
+			valueIsInline(vw) != inline || wordPayload(vw) != p {
+			t.Fatalf("value word round trip: %#x", vw)
+		}
+	})
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"spash/internal/alloc"
+	"spash/internal/htm"
+	"spash/internal/pmem"
+	"spash/internal/vsync"
+)
+
+// Registry entry encoding (persistent, 8 bytes per pool XPLine):
+//
+//	[63 valid][55..48 local depth][47..0 hash prefix]
+//
+// The registry is the one deliberate extension over the paper's
+// metadata-free design: base operations never touch it — only segment
+// allocate/split/merge transactions update it — but it makes the
+// volatile directory reconstructible after a crash (the paper does not
+// specify its recovery path). One entry exists per XPLine of the pool,
+// indexed by segment address.
+const (
+	regValid      = uint64(1) << 63
+	regDepthShift = 48
+)
+
+func makeRegEntry(prefix uint64, depth uint) uint64 {
+	return regValid | uint64(depth)<<regDepthShift | prefix&payload
+}
+
+func regPrefix(e uint64) uint64 { return e & payload }
+func regDepth(e uint64) uint    { return uint(e >> regDepthShift & 0xFF) }
+
+// Root-word layout inside the allocator's root area.
+const (
+	rootMagic    = 0
+	rootRegistry = 1
+	indexMagic   = 0x5350415348494458 // "SPASHIDX"
+	maxDepth     = 44
+)
+
+// Stats are the index's operational counters (all cumulative).
+type Stats struct {
+	Entries  int64
+	Segments int64
+	Splits   int64
+	Merges   int64
+	Doubles  int64
+	// TxConflicts/TxCapacity count HTM aborts by cause; Fallbacks
+	// counts operations that ended up on the per-segment lock path.
+	TxConflicts int64
+	TxCapacity  int64
+	Fallbacks   int64
+	// HotHits counts updates classified hot by the detector.
+	HotHits int64
+	// CollabStages counts doubling stages completed by concurrent
+	// operations rather than the doubling thread.
+	CollabStages int64
+}
+
+// Index is a Spash instance over a simulated PM pool.
+type Index struct {
+	pool  *pmem.Pool
+	alloc *alloc.Allocator
+	tm    *htm.TM
+	cfg   Config
+	// group aggregates lock and HTM-commit serialisation for the
+	// virtual-time model.
+	group *vsync.Group
+
+	// dirGen is odd while a resize (doubling or halving) is in
+	// progress; every transaction reads it. dir is the current stable
+	// directory; doubling the in-progress resize state.
+	dirGen     uint64
+	dir        atomic.Pointer[directory]
+	doubling   atomic.Pointer[doublingState]
+	resizeFlag atomic.Int32
+
+	registryAddr uint64
+	registryCap  uint64 // entries
+
+	hot *hotspot
+
+	// Lock-mode state: one lock (and seqlock word) per hash-prefix
+	// stripe.
+	locks   []vsync.Mutex
+	rwlocks []vsync.RWMutex
+	seqs    []uint64
+
+	// lastResizeCost is the virtual duration of the most recent
+	// stop-the-world resize; operations that waited it out charge it
+	// to their clocks (blocked time is otherwise invisible to the
+	// per-worker virtual-time model). resizeEpoch counts completed
+	// stop-the-world resizes: every worker that lived through one
+	// charges the expected overlap, since a stop-the-world resize
+	// stalls the whole index regardless of who observes it in real
+	// time.
+	lastResizeCost atomic.Int64
+	resizeEpoch    atomic.Int64
+
+	entries      atomic.Int64
+	segments     atomic.Int64
+	splits       atomic.Int64
+	merges       atomic.Int64
+	doubles      atomic.Int64
+	txConflicts  atomic.Int64
+	txCapacity   atomic.Int64
+	fallbacks    atomic.Int64
+	collabStages atomic.Int64
+}
+
+// Open creates a new index on a freshly formatted pool.
+func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if pool.Load64(c, alloc.RootAddr(rootMagic)) != 0 {
+		return nil, errors.New("core: pool already contains an index; use Recover")
+	}
+	ix := newIndex(pool, al, cfg)
+
+	// The registry has one word per XPLine of the pool.
+	ix.registryCap = pool.Size() / SegmentSize
+	regAddr, err := al.AllocRaw(c, ix.registryCap*8)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating segment registry: %w", err)
+	}
+	ix.registryAddr = regAddr
+
+	// Initial directory: one fresh segment per entry. The initial
+	// structure is flushed so even an ADR-mode pool starts from a
+	// durable skeleton.
+	d := newDirectory(cfg.InitialDepth)
+	h := al.NewHandle()
+	for i := range d.entries {
+		seg, err := ix.newSegment(c, h)
+		if err != nil {
+			return nil, err
+		}
+		d.entries[i] = makeEntry(seg, cfg.InitialDepth)
+		ix.regStoreRaw(c, seg, uint64(i), cfg.InitialDepth, true)
+		pool.Flush(c, seg, SegmentSize)
+		pool.Flush(c, ix.regAddrOf(seg), 8)
+		ix.segments.Add(1)
+	}
+	pool.Fence(c)
+	h.Close()
+	ix.dir.Store(d)
+
+	pool.Store64(c, alloc.RootAddr(rootRegistry), regAddr)
+	pool.Store64(c, alloc.RootAddr(rootMagic), indexMagic)
+	pool.Flush(c, alloc.RootAddr(0), alloc.RootWords*8)
+	pool.Fence(c)
+	return ix, nil
+}
+
+func newIndex(pool *pmem.Pool, al *alloc.Allocator, cfg Config) *Index {
+	ix := &Index{
+		pool:  pool,
+		alloc: al,
+		cfg:   cfg,
+		group: &vsync.Group{},
+	}
+	ix.tm = htm.New(htm.Config{})
+	ix.tm.Group = ix.group
+	ix.hot = newHotspot(cfg.HotspotPartitionBits, cfg.HotKeysPerPartition)
+	if cfg.Concurrency != ModeHTM {
+		n := 1 << cfg.LockStripeBits
+		ix.locks = make([]vsync.Mutex, n)
+		ix.rwlocks = make([]vsync.RWMutex, n)
+		ix.seqs = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			ix.locks[i].G = ix.group
+			ix.rwlocks[i].G = ix.group
+		}
+	}
+	return ix
+}
+
+// Config returns the effective configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Pool returns the underlying simulated PM pool.
+func (ix *Index) Pool() *pmem.Pool { return ix.pool }
+
+// Group returns the serialisation group for the virtual-time model.
+func (ix *Index) Group() *vsync.Group { return ix.group }
+
+// newSegment allocates and zeroes one segment.
+func (ix *Index) newSegment(c *pmem.Ctx, h *alloc.Handle) (uint64, error) {
+	seg, _, err := h.Alloc(c, SegmentSize)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < SegmentSize/8; i++ {
+		ix.pool.Store64(c, seg+uint64(i)*8, 0)
+	}
+	return seg, nil
+}
+
+// regAddrOf returns the registry word for a segment address.
+func (ix *Index) regAddrOf(seg uint64) uint64 {
+	return ix.registryAddr + seg/SegmentSize*8
+}
+
+// regStoreRaw writes a registry entry outside any transaction (index
+// construction only).
+func (ix *Index) regStoreRaw(c *pmem.Ctx, seg, prefix uint64, depth uint, valid bool) {
+	var e uint64
+	if valid {
+		e = makeRegEntry(prefix, depth)
+	}
+	ix.pool.Store64(c, ix.regAddrOf(seg), e)
+}
+
+// Len returns the number of live key-value entries.
+func (ix *Index) Len() int { return int(ix.entries.Load()) }
+
+// LoadFactor returns entries / capacity, the memory-utilisation metric
+// of Fig 9.
+func (ix *Index) LoadFactor() float64 {
+	segs := ix.segments.Load()
+	if segs == 0 {
+		return 0
+	}
+	return float64(ix.entries.Load()) / float64(segs*SlotsPerSegment)
+}
+
+// Depth returns the current global directory depth.
+func (ix *Index) Depth() uint { return ix.dir.Load().depth }
+
+// Stats returns the operational counters.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Entries:      ix.entries.Load(),
+		Segments:     ix.segments.Load(),
+		Splits:       ix.splits.Load(),
+		Merges:       ix.merges.Load(),
+		Doubles:      ix.doubles.Load(),
+		TxConflicts:  ix.txConflicts.Load(),
+		TxCapacity:   ix.txCapacity.Load(),
+		Fallbacks:    ix.fallbacks.Load(),
+		HotHits:      ix.hot.hits.Load(),
+		CollabStages: ix.collabStages.Load(),
+	}
+}
+
+// waitResize spins until the in-progress resize completes.
+func (ix *Index) waitResize() {
+	for atomic.LoadUint64(&ix.dirGen)&1 != 0 {
+		runtime.Gosched()
+	}
+}
+
+// waitResizeCtx is waitResize for a worker with a clock: if a resize
+// was actually in progress, the worker charges its virtual duration —
+// the blocking that stop-the-world resizing inflicts and collaborative
+// staged doubling avoids.
+func (ix *Index) waitResizeCtx(c *pmem.Ctx) {
+	if atomic.LoadUint64(&ix.dirGen)&1 == 0 {
+		return
+	}
+	ix.waitResize()
+	c.Charge(ix.lastResizeCost.Load())
+}
+
+// resolveTx resolves the authoritative directory entry inside a
+// transaction (the transaction-phase validation of §IV-A): the
+// generation word, the partition-progress words (during doubling), the
+// entry itself AND the segment's canonical lock entry all join the
+// read set, so any concurrent split, doubling stage, or fallback-lock
+// acquisition aborts this transaction. Returns errLocked if the
+// segment's fallback lock is held, errResizing during a halving.
+//
+// The per-segment fallback lock lives on the canonical covering entry
+// — the first directory entry of the segment's covering range. A
+// segment whose local depth is below the global depth is covered by
+// many entries; locking only the operation's own entry would let
+// transactions arriving through sibling entries run concurrently with
+// the raw fallback body and break the segment's multi-word invariants
+// (e.g. the hint words shared by all keys of a bucket).
+func (ix *Index) resolveTx(tx *htm.Txn, h uint64) (ptr *uint64, entry uint64, err error) {
+	gen := tx.LoadVol(&ix.dirGen)
+	if gen&1 == 0 {
+		d := ix.dir.Load()
+		idx := d.index(h)
+		ptr = &d.entries[idx]
+		entry = tx.LoadVol(ptr)
+		if entryLocked(entry) {
+			return nil, 0, errLocked
+		}
+		if depth := entryDepth(entry); depth < d.depth {
+			base := idx &^ (uint64(1)<<(d.depth-depth) - 1)
+			if base != idx && entryLocked(tx.LoadVol(&d.entries[base])) {
+				return nil, 0, errLocked
+			}
+		}
+		return ptr, entry, nil
+	}
+	ds := ix.doubling.Load()
+	if ds == nil || ds.halving {
+		return nil, 0, errResizing
+	}
+	oldIdx := ds.old.index(h)
+	if tx.LoadVol(ds.partDonePtr(ds.partOf(oldIdx))) == 1 {
+		ptr = &ds.new.entries[ds.new.index(h)]
+	} else {
+		ptr = &ds.old.entries[oldIdx]
+	}
+	entry = tx.LoadVol(ptr)
+	if entryLocked(entry) {
+		return nil, 0, errLocked
+	}
+	if cPtr := ix.canonicalPtrTx(tx, ds, oldIdx, entryDepth(entry)); cPtr != ptr &&
+		cPtr != nil && entryLocked(tx.LoadVol(cPtr)) {
+		return nil, 0, errLocked
+	}
+	return ptr, entry, nil
+}
+
+// canonicalPtrTx locates, inside a transaction during a doubling, the
+// canonical lock entry for a segment of the given local depth whose
+// keys map to oldIdx in the old directory. The canonical partition's
+// progress word joins the read set.
+func (ix *Index) canonicalPtrTx(tx *htm.Txn, ds *doublingState, oldIdx uint64, depth uint) *uint64 {
+	if depth > ds.old.depth {
+		// The segment was created during this doubling; its covering
+		// range in the new directory starts at its own (single) entry.
+		return nil
+	}
+	cOld := oldIdx &^ (uint64(1)<<(ds.old.depth-depth) - 1)
+	if tx.LoadVol(ds.partDonePtr(ds.partOf(cOld))) == 1 {
+		return &ds.new.entries[cOld<<1]
+	}
+	return &ds.old.entries[cOld]
+}

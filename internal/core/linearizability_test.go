@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Register-style linearizability check on one hot key: writers stamp
+// globally unique values and record [start,end] logical intervals;
+// readers record what they saw. A read is a *stale-read violation* if
+// the value it returned was definitively superseded before the read
+// began — i.e. there exists a write W' such that
+//
+//	write(v).end < W'.start  and  W'.end < read.start
+//
+// (W' started after v's write finished and finished before the read
+// started, so no linearisation order can place the read before W').
+// This is the classic sound (if partial) register check, and the
+// property the paper's HTM protocol must provide where CAS-based or
+// seqlock designs can leak stale values.
+func TestRegisterLinearizability(t *testing.T) {
+	for _, mode := range []ConcurrencyMode{ModeHTM, ModeWriteLock, ModeRWLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ix, h0 := newTestIndex(t, Config{Concurrency: mode, LockStripeBits: 4})
+			key := []byte("linearizable-key")
+			if err := h0.Insert(key, k64(0)); err != nil {
+				t.Fatal(err)
+			}
+
+			var clock atomic.Int64
+			type span struct{ start, end int64 }
+			type read struct {
+				span
+				val uint64
+			}
+			const writers, readers, wOps, rOps = 3, 3, 2000, 4000
+			writes := make([]map[uint64]span, writers)
+			reads := make([][]read, readers)
+
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				writes[w] = make(map[uint64]span, wOps)
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := ix.NewHandle(nil)
+					defer h.Close()
+					for i := 0; i < wOps; i++ {
+						v := uint64(w)<<32 | uint64(i) + 1
+						start := clock.Add(1)
+						if found, err := h.Update(key, k64(v)); err != nil || !found {
+							t.Errorf("update: %v %v", found, err)
+							return
+						}
+						writes[w][v] = span{start, clock.Add(1)}
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				reads[r] = make([]read, 0, rOps)
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					h := ix.NewHandle(nil)
+					defer h.Close()
+					for i := 0; i < rOps; i++ {
+						start := clock.Add(1)
+						val, ok, err := h.Search(key, nil)
+						if err != nil || !ok {
+							t.Errorf("search: %v %v", ok, err)
+							return
+						}
+						reads[r] = append(reads[r], read{
+							span{start, clock.Add(1)},
+							binary.LittleEndian.Uint64(val),
+						})
+					}
+				}(r)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			// Merge write history.
+			hist := map[uint64]span{0: {0, 0}} // initial value
+			for w := 0; w < writers; w++ {
+				for v, s := range writes[w] {
+					hist[v] = s
+				}
+			}
+			// Sort write spans by end time for the supersession scan.
+			type wrec struct {
+				span
+				v uint64
+			}
+			var ws []wrec
+			for v, s := range hist {
+				ws = append(ws, wrec{s, v})
+			}
+
+			violations := 0
+			for r := 0; r < readers; r++ {
+				for _, rd := range reads[r] {
+					wspan, known := hist[rd.val]
+					if !known {
+						t.Fatalf("read returned never-written value %#x", rd.val)
+					}
+					// Stale iff some write begins after wspan.end and
+					// ends before rd.start.
+					for _, o := range ws {
+						if o.start > wspan.end && o.end < rd.start {
+							violations++
+							break
+						}
+					}
+				}
+			}
+			if violations > 0 {
+				t.Fatalf("%d stale reads detected under %v", violations, mode)
+			}
+		})
+	}
+}

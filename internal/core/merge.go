@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"spash/internal/hash"
+	"spash/internal/htm"
+)
+
+// mergeAttempts bounds transactional merge retries; merging is
+// opportunistic, so contention simply cancels it.
+const mergeAttempts = 4
+
+// mergeThreshold is the maximum combined entry count for which two
+// buddy segments are merged back into one (half a segment, leaving
+// slack for subsequent inserts).
+const mergeThreshold = SlotsPerSegment / 2
+
+// TryMerge merges the (empty) segment responsible for key into its
+// buddy segment, undoing a split (§III-A: "segment merging is the
+// reverse process of segment splitting"). It is called automatically
+// on a sample of deletions and may be called explicitly after bulk
+// deletes. Returns whether a merge happened.
+func (h *Handle) TryMerge(key []byte) bool {
+	r := makeReq(key)
+	if h.ix.cfg.Concurrency != ModeHTM {
+		return h.ix.mergeLocked(h, &r)
+	}
+	ix := h.ix
+	var freedSeg uint64
+	for attempt := 0; attempt < mergeAttempts; attempt++ {
+		code, _ := ix.tm.Run(h.c, ix.pool, func(tx *htm.Txn) error {
+			freedSeg = 0
+			if tx.LoadVol(&ix.dirGen)&1 == 1 {
+				return nil // skip during resizes
+			}
+			d := ix.dir.Load()
+			e := tx.LoadVol(&d.entries[d.index(r.h)])
+			if entryLocked(e) {
+				return nil
+			}
+			seg, depth := entrySeg(e), entryDepth(e)
+			if depth == 0 {
+				return nil
+			}
+			p := hash.Prefix(r.h, depth)
+			buddyBase := (p ^ 1) << (d.depth - depth)
+			be := tx.LoadVol(&d.entries[buddyBase])
+			if entryLocked(be) || entryDepth(be) != depth {
+				return nil
+			}
+			buddySeg := entrySeg(be)
+			lo := p >> 1 << (d.depth - depth + 1)
+			n := uint64(1) << (d.depth - depth + 1)
+			// Validate every covering entry of both buddies before
+			// rewriting them (see the matching check in split).
+			for j := uint64(0); j < n; j++ {
+				cur := tx.LoadVol(&d.entries[lo+j])
+				if entryLocked(cur) || entryDepth(cur) != depth {
+					return nil
+				}
+				if s := entrySeg(cur); s != seg && s != buddySeg {
+					return nil
+				}
+			}
+			// Merge carries data: both segments' live entries must fit
+			// comfortably in one (the reverse of a split, §III-A).
+			m := txMem{tx}
+			entsA := ix.decodeSegment(h.c, m, seg)
+			entsB := ix.decodeSegment(h.c, m, buddySeg)
+			if len(entsA)+len(entsB) > mergeThreshold {
+				return nil
+			}
+			img, ok := layoutSegment(append(entsA, entsB...))
+			if !ok {
+				return nil // pathological bucket skew; keep both
+			}
+			for i, w := range img {
+				addr := buddySeg + uint64(i)*8
+				if tx.Load(addr) != w {
+					tx.Store(addr, w)
+				}
+			}
+			for j := uint64(0); j < n; j++ {
+				tx.StoreVol(&d.entries[lo+j], makeEntry(buddySeg, depth-1))
+			}
+			tx.Store(ix.regAddrOf(seg), 0)
+			tx.Store(ix.regAddrOf(buddySeg), makeRegEntry(p>>1, depth-1))
+			freedSeg = seg
+			return nil
+		})
+		switch code {
+		case htm.Committed:
+			if freedSeg == 0 {
+				return false
+			}
+			h.ah.Free(h.c, freedSeg, SegmentSize)
+			ix.segments.Add(-1)
+			ix.merges.Add(1)
+			return true
+		case htm.Conflict:
+			ix.txConflicts.Add(1)
+		case htm.Capacity:
+			ix.txCapacity.Add(1)
+			return false // covering range too wide; not worth forcing
+		case htm.Explicit:
+			return false
+		}
+	}
+	return false
+}
+
+// mergeLocked is the lock-mode merge: it requires the buddy pair to
+// fall inside one lock stripe (depth-1 ≥ LockStripeBits), which the
+// stripe-covers-whole-segments invariant guarantees for all but the
+// shallowest segments — those simply stay unmerged.
+func (ix *Index) mergeLocked(h *Handle, r *req) bool {
+	stripe := ix.stripeOf(r.h)
+	ix.lockStripe(h.c, stripe)
+	defer ix.unlockStripe(h.c, stripe)
+	d := ix.dir.Load()
+	_, e := ix.resolveRaw(r.h)
+	seg, depth := entrySeg(e), entryDepth(e)
+	if depth == 0 || depth-1 < ix.cfg.LockStripeBits {
+		return false
+	}
+	m := rawMem{ix.pool, h.c}
+	p := hash.Prefix(r.h, depth)
+	buddyBase := (p ^ 1) << (d.depth - depth)
+	be := atomic.LoadUint64(&d.entries[buddyBase])
+	if entryDepth(be) != depth {
+		return false
+	}
+	buddySeg := entrySeg(be)
+	entsA := ix.decodeSegment(h.c, m, seg)
+	entsB := ix.decodeSegment(h.c, m, buddySeg)
+	if len(entsA)+len(entsB) > mergeThreshold {
+		return false
+	}
+	img, ok := layoutSegment(append(entsA, entsB...))
+	if !ok {
+		return false
+	}
+	for i, w := range img {
+		m.store(buddySeg+uint64(i)*8, w)
+	}
+	lo := p >> 1 << (d.depth - depth + 1)
+	n := uint64(1) << (d.depth - depth + 1)
+	for j := uint64(0); j < n; j++ {
+		atomic.StoreUint64(&d.entries[lo+j], makeEntry(buddySeg, depth-1))
+	}
+	m.store(ix.regAddrOf(seg), 0)
+	m.store(ix.regAddrOf(buddySeg), makeRegEntry(p>>1, depth-1))
+	h.ah.Free(h.c, seg, SegmentSize)
+	ix.segments.Add(-1)
+	ix.merges.Add(1)
+	return true
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+
+	"spash/internal/alloc"
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// errKVTooLarge rejects empty keys and oversized keys/values.
+var errKVTooLarge = errors.New("core: key/value empty or exceeds MaxKVLen")
+
+// Handle is a per-worker execution context: the worker's pmem context
+// (virtual clock and counters), its allocator cache (thread-local free
+// lists and the compacted-flush chunk) and scratch buffers. A Handle
+// must not be used concurrently.
+type Handle struct {
+	ix *Index
+	c  *pmem.Ctx
+	ah *alloc.Handle
+
+	// resizeEpoch is the last stop-the-world resize this worker
+	// accounted for.
+	resizeEpoch int64
+
+	// batch is the pipeline scratch state (pipeline.go).
+	batch batchState
+}
+
+// NewHandle returns a worker handle bound to ctx. Passing nil creates
+// a fresh pmem context.
+func (ix *Index) NewHandle(c *pmem.Ctx) *Handle {
+	if c == nil {
+		c = ix.pool.NewCtx()
+	}
+	return &Handle{ix: ix, c: c, ah: ix.alloc.NewHandle()}
+}
+
+// Ctx returns the handle's pmem context.
+func (h *Handle) Ctx() *pmem.Ctx { return h.c }
+
+// Index returns the handle's index.
+func (h *Handle) Index() *Index { return h.ix }
+
+// Close returns the handle's cached resources.
+func (h *Handle) Close() {
+	h.ah.Close()
+}
+
+// exec runs body atomically against the authoritative segment for r,
+// dispatching on the concurrency mode. body must be idempotent (it can
+// run several times) and reset its captured outputs on entry; it
+// performs all shared-memory access through m. readonly enables the
+// lock-free/read-lock read paths of the lock modes.
+func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error) error {
+	if h.ix.cfg.Concurrency != ModeHTM {
+		return h.execLocked(r, readonly, body)
+	}
+	ix := h.ix
+	// A completed stop-the-world resize stalled every worker for its
+	// duration; charge the expected overlap (half) once per epoch.
+	if e := ix.resizeEpoch.Load(); e != h.resizeEpoch {
+		h.c.Charge((e - h.resizeEpoch) * ix.lastResizeCost.Load() / 2)
+		h.resizeEpoch = e
+	}
+	conflicts := 0
+	for {
+		code, err := ix.tm.Run(h.c, ix.pool, func(tx *htm.Txn) error {
+			_, entry, rerr := ix.resolveTx(tx, r.h)
+			if rerr != nil {
+				return rerr
+			}
+			return body(txMem{tx}, entrySeg(entry))
+		})
+		switch code {
+		case htm.Committed:
+			return nil
+		case htm.Conflict:
+			ix.txConflicts.Add(1)
+			conflicts++
+			if conflicts > ix.cfg.MaxTxRetries {
+				return h.execFallback(r, body)
+			}
+		case htm.Capacity:
+			ix.txCapacity.Add(1)
+			return h.execFallback(r, body)
+		case htm.Explicit:
+			re, ok := err.(retryError)
+			if !ok {
+				return err
+			}
+			switch re {
+			case errNeedSplit:
+				if serr := ix.split(h, r.h); serr != nil {
+					return serr
+				}
+			case errResizing:
+				ix.waitResizeCtx(h.c)
+			case errLocked:
+				runtime.Gosched()
+			default:
+				// errSegMoved and friends: redo from preparation.
+			}
+		}
+	}
+}
+
+// execFallback is the two-phase protocol's fallback path (§IV-A): the
+// per-segment lock — the lock bit of the segment's canonical covering
+// directory entry — is taken, excluding new transactions on the whole
+// segment (every transaction checks the canonical entry in resolveTx)
+// and aborting in-flight ones (the CAS bumps the entry's stripe
+// version).
+// The body then runs raw, with bump-stores so optimistic readers of
+// the touched lines abort cleanly.
+func (h *Handle) execFallback(r *req, body func(m mem, seg uint64) error) error {
+	ix := h.ix
+	ix.fallbacks.Add(1)
+	for {
+		cPtr, ce, seg, ok := ix.resolveCanonicalNoWait(r.h)
+		if !ok {
+			ix.waitResize()
+			continue
+		}
+		if entryLocked(ce) {
+			runtime.Gosched()
+			continue
+		}
+		if !ix.tm.BumpCASVol(h.c, cPtr, ce, ce|entryLock) {
+			continue
+		}
+		// The canonical entry may have stopped being authoritative
+		// between the read and the CAS (a doubling stage copied its
+		// partition, or a halving started). Never block while holding
+		// the lock.
+		cPtr2, _, seg2, ok2 := ix.resolveCanonicalNoWait(r.h)
+		if !ok2 || cPtr2 != cPtr || seg2 != seg {
+			ix.tm.BumpStoreVol(h.c, cPtr, ce)
+			ix.waitResize()
+			continue
+		}
+		err := ix.tm.Irrevocable(h.c, ix.pool, func(it *htm.ITxn) error {
+			return body(iMem{it}, seg)
+		})
+		ix.tm.BumpStoreVol(h.c, cPtr, ce) // unlock
+		if err == nil {
+			return nil
+		}
+		if re, ok := err.(retryError); ok {
+			if re == errNeedSplit {
+				if serr := ix.split(h, r.h); serr != nil {
+					return serr
+				}
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// Search looks key up and, when found, appends its value to dst.
+func (h *Handle) Search(key, dst []byte) ([]byte, bool, error) {
+	r := makeReq(key)
+	found := false
+	out := dst
+	err := h.exec(&r, true, func(m mem, seg uint64) error {
+		found, out = false, dst
+		idx, _, vw := h.ix.locate(m, h.c, seg, &r)
+		if idx < 0 {
+			return nil
+		}
+		found = true
+		out = loadValue(m, vw, dst)
+		return nil
+	})
+	if err != nil {
+		return dst, false, err
+	}
+	return out, found, nil
+}
+
+// Insert inserts key→val, replacing any existing value (upsert).
+// Out-of-line records are prepared before the atomic section: under
+// the compacted-flush policy (§III-C) small records are appended to
+// the handle's XPLine chunk and flushed once per chunk.
+func (h *Handle) Insert(key, val []byte) error {
+	if len(key) == 0 || len(key) > MaxKVLen || len(val) > MaxKVLen {
+		return errKVTooLarge
+	}
+	r := makeReq(key)
+
+	kpay, kInline := r.kpay, r.kInline
+	if !kInline {
+		addr, err := h.allocRecord(key)
+		if err != nil {
+			return err
+		}
+		kpay = addr
+	}
+	kw := makeKeyWord(kInline, r.fp, kpay)
+
+	vpay, vInline := inlineValuePayload(val)
+	if !vInline {
+		addr, err := h.allocRecord(val)
+		if err != nil {
+			return err
+		}
+		vpay = addr
+	}
+	vwBase := makeValueWord(vInline, vpay)
+
+	replaced := false
+	var freeVal uint64
+	freeValLen := 0
+	err := h.exec(&r, false, func(m mem, seg uint64) error {
+		replaced, freeVal, freeValLen = false, 0, 0
+		idx, _, oldVW := h.ix.locate(m, h.c, seg, &r)
+		if idx >= 0 {
+			va := slotAddr(seg, idx) + 8
+			m.store(va, oldVW&hintMask|vwBase)
+			replaced = true
+			if !valueIsInline(oldVW) {
+				freeVal = wordPayload(oldVW)
+				freeValLen = recordLen(m, freeVal)
+			}
+			return nil
+		}
+		free, hintSlot, ok := findFree(m, seg, r.h)
+		if !ok {
+			return errNeedSplit
+		}
+		placeEntry(m, seg, free, hintSlot, &r, kw, vwBase)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if replaced {
+		// The existing slot keeps its original key record.
+		if !kInline {
+			h.freeRecord(kpay, len(key))
+		}
+		if freeVal != 0 {
+			h.freeRecord(freeVal, freeValLen)
+		}
+	} else {
+		h.ix.entries.Add(1)
+	}
+	return nil
+}
+
+// Update replaces the value of an existing key using the adaptive
+// in-place strategy (§III-B): same-class out-of-line values are
+// overwritten in place inside the atomic section; the flush decision
+// afterwards follows the configured policy and the hotspot detector.
+// Returns false when the key is absent.
+func (h *Handle) Update(key, val []byte) (bool, error) {
+	if len(key) == 0 || len(key) > MaxKVLen || len(val) > MaxKVLen {
+		return false, errKVTooLarge
+	}
+	r := makeReq(key)
+	vpay, vInline := inlineValuePayload(val)
+	var newAddr uint64
+	if !vInline {
+		addr, err := h.allocRecord(val)
+		if err != nil {
+			return false, err
+		}
+		newAddr = addr
+	}
+
+	found, usedNew := false, false
+	var freeOld, flushAddr uint64
+	freeOldLen := 0
+	err := h.exec(&r, false, func(m mem, seg uint64) error {
+		found, usedNew, freeOld, freeOldLen, flushAddr = false, false, 0, 0, 0
+		idx, _, vw := h.ix.locate(m, h.c, seg, &r)
+		if idx < 0 {
+			return nil
+		}
+		found = true
+		va := slotAddr(seg, idx) + 8
+		if vInline {
+			m.store(va, vw&hintMask|makeValueWord(true, vpay))
+			if !valueIsInline(vw) {
+				freeOld = wordPayload(vw)
+				freeOldLen = recordLen(m, freeOld)
+			}
+			return nil
+		}
+		if !valueIsInline(vw) {
+			old := wordPayload(vw)
+			oldLen := recordLen(m, old)
+			if h.recordAllocSize(oldLen) == h.recordAllocSize(len(val)) {
+				writeRecordValue(m, old, val)
+				flushAddr = old
+				return nil
+			}
+			freeOld = old
+			freeOldLen = oldLen
+		}
+		m.store(va, vw&hintMask|makeValueWord(false, newAddr))
+		usedNew = true
+		flushAddr = newAddr
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if newAddr != 0 && (!found || !usedNew) {
+		h.freeRecord(newAddr, len(val))
+	}
+	if !found {
+		return false, nil
+	}
+	if freeOld != 0 {
+		h.freeRecord(freeOld, freeOldLen)
+	}
+	h.updateFlushPolicy(&r, flushAddr, len(val))
+	return true, nil
+}
+
+// updateFlushPolicy applies Table I after a committed update: hot
+// entries and small entries are left to the persistent cache; cold
+// entries larger than a cacheline are flushed asynchronously to avoid
+// eviction-order write amplification.
+func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
+	ix := h.ix
+	switch ix.cfg.Update {
+	case UpdateNeverFlush:
+		return
+	case UpdateAlwaysFlush:
+		if recAddr != 0 {
+			ix.pool.Flush(h.c, recAddr, uint64(recordSpace(size)))
+		}
+		return
+	case UpdateOracle:
+		if ix.cfg.OracleHot != nil && ix.cfg.OracleHot(r.h) {
+			ix.hot.hits.Add(1)
+			return
+		}
+	default: // UpdateAdaptive
+		if ix.hot.touch(r.h) {
+			return
+		}
+	}
+	// Cold: flush only multi-cacheline entries.
+	if recAddr != 0 && size > pmem.CachelineSize {
+		ix.pool.Flush(h.c, recAddr, uint64(recordSpace(size)))
+	}
+}
+
+// Delete removes key, returning whether it was present. Deletes that
+// empty a segment (sampled, 1-in-16) attempt a merge with the buddy
+// segment.
+func (h *Handle) Delete(key []byte) (bool, error) {
+	r := makeReq(key)
+	found := false
+	var freeKey, freeVal uint64
+	freeValLen := 0
+	err := h.exec(&r, false, func(m mem, seg uint64) error {
+		found, freeKey, freeVal, freeValLen = false, 0, 0, 0
+		idx, kw, vw := h.ix.locate(m, h.c, seg, &r)
+		if idx < 0 {
+			return nil
+		}
+		found = true
+		if !keyIsInline(kw) {
+			freeKey = wordPayload(kw)
+		}
+		if !valueIsInline(vw) {
+			freeVal = wordPayload(vw)
+			freeValLen = recordLen(m, freeVal)
+		}
+		clearEntry(m, seg, idx, r.h)
+		return nil
+	})
+	if err != nil || !found {
+		return false, err
+	}
+	if freeKey != 0 {
+		h.freeRecord(freeKey, len(key))
+	}
+	if freeVal != 0 {
+		h.freeRecord(freeVal, freeValLen)
+	}
+	h.ix.entries.Add(-1)
+	if r.h>>32&0xF == 0 {
+		h.TryMerge(key)
+	}
+	return true, nil
+}
+
+// allocRecord allocates and writes an out-of-line record for data,
+// applying the configured insertion policy's placement and flushing.
+func (h *Handle) allocRecord(data []byte) (uint64, error) {
+	space := h.recordAllocSize(len(data))
+	addr, filledChunk, err := h.ah.Alloc(h.c, space)
+	if err != nil {
+		return 0, err
+	}
+	writeRecordRaw(h.c, h.ix.pool, addr, data)
+	switch h.ix.cfg.Insert {
+	case InsertCompactedFlush:
+		if filledChunk != 0 {
+			// One XPLine write-back for the whole compacted chunk.
+			h.ix.pool.Flush(h.c, filledChunk, pmem.XPLineSize)
+		} else if space > 128 {
+			// Large cold record: flush to avoid eviction-order
+			// amplification (DP2).
+			h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
+		}
+	case InsertNoCompact:
+		h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
+	case InsertCompactNoFlush:
+		// Leave everything to cache eviction.
+	}
+	return addr, nil
+}
+
+// recordAllocSize is the allocation request for a record of n payload
+// bytes under the configured insertion policy (InsertNoCompact denies
+// small records the XPLine-chunk classes).
+func (h *Handle) recordAllocSize(n int) int {
+	space := recordSpace(n)
+	if h.ix.cfg.Insert == InsertNoCompact && space <= 128 {
+		return pmem.XPLineSize
+	}
+	return alloc.ClassSize(space)
+}
+
+// freeRecord returns a record's block to the allocator.
+func (h *Handle) freeRecord(addr uint64, payloadLen int) {
+	h.ah.Free(h.c, addr, h.recordAllocSize(payloadLen))
+}

@@ -1,0 +1,90 @@
+package core
+
+import "spash/internal/pmem"
+
+// OpKind is the operation type of a batched request.
+type OpKind uint8
+
+const (
+	OpSearch OpKind = iota
+	OpUpdate
+	OpInsert
+	OpDelete
+)
+
+// BatchOp is one request of a pipelined batch. After ExecBatch
+// returns, Result/Found/Err hold the outcome (Result is valid for
+// searches and aliases ResultBuf's backing array when provided).
+type BatchOp struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+	// ResultBuf, if non-nil, receives the search result (appended).
+	ResultBuf []byte
+
+	Result []byte
+	Found  bool
+	Err    error
+}
+
+// batchState is per-handle pipeline scratch.
+type batchState struct {
+	reqs []req
+}
+
+// ExecBatch executes ops with the pipelined execution of §III-D: the
+// preparation of request i+PD-1 (hash, directory resolution, and an
+// asynchronous prefetch of the target bucket's cacheline) is issued
+// before request i executes, so up to PipelineDepth PM reads are in
+// flight per worker and their latencies overlap. With PipelineDepth=1
+// the batch degenerates to sequential execution.
+func (h *Handle) ExecBatch(ops []BatchOp) {
+	pd := h.ix.cfg.PipelineDepth
+	if pd < 1 {
+		pd = 1
+	}
+	if cap(h.batch.reqs) < len(ops) {
+		h.batch.reqs = make([]req, len(ops))
+	}
+	reqs := h.batch.reqs[:len(ops)]
+
+	warm := pd
+	if warm > len(ops) {
+		warm = len(ops)
+	}
+	for j := 0; j < warm; j++ {
+		h.prefetchOp(&reqs[j], &ops[j])
+	}
+	for i := range ops {
+		if next := i + pd; next < len(ops) {
+			h.prefetchOp(&reqs[next], &ops[next])
+		}
+		h.execOp(&ops[i])
+	}
+}
+
+// prefetchOp performs the pipeline's preparation stage for one
+// request: normalise the key, resolve the segment through the volatile
+// directory (step 1) and start the asynchronous load of the main
+// bucket (step 2).
+func (h *Handle) prefetchOp(r *req, op *BatchOp) {
+	*r = makeReq(op.Key)
+	_, e := h.ix.resolveRaw(r.h)
+	seg := entrySeg(e)
+	h.ix.pool.Prefetch(h.c, seg+uint64(mainBucket(r.h))*pmem.CachelineSize)
+}
+
+// execOp completes one batched request.
+func (h *Handle) execOp(op *BatchOp) {
+	switch op.Kind {
+	case OpSearch:
+		op.Result, op.Found, op.Err = h.Search(op.Key, op.ResultBuf)
+	case OpUpdate:
+		op.Found, op.Err = h.Update(op.Key, op.Value)
+	case OpInsert:
+		op.Err = h.Insert(op.Key, op.Value)
+		op.Found = op.Err == nil
+	case OpDelete:
+		op.Found, op.Err = h.Delete(op.Key)
+	}
+}

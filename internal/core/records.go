@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// mem abstracts word access to PM so the slot/record engine can run in
+// three modes: inside an HTM transaction (txMem), raw under a lock
+// (rawMem), and raw with stripe-version bumps on the fallback path
+// (bumpMem), where concurrent optimistic transactions must observe the
+// writes as conflicts.
+type mem interface {
+	load(addr uint64) uint64
+	store(addr uint64, v uint64)
+}
+
+type txMem struct{ tx *htm.Txn }
+
+func (m txMem) load(addr uint64) uint64     { return m.tx.Load(addr) }
+func (m txMem) store(addr uint64, v uint64) { m.tx.Store(addr, v) }
+
+type rawMem struct {
+	pool *pmem.Pool
+	c    *pmem.Ctx
+}
+
+func (m rawMem) load(addr uint64) uint64     { return m.pool.Load64(m.c, addr) }
+func (m rawMem) store(addr uint64, v uint64) { m.pool.Store64(m.c, addr, v) }
+
+// iMem adapts an irrevocable transaction (fallback path) to the mem
+// interface: every touched word's stripe is locked until the
+// irrevocable section ends, so the fallback never observes (or is
+// observed at) a half-published optimistic commit.
+type iMem struct{ it *htm.ITxn }
+
+func (m iMem) load(addr uint64) uint64     { return m.it.Load(addr) }
+func (m iMem) store(addr uint64, v uint64) { m.it.Store(addr, v) }
+
+// Out-of-line record layout: one header word holding the byte length,
+// followed by the payload padded to whole words. Key records are
+// immutable once a slot referencing them is published; value records
+// may be updated in place (transactionally), so readers that need
+// linearizable values must read them through txMem or under the
+// lock-mode protocols.
+const recordHeader = 8
+
+// recordSpace returns the allocation request size for n payload bytes.
+func recordSpace(n int) int { return recordHeader + n }
+
+// writeRecordRaw writes a fresh (still private) record.
+func writeRecordRaw(c *pmem.Ctx, pool *pmem.Pool, addr uint64, data []byte) {
+	pool.Store64(c, addr, uint64(len(data)))
+	pool.Write(c, addr+recordHeader, data)
+}
+
+// MaxKVLen bounds key and value payload lengths. Besides being a sane
+// API limit, it lets doomed readers (transactions about to abort after
+// the record they point at was freed and reused) clamp a garbage
+// length before walking memory.
+const MaxKVLen = 64 << 10
+
+// readRecord appends the record's payload to dst through m. The
+// length is clamped: a record being read by a doomed transaction may
+// have been freed and rewritten, and the bogus bytes are discarded by
+// the transaction's validation anyway.
+func readRecord(m mem, addr uint64, dst []byte) []byte {
+	n := int(m.load(addr))
+	if n < 0 || n > MaxKVLen {
+		n = 0
+	}
+	for off := 0; off < n; off += 8 {
+		w := m.load(addr + recordHeader + uint64(off))
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		if n-off < 8 {
+			dst = append(dst, b[:n-off]...)
+		} else {
+			dst = append(dst, b[:]...)
+		}
+	}
+	return dst
+}
+
+// recordLen returns the record's payload length through m.
+func recordLen(m mem, addr uint64) int { return int(m.load(addr)) }
+
+// writeRecordValue updates a record in place through m (the in-place
+// update of §III-B; in HTM mode m is transactional, making the
+// multi-word update atomic and durable).
+func writeRecordValue(m mem, addr uint64, data []byte) {
+	m.store(addr, uint64(len(data)))
+	for off := 0; off < len(data); off += 8 {
+		var b [8]byte
+		copy(b[:], data[off:])
+		m.store(addr+recordHeader+uint64(off), binary.LittleEndian.Uint64(b[:]))
+	}
+}
+
+// keyRecordEquals compares an immutable key record with key. Key
+// records never change after publication, so the comparison reads raw
+// regardless of mode; the enclosing transaction's validation of the
+// slot's key word makes the result trustworthy at commit time.
+func keyRecordEquals(c *pmem.Ctx, pool *pmem.Pool, addr uint64, key []byte) bool {
+	if int(pool.Load64(c, addr)) != len(key) {
+		return false
+	}
+	for off := 0; off < len(key); off += 8 {
+		w := pool.Load64(c, addr+recordHeader+uint64(off))
+		var b [8]byte
+		copy(b[:], key[off:])
+		if n := len(key) - off; n < 8 {
+			var mask uint64 = 1<<(8*uint(n)) - 1
+			if w&mask != binary.LittleEndian.Uint64(b[:])&mask {
+				return false
+			}
+		} else if w != binary.LittleEndian.Uint64(b[:]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spash/internal/alloc"
+	"spash/internal/pmem"
+)
+
+// Recover reopens an index after a crash (or clean shutdown). The
+// volatile directory is rebuilt from the persistent segment registry:
+// every valid registry entry contributes its segment to the directory
+// at the maximum observed local depth. Segment contents are then
+// scanned once to restore the entry count and to report every
+// reachable block (segments, key records, value records) to the
+// allocator's mark phase, after which the allocator's free lists are
+// the complement of the live set.
+//
+// Under eADR every operation that completed before the crash is
+// durable by construction (visibility implies durability), so recovery
+// is purely a rebuild of volatile state — the property the durable-
+// linearizability tests verify.
+func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (*Index, *alloc.Allocator, error) {
+	al, err := alloc.Attach(c, pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pool.Load64(c, alloc.RootAddr(rootMagic)) != indexMagic {
+		return nil, nil, errors.New("core: pool does not contain an index")
+	}
+	cfg = cfg.withDefaults()
+	ix := newIndex(pool, al, cfg)
+	ix.registryAddr = pool.Load64(c, alloc.RootAddr(rootRegistry))
+	ix.registryCap = pool.Size() / SegmentSize
+
+	type segInfo struct {
+		addr, prefix uint64
+		depth        uint
+	}
+	var segs []segInfo
+	maxd := uint(0)
+	for i := uint64(0); i < ix.registryCap; i++ {
+		e := pool.Load64(c, ix.registryAddr+i*8)
+		if e&regValid == 0 {
+			continue
+		}
+		si := segInfo{addr: i * SegmentSize, prefix: regPrefix(e), depth: regDepth(e)}
+		if si.depth > maxd {
+			maxd = si.depth
+		}
+		segs = append(segs, si)
+	}
+	if len(segs) == 0 {
+		return nil, nil, errors.New("core: registry empty; index corrupt")
+	}
+
+	d := newDirectory(maxd)
+	for _, s := range segs {
+		base := s.prefix << (maxd - s.depth)
+		span := uint64(1) << (maxd - s.depth)
+		for j := uint64(0); j < span; j++ {
+			if d.entries[base+j] != 0 {
+				return nil, nil, fmt.Errorf("core: registry overlap at prefix %#x", base+j)
+			}
+			d.entries[base+j] = makeEntry(s.addr, s.depth)
+		}
+	}
+	for i, e := range d.entries {
+		if e == 0 {
+			return nil, nil, fmt.Errorf("core: registry gap at prefix %#x", i)
+		}
+	}
+	ix.dir.Store(d)
+	ix.segments.Store(int64(len(segs)))
+
+	// Mark phase: segments and their out-of-line records are live.
+	m := rawMem{pool, c}
+	live := int64(0)
+	for _, s := range segs {
+		al.MarkLive(s.addr)
+		for slot := 0; slot < SlotsPerSegment; slot++ {
+			kw := m.load(slotAddr(s.addr, slot))
+			if !keyOccupied(kw) {
+				continue
+			}
+			live++
+			if !keyIsInline(kw) {
+				al.MarkLive(wordPayload(kw))
+			}
+			vw := m.load(slotAddr(s.addr, slot) + 8)
+			if !valueIsInline(vw) {
+				al.MarkLive(wordPayload(vw))
+			}
+		}
+	}
+	ix.entries.Store(live)
+	if err := al.FinishRecovery(c); err != nil {
+		return nil, nil, err
+	}
+	return ix, al, nil
+}

@@ -1,0 +1,158 @@
+// Package core implements Spash, the paper's primary contribution: a
+// persistent hash index for platforms with a persistent CPU cache
+// (eADR). The index combines
+//
+//   - a fine-grained extendible hash structure: a volatile (DRAM)
+//     directory over XPLine-sized (256 B) metadata-free segments in PM
+//     (§III-A),
+//   - compound 16-byte key/value slots with fingerprints and overflow
+//     hints (§III-A),
+//   - adaptive in-place updates steered by a lightweight hotspot
+//     detector (§III-B),
+//   - compacted-flush insertion of small out-of-line records (§III-C),
+//   - pipelined execution hiding PM read latency (§III-D),
+//   - an HTM-based two-phase concurrency protocol with a per-segment
+//     fallback lock (§IV-A), and
+//   - collaborative staged directory doubling (§IV-B).
+//
+// The public API lives in the root package spash; this package is the
+// implementation.
+package core
+
+import (
+	"encoding/binary"
+
+	"spash/internal/hash"
+)
+
+// Layout constants of the metadata-free segment (§III-A): one segment
+// is exactly one XPLine; a bucket is exactly one cacheline.
+const (
+	// SegmentSize is the size of a segment in bytes.
+	SegmentSize = 256
+	// BucketsPerSegment is the number of cacheline buckets.
+	BucketsPerSegment = 4
+	// SlotsPerBucket is the number of 16-byte compound slots.
+	SlotsPerBucket = 4
+	// SlotsPerSegment is the total slot count (and the range of the
+	// 4-bit overflow index).
+	SlotsPerSegment = BucketsPerSegment * SlotsPerBucket
+	// slotSize is the size of a compound slot (key word + value word).
+	slotSize = 16
+	// bucketBits is the number of low hash bits selecting the main
+	// bucket.
+	bucketBits = 2
+)
+
+// Compound slot encoding (§III-A, Fig 2). Each slot is two 64-bit
+// words whose top 16 bits are reserved:
+//
+//	key word:   [63 occupied][62 inline][61..49 key fp (13b)][48 spare][47..0 payload]
+//	value word: [63 inline][62 hint valid][61..52 hint fp (10b)][51..48 hint idx][47..0 payload]
+//
+// Payloads are either the inline datum (a 64-bit little-endian item
+// whose top 16 bits are zero) or a 48-bit pointer to an out-of-line
+// record. The hint fields of a value word describe at most one entry
+// that overflowed from this main bucket: its 10-bit overflow
+// fingerprint and its slot index within the segment. Hint bits belong
+// to the bucket, not to the slot's own entry, and are preserved across
+// that entry's updates and deletions.
+const (
+	kOccupied = uint64(1) << 63
+	kInline   = uint64(1) << 62
+	kFPShift  = 49
+	kFPMask   = uint64(0x1FFF) << kFPShift
+
+	vInline    = uint64(1) << 63
+	hValid     = uint64(1) << 62
+	hFPShift   = 52
+	hFPMask    = uint64(0x3FF) << hFPShift
+	hIdxShift  = 48
+	hIdxMask   = uint64(0xF) << hIdxShift
+	hintMask   = hValid | hFPMask | hIdxMask
+	payloadMax = uint64(1) << 48
+	payload    = payloadMax - 1
+)
+
+// makeKeyWord builds an occupied key word.
+func makeKeyWord(inline bool, fp uint16, p uint64) uint64 {
+	w := kOccupied | uint64(fp)<<kFPShift | p&payload
+	if inline {
+		w |= kInline
+	}
+	return w
+}
+
+// makeValueWord builds a value word's non-hint bits; or the caller
+// with existing hint bits to preserve them.
+func makeValueWord(inline bool, p uint64) uint64 {
+	w := p & payload
+	if inline {
+		w |= vInline
+	}
+	return w
+}
+
+// makeHint builds the hint bits for an overflow entry.
+func makeHint(ofp uint16, slotIdx int) uint64 {
+	return hValid | uint64(ofp)<<hFPShift | uint64(slotIdx)<<hIdxShift
+}
+
+func keyOccupied(kw uint64) bool { return kw&kOccupied != 0 }
+func keyIsInline(kw uint64) bool { return kw&kInline != 0 }
+func keyFP(kw uint64) uint16     { return uint16(kw & kFPMask >> kFPShift) }
+func wordPayload(w uint64) uint64 {
+	return w & payload
+}
+func valueIsInline(vw uint64) bool { return vw&vInline != 0 }
+func hintValid(vw uint64) bool     { return vw&hValid != 0 }
+func hintFP(vw uint64) uint16      { return uint16(vw & hFPMask >> hFPShift) }
+func hintIdx(vw uint64) int        { return int(vw & hIdxMask >> hIdxShift) }
+
+// inlineKey converts an 8-byte little-endian key to its inline payload
+// if it fits in 48 bits.
+func inlineKeyPayload(key []byte) (uint64, bool) {
+	if len(key) != 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(key)
+	if v >= payloadMax {
+		return 0, false
+	}
+	return v, true
+}
+
+// inlineValuePayload converts an 8-byte little-endian value to its
+// inline payload if it fits in 48 bits.
+func inlineValuePayload(val []byte) (uint64, bool) {
+	if len(val) != 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(val)
+	if v >= payloadMax {
+		return 0, false
+	}
+	return v, true
+}
+
+// hashKey computes the request hash, with the fast path for 8-byte
+// keys the micro-benchmarks use.
+func hashKey(key []byte) uint64 {
+	if len(key) == 8 {
+		return hash.Sum64Uint64(binary.LittleEndian.Uint64(key))
+	}
+	return hash.Sum64(key)
+}
+
+// mainBucket returns the main bucket index of a hash (lowest 2 bits).
+func mainBucket(h uint64) int {
+	return int(hash.BucketSuffix(h, bucketBits))
+}
+
+// slotAddr returns the PM address of slot idx (0..15) of a segment.
+func slotAddr(seg uint64, idx int) uint64 {
+	return seg + uint64(idx)*slotSize
+}
+
+// bucketOf returns the bucket index that slot idx belongs to.
+func bucketOf(idx int) int { return idx / SlotsPerBucket }

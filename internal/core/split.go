@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"spash/internal/hash"
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// snapMem serves engine reads from a captured segment snapshot.
+type snapMem struct {
+	base  uint64
+	words *[SegmentSize / 8]uint64
+}
+
+func (m snapMem) load(addr uint64) uint64 { return m.words[(addr-m.base)/8] }
+func (m snapMem) store(uint64, uint64)    { panic("core: store into snapshot") }
+
+// errMaxDepth is returned when a segment cannot split further; with a
+// 44-bit directory limit this indicates pathological hash collisions.
+var errMaxDepth = errors.New("core: maximum directory depth reached")
+
+// splitConflictBudget is the number of transactional split attempts
+// before falling back to locking every covering directory entry.
+const splitConflictBudget = 32
+
+// split divides the segment holding hash hh into two fine-grained
+// segments (§III-A, Fig 3): entries whose next prefix bit is 1 move to
+// a freshly allocated segment; the covering directory entries are
+// repointed and the persistent registry updated, all in one HTM
+// transaction. Returns nil when the split succeeded or when another
+// thread changed the segment first (the caller re-runs its operation
+// either way).
+func (ix *Index) split(h *Handle, hh uint64) error {
+	c := h.c
+	conflicts := 0
+	for {
+		_, e := ix.resolveRaw(hh)
+		if entryLocked(e) {
+			runtime.Gosched()
+			continue
+		}
+		seg, depth := entrySeg(e), entryDepth(e)
+		if depth >= maxDepth {
+			return errMaxDepth
+		}
+
+		// Determine the authoritative global depth; during a doubling
+		// help copy the partitions covering this segment first
+		// (collaborative staged doubling, §IV-B), then operate on the
+		// new directory.
+		var ds *doublingState
+		var g uint
+		if atomic.LoadUint64(&ix.dirGen)&1 == 1 {
+			ds = ix.doubling.Load()
+			if ds == nil {
+				continue
+			}
+			if ds.halving {
+				ix.waitResize()
+				continue
+			}
+			g = ds.new.depth
+			if depth < ds.old.depth {
+				lo := hash.Prefix(hh, depth) << (ds.old.depth - depth)
+				hi := lo + 1<<(ds.old.depth-depth)
+				for p := ds.partOf(lo); p <= ds.partOf(hi-1); p++ {
+					ix.copyStage(c, ds, p, true)
+				}
+			} else {
+				// depth == old depth: the single covering partition.
+				ix.copyStage(c, ds, ds.partOf(ds.old.index(hh)), true)
+			}
+		} else {
+			g = ix.dir.Load().depth
+		}
+		if depth == g {
+			ix.triggerDouble(c)
+			continue
+		}
+
+		// Snapshot and relayout the segment (preparation phase; the
+		// transaction validates the snapshot).
+		var snap [SegmentSize / 8]uint64
+		for i := range snap {
+			snap[i] = ix.pool.Load64(c, seg+uint64(i)*8)
+		}
+		prefix := hash.Prefix(hh, depth)
+		imgA, imgB, err := ix.splitImages(c, seg, &snap, depth)
+		if err != nil {
+			return err
+		}
+		newSeg, _, err := h.ah.Alloc(c, SegmentSize)
+		if err != nil {
+			return err
+		}
+		for i, w := range imgB {
+			ix.pool.Store64(c, newSeg+uint64(i)*8, w)
+		}
+
+		code, terr := ix.tm.Run(c, ix.pool, func(tx *htm.Txn) error {
+			ents, g2, rerr := ix.splitView(tx, hh, depth)
+			if rerr != nil {
+				return rerr
+			}
+			base := prefix << (g2 - depth)
+			n := uint64(1) << (g2 - depth)
+			// Validate every covering entry, not just the first: a
+			// fallback holder may have locked any one of them, and
+			// overwriting a locked entry would let the holder's
+			// unlock restore a stale pre-split pointer.
+			for j := uint64(0); j < n; j++ {
+				cur := tx.LoadVol(&ents[base+j])
+				if entryLocked(cur) {
+					return errLocked
+				}
+				if entrySeg(cur) != seg || entryDepth(cur) != depth {
+					return errSegMoved
+				}
+			}
+			for i := range snap {
+				if tx.Load(seg+uint64(i)*8) != snap[i] {
+					return errSegMoved
+				}
+			}
+			for i, w := range imgA {
+				if w != snap[i] {
+					tx.Store(seg+uint64(i)*8, w)
+				}
+			}
+			for j := uint64(0); j < n/2; j++ {
+				tx.StoreVol(&ents[base+j], makeEntry(seg, depth+1))
+				tx.StoreVol(&ents[base+n/2+j], makeEntry(newSeg, depth+1))
+			}
+			tx.Store(ix.regAddrOf(seg), makeRegEntry(prefix<<1, depth+1))
+			tx.Store(ix.regAddrOf(newSeg), makeRegEntry(prefix<<1|1, depth+1))
+			return nil
+		})
+		switch code {
+		case htm.Committed:
+			// DP2: both halves are cold multi-cacheline writes; one
+			// sequential flush each writes them back as single
+			// XPLines instead of scattered evictions ("the split
+			// operations are bandwidth-efficient due to the XPLine
+			// granularity", §VI-B).
+			ix.pool.Flush(c, seg, SegmentSize)
+			ix.pool.Flush(c, newSeg, SegmentSize)
+			ix.splits.Add(1)
+			ix.segments.Add(1)
+			return nil
+		case htm.Conflict:
+			ix.txConflicts.Add(1)
+			h.ah.Free(c, newSeg, SegmentSize)
+			conflicts++
+			if conflicts > splitConflictBudget {
+				return ix.splitFallback(h, hh)
+			}
+		case htm.Capacity:
+			ix.txCapacity.Add(1)
+			h.ah.Free(c, newSeg, SegmentSize)
+			return ix.splitFallback(h, hh)
+		case htm.Explicit:
+			h.ah.Free(c, newSeg, SegmentSize)
+			if re, ok := terr.(retryError); ok {
+				switch re {
+				case errSegMoved:
+					// Another thread restructured the segment; the
+					// caller's retry will split again if still needed.
+					return nil
+				case errLocked, errResizing:
+					runtime.Gosched()
+				}
+				continue
+			}
+			return terr
+		}
+	}
+}
+
+// splitImages decodes a segment snapshot and lays out the two child
+// images: entries whose bit (63-depth) of the hash is 0 stay, 1 move.
+func (ix *Index) splitImages(c *pmem.Ctx, seg uint64, snap *[SegmentSize / 8]uint64, depth uint) (imgA, imgB [SegmentSize / 8]uint64, err error) {
+	entries := ix.decodeSegment(c, snapMem{seg, snap}, seg)
+	var stay, move []segEntry
+	for _, en := range entries {
+		if en.h>>(63-depth)&1 == 1 {
+			move = append(move, en)
+		} else {
+			stay = append(stay, en)
+		}
+	}
+	var ok bool
+	if imgA, ok = layoutSegment(stay); !ok {
+		return imgA, imgB, fmt.Errorf("core: split relayout failed (stay half)")
+	}
+	if imgB, ok = layoutSegment(move); !ok {
+		return imgA, imgB, fmt.Errorf("core: split relayout failed (move half)")
+	}
+	return imgA, imgB, nil
+}
+
+// splitView returns the authoritative directory slice and depth for a
+// split's transaction, validating (in the read set) that every
+// partition covering the segment has been copied when a doubling is in
+// flight.
+func (ix *Index) splitView(tx *htm.Txn, hh uint64, depth uint) ([]uint64, uint, error) {
+	gen := tx.LoadVol(&ix.dirGen)
+	if gen&1 == 0 {
+		d := ix.dir.Load()
+		if depth >= d.depth {
+			return nil, 0, errSegMoved
+		}
+		return d.entries, d.depth, nil
+	}
+	ds := ix.doubling.Load()
+	if ds == nil || ds.halving {
+		return nil, 0, errResizing
+	}
+	if depth >= ds.new.depth {
+		return nil, 0, errSegMoved
+	}
+	var lo, hi uint64
+	if depth <= ds.old.depth {
+		lo = hash.Prefix(hh, depth) << (ds.old.depth - depth)
+		hi = lo + 1<<(ds.old.depth-depth)
+	} else {
+		lo = ds.old.index(hh)
+		hi = lo + 1
+	}
+	for p := ds.partOf(lo); p <= ds.partOf(hi-1); p++ {
+		if tx.LoadVol(ds.partDonePtr(p)) != 1 {
+			return nil, 0, errSegMoved
+		}
+	}
+	return ds.new.entries, ds.new.depth, nil
+}
+
+// splitFallback performs the split non-transactionally after taking
+// the fallback lock on every covering directory entry. Used when the
+// transactional path keeps aborting (e.g. a very wide covering range
+// hitting the HTM capacity limit).
+func (ix *Index) splitFallback(h *Handle, hh uint64) error {
+	c := h.c
+	ix.fallbacks.Add(1)
+	for {
+		if atomic.LoadUint64(&ix.dirGen)&1 == 1 {
+			ix.waitResize()
+			continue
+		}
+		d := ix.dir.Load()
+		_, e := ix.resolveRaw(hh)
+		if entryLocked(e) {
+			runtime.Gosched()
+			continue
+		}
+		seg, depth := entrySeg(e), entryDepth(e)
+		if depth >= maxDepth {
+			return errMaxDepth
+		}
+		if depth == d.depth {
+			ix.triggerDouble(c)
+			continue
+		}
+		prefix := hash.Prefix(hh, depth)
+		base := prefix << (d.depth - depth)
+		n := uint64(1) << (d.depth - depth)
+
+		// Lock every covering entry (ascending order, CAS with bump so
+		// optimistic transactions conflict).
+		locked := uint64(0)
+		ok := true
+		for j := uint64(0); j < n; j++ {
+			ptr := &d.entries[base+j]
+			cur := atomic.LoadUint64(ptr)
+			if entryLocked(cur) || entrySeg(cur) != seg || entryDepth(cur) != depth ||
+				!ix.tm.BumpCASVol(c, ptr, cur, cur|entryLock) {
+				ok = false
+				break
+			}
+			locked++
+		}
+		if !ok || ix.dir.Load() != d {
+			for j := uint64(0); j < locked; j++ {
+				ptr := &d.entries[base+j]
+				ix.tm.BumpStoreVol(c, ptr, entryUnlock(atomic.LoadUint64(ptr)))
+			}
+			runtime.Gosched()
+			continue
+		}
+
+		// Exclusive: perform the split irrevocably (stripe locks keep
+		// half-published optimistic commits out of the snapshot and
+		// make our writes conflicting-visible).
+		err := ix.tm.Irrevocable(c, ix.pool, func(it *htm.ITxn) error {
+			m := iMem{it}
+			var snap [SegmentSize / 8]uint64
+			for i := range snap {
+				snap[i] = m.load(seg + uint64(i)*8)
+			}
+			imgA, imgB, ierr := ix.splitImages(c, seg, &snap, depth)
+			if ierr != nil {
+				return ierr
+			}
+			newSeg, _, ierr := h.ah.Alloc(c, SegmentSize)
+			if ierr != nil {
+				return ierr
+			}
+			for i, w := range imgB {
+				ix.pool.Store64(c, newSeg+uint64(i)*8, w)
+			}
+			for i, w := range imgA {
+				if w != snap[i] {
+					m.store(seg+uint64(i)*8, w)
+				}
+			}
+			m.store(ix.regAddrOf(seg), makeRegEntry(prefix<<1, depth+1))
+			m.store(ix.regAddrOf(newSeg), makeRegEntry(prefix<<1|1, depth+1))
+			for j := uint64(0); j < n/2; j++ {
+				it.StoreVol(&d.entries[base+j], makeEntry(seg, depth+1))
+				it.StoreVol(&d.entries[base+n/2+j], makeEntry(newSeg, depth+1))
+			}
+			ix.splits.Add(1)
+			ix.segments.Add(1)
+			return nil
+		})
+		if err != nil {
+			// Unlock with original values on failure.
+			for j := uint64(0); j < n; j++ {
+				ptr := &d.entries[base+j]
+				ix.tm.BumpStoreVol(c, ptr, entryUnlock(atomic.LoadUint64(ptr)))
+			}
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"spash/internal/ycsb"
+)
+
+// ycsbMixes are the run-phase mixtures of §VI-C.
+var ycsbMixes = []ycsb.Mix{ycsb.ReadIntensive, ycsb.Balanced, ycsb.WriteIntensive}
+
+// Fig10 reproduces Fig 10: YCSB throughput with inlined 8B key-value
+// entries — the load phase plus the three search/update mixtures under
+// a zipfian(0.99) distribution.
+func Fig10(w io.Writer, s Scale) error {
+	t := newTable(fmt.Sprintf("Fig 10: YCSB, inlined KV (Mops/s, zipf 0.99, %d workers)", s.MaxThreads),
+		"index", "Load", "read-int(90/10)", "balanced(50/50)", "write-int(10/90)")
+	for _, e := range MacroRoster() {
+		ix, err := mustOpen(e, s)
+		if err != nil {
+			return err
+		}
+		load := loadIndex(ix, s.MaxThreads, s.YCSBLoad, 8, false)
+		cells := []string{e.Name, mops(load)}
+		per := s.YCSBOps / s.MaxThreads
+		for mi, mix := range ycsbMixes {
+			r := RunWorkload(mix.Name(), ix, s.MaxThreads, per, e.Pipeline,
+				mixSource(mix, uint64(s.YCSBLoad), ycsb.DefaultTheta, 8, int64(303+mi)))
+			cells = append(cells, mops(r))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+// Fig11 reproduces Fig 11: YCSB with 16-byte keys and variable-sized
+// values (compacted-flush insertion and adaptive in-place updates at
+// work).
+func Fig11(w io.Writer, s Scale) error {
+	for _, valSize := range []int{16, 64, 256, 1024} {
+		t := newTable(fmt.Sprintf("Fig 11: YCSB, 16B keys / %dB values (Mops/s, zipf 0.99, %d workers)", valSize, s.MaxThreads),
+			"index", "Load", "read-int(90/10)", "balanced(50/50)", "write-int(10/90)")
+		for _, e := range MacroRoster() {
+			ix, err := mustOpen(e, s)
+			if err != nil {
+				return err
+			}
+			load := loadIndex(ix, s.MaxThreads, s.YCSBLoad, valSize, false)
+			cells := []string{e.Name, mops(load)}
+			per := s.YCSBOps / s.MaxThreads
+			for mi, mix := range ycsbMixes {
+				r := RunWorkload(mix.Name(), ix, s.MaxThreads, per, e.Pipeline,
+					mixSource(mix, uint64(s.YCSBLoad), ycsb.DefaultTheta, valSize, int64(707+mi)))
+				cells = append(cells, mops(r))
+			}
+			t.row(cells...)
+		}
+		t.write(w)
+	}
+	return nil
+}

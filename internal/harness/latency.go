@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spash/internal/ixapi"
+	"spash/internal/ycsb"
+)
+
+// LatencyHist collects per-operation virtual latencies (the delta of
+// the worker clock across one operation) so tail behaviour can be
+// reported — the paper credits collaborative staged doubling with
+// "reduc[ing] the tail latency" (§IV-B).
+type LatencyHist struct {
+	mu      sync.Mutex
+	samples []int64
+}
+
+func (h *LatencyHist) add(batch []int64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, batch...)
+	h.mu.Unlock()
+}
+
+// Percentile returns the p-th percentile latency in virtual ns.
+func (h *LatencyHist) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	idx := int(p / 100 * float64(len(h.samples)-1))
+	return h.samples[idx]
+}
+
+// Max returns the worst-case latency.
+func (h *LatencyHist) Max() int64 { return h.Percentile(100) }
+
+// String summarises the distribution.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("p50=%dns p99=%dns p99.9=%dns max=%dns",
+		h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.Max())
+}
+
+// RunWithLatency is RunWorkload (sequential path only) that also
+// samples every operation's virtual latency.
+func RunWithLatency(name string, ix ixapi.Index, workers, opsPerWorker int, src OpSource) (Result, *LatencyHist) {
+	pool := ix.Pool()
+	mem0 := pool.Stats()
+	g := ix.Group()
+	serial0 := g.MaxSerialNS()
+	clocks := make([]int64, workers)
+	hist := &LatencyHist{}
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := ix.NewWorker()
+			defer w.Close()
+			w.Ctx().ResetClock()
+			next := src(id)
+			local := make([]int64, 0, opsPerWorker)
+			prev := int64(0)
+			for i := 0; i < opsPerWorker; i++ {
+				op := next(i)
+				switch op.Kind {
+				case ycsb.OpSearch:
+					w.Search(op.Key, nil)
+				case ycsb.OpUpdate:
+					w.Update(op.Key, op.Val)
+				case ycsb.OpInsert:
+					w.Insert(op.Key, op.Val)
+				case ycsb.OpDelete:
+					w.Delete(op.Key)
+				}
+				now := w.Ctx().Clock()
+				local = append(local, now-prev)
+				prev = now
+			}
+			clocks[id] = prev
+			hist.add(local)
+		}(id)
+	}
+	wg.Wait()
+
+	mem := pool.Stats().Sub(mem0)
+	serial := g.MaxSerialNS() - serial0
+	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+	return res, hist
+}

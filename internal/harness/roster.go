@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"spash/internal/baselines/cceh"
+	"spash/internal/baselines/clevel"
+	"spash/internal/baselines/dash"
+	"spash/internal/baselines/halo"
+	"spash/internal/baselines/levelhash"
+	"spash/internal/baselines/plush"
+
+	"spash/internal/adapters"
+	"spash/internal/core"
+	"spash/internal/ixapi"
+	"spash/internal/ycsb"
+)
+
+// Entry is one competitor in a figure.
+type Entry struct {
+	Name string
+	New  ixapi.Factory
+	// Pipeline enables Spash's batched pipelined execution for this
+	// entry's read paths.
+	Pipeline bool
+}
+
+// SpashEntry is the full-featured Spash configuration.
+func SpashEntry() Entry {
+	return Entry{Name: "Spash", New: adapters.NewSpashFactory("Spash", core.Config{}), Pipeline: true}
+}
+
+// SpashNoPipeEntry is Spash without pipelined execution (the "Spash
+// w/o pipeline" series of Fig 7/10/11).
+func SpashNoPipeEntry() Entry {
+	return Entry{Name: "Spash-noPipe", New: adapters.NewSpashFactory("Spash-noPipe", core.Config{PipelineDepth: 1})}
+}
+
+// MicroRoster is the Fig 7/8/9 competitor set (the paper excludes Halo
+// from the micro-benchmarks: its full-DRAM table does not survive the
+// large dataset).
+func MicroRoster() []Entry {
+	return []Entry{
+		SpashEntry(),
+		SpashNoPipeEntry(),
+		{Name: "CCEH", New: cceh.NewFactory()},
+		{Name: "Dash", New: dash.NewFactory()},
+		{Name: "Level", New: levelhash.NewFactory()},
+		{Name: "CLevel", New: clevel.NewFactory()},
+		{Name: "Plush", New: plush.NewFactory()},
+	}
+}
+
+// MacroRoster is the YCSB competitor set (Fig 10/11), including Halo.
+func MacroRoster() []Entry {
+	return append(MicroRoster(), Entry{Name: "Halo", New: halo.NewFactory()})
+}
+
+// --- key/value generation -------------------------------------------
+
+// kbuf/vbuf are per-worker scratch sizes.
+const keyBytes16 = 16
+
+// inlineKV generates 8-byte inline keys and values for key id.
+func inlineKV(buf []byte, id uint64) []byte {
+	binary.LittleEndian.PutUint64(buf[:8], id)
+	return buf[:8]
+}
+
+// uniformSource returns an OpSource issuing `kind` ops on uniform keys
+// in [0, n) with inline 8B KVs.
+func uniformSource(kind ycsb.OpKind, n uint64, seed int64) OpSource {
+	return func(id int) func(i int) Op {
+		rng := rand.New(rand.NewSource(seed + int64(id)*7919))
+		kb := make([]byte, 8)
+		vb := make([]byte, 8)
+		return func(i int) Op {
+			k := rng.Uint64() % n
+			binary.LittleEndian.PutUint64(kb, k)
+			binary.LittleEndian.PutUint64(vb, k^0xABCD)
+			return Op{Kind: kind, Key: kb, Val: vb}
+		}
+	}
+}
+
+// insertSource returns an OpSource inserting fresh unique inline keys
+// starting at base (per-worker disjoint ranges).
+func insertSource(base uint64, perWorker int) OpSource {
+	return func(id int) func(i int) Op {
+		kb := make([]byte, 8)
+		vb := make([]byte, 8)
+		start := base + uint64(id)*uint64(perWorker)
+		return func(i int) Op {
+			k := start + uint64(i)
+			binary.LittleEndian.PutUint64(kb, k)
+			binary.LittleEndian.PutUint64(vb, k+1)
+			return Op{Kind: ycsb.OpInsert, Key: kb, Val: vb}
+		}
+	}
+}
+
+// mixSource returns an OpSource issuing a YCSB mix over a scrambled-
+// zipfian key distribution, with values of valSize bytes (8 = inline).
+func mixSource(mix ycsb.Mix, n uint64, theta float64, valSize int, seed int64) OpSource {
+	base := ycsb.NewScrambled(n, theta, seed)
+	return func(id int) func(i int) Op {
+		gen := base.Fork(seed + int64(id)*104729)
+		rng := rand.New(rand.NewSource(seed + int64(id)*15485863))
+		kb := make([]byte, keyBytes16)
+		vb := make([]byte, valSize)
+		return func(i int) Op {
+			kid := gen.Next()
+			kind := mix.Pick(rng)
+			var key []byte
+			if valSize == 8 {
+				key = inlineKV(kb, kid)
+				binary.LittleEndian.PutUint64(vb, kid^uint64(i))
+				return Op{Kind: kind, Key: key, Val: vb[:8]}
+			}
+			key = ycsb.KeyBytes(kb, kid)
+			ycsb.FillValue(vb, kid^uint64(i))
+			return Op{Kind: kind, Key: key, Val: vb}
+		}
+	}
+}
+
+// loadIndex bulk-loads n keys with the given value size (8 = inline
+// 8-byte keys, otherwise 16-byte keys). Returns the load-phase result.
+func loadIndex(ix ixapi.Index, workers, n, valSize int, pipeline bool) Result {
+	per := n / workers
+	src := func(id int) func(i int) Op {
+		kb := make([]byte, keyBytes16)
+		vb := make([]byte, valSize)
+		start := uint64(id * per)
+		return func(i int) Op {
+			kid := start + uint64(i)
+			if valSize == 8 {
+				binary.LittleEndian.PutUint64(vb, kid+1)
+				return Op{Kind: ycsb.OpInsert, Key: inlineKV(kb, kid), Val: vb[:8]}
+			}
+			ycsb.FillValue(vb, kid)
+			return Op{Kind: ycsb.OpInsert, Key: ycsb.KeyBytes(kb, kid), Val: vb}
+		}
+	}
+	return RunWorkload("load", ix, workers, per, pipeline, src)
+}
+
+// mustOpen builds an entry's index on the scale's platform.
+func mustOpen(e Entry, s Scale) (ixapi.Index, error) {
+	ix, err := e.New(s.Platform())
+	if err != nil {
+		return nil, fmt.Errorf("building %s: %w", e.Name, err)
+	}
+	return ix, nil
+}
+
+// LoadIndex is the exported bulk-load helper (see loadIndex).
+func LoadIndex(ix ixapi.Index, workers, n, valSize int, pipeline bool) Result {
+	return loadIndex(ix, workers, n, valSize, pipeline)
+}
+
+// MixSourceFor returns a run-phase OpSource: scrambled-zipfian with
+// the given skew, or uniform when theta <= 0.
+func MixSourceFor(mix ycsb.Mix, n uint64, theta float64, valSize int, seed int64) OpSource {
+	if theta > 0 {
+		return mixSource(mix, n, theta, valSize, seed)
+	}
+	return func(id int) func(i int) Op {
+		gen := ycsb.NewUniform(n, seed+int64(id)*104729)
+		rng := rand.New(rand.NewSource(seed + int64(id)*15485863))
+		kb := make([]byte, keyBytes16)
+		vb := make([]byte, valSize)
+		return func(i int) Op {
+			kid := gen.Next()
+			kind := mix.Pick(rng)
+			if valSize == 8 {
+				binary.LittleEndian.PutUint64(vb, kid^uint64(i))
+				return Op{Kind: kind, Key: inlineKV(kb, kid), Val: vb[:8]}
+			}
+			ycsb.FillValue(vb, kid^uint64(i))
+			return Op{Kind: kind, Key: ycsb.KeyBytes(kb, kid), Val: vb}
+		}
+	}
+}

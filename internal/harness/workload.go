@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"sync"
+
+	"spash/internal/adapters"
+	"spash/internal/core"
+	"spash/internal/ixapi"
+	"spash/internal/pmem"
+	"spash/internal/ycsb"
+)
+
+// Op is one generated request.
+type Op struct {
+	Kind ycsb.OpKind
+	Key  []byte
+	Val  []byte
+}
+
+// OpSource generates a worker's operation stream; it is called once
+// per worker (id) and must return an independent deterministic stream.
+type OpSource func(id int) func(i int) Op
+
+// batchSize is the request-queue chunk handed to pipelined execution.
+const batchSize = 64
+
+// RunWorkload measures a phase of opsPerWorker requests on each of
+// workers goroutines. When pipeline is true and the index supports
+// batched execution (Spash), requests are issued through the pipelined
+// path (§III-D); otherwise one call per request.
+func RunWorkload(name string, ix ixapi.Index, workers, opsPerWorker int, pipeline bool, src OpSource) Result {
+	pool := ix.Pool()
+	mem0 := pool.Stats()
+	g := ix.Group()
+	serial0 := g.MaxSerialNS()
+	clocks := make([]int64, workers)
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := ix.NewWorker()
+			defer w.Close()
+			w.Ctx().ResetClock()
+			next := src(id)
+			if bw, ok := w.(adapters.BatchWorker); ok && pipeline {
+				runBatched(bw, next, opsPerWorker)
+			} else {
+				runSequential(w, next, opsPerWorker)
+			}
+			clocks[id] = w.Ctx().Clock()
+		}(id)
+	}
+	wg.Wait()
+
+	mem := pool.Stats().Sub(mem0)
+	serial := g.MaxSerialNS() - serial0
+	return combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+}
+
+func runSequential(w ixapi.Worker, next func(i int) Op, n int) {
+	for i := 0; i < n; i++ {
+		op := next(i)
+		switch op.Kind {
+		case ycsb.OpSearch:
+			w.Search(op.Key, nil)
+		case ycsb.OpUpdate:
+			w.Update(op.Key, op.Val)
+		case ycsb.OpInsert:
+			w.Insert(op.Key, op.Val)
+		case ycsb.OpDelete:
+			w.Delete(op.Key)
+		}
+	}
+}
+
+func runBatched(bw adapters.BatchWorker, next func(i int) Op, n int) {
+	batch := make([]core.BatchOp, 0, batchSize)
+	// Keys/values must stay stable for the whole batch: the generator
+	// may reuse buffers, so copy into per-slot scratch.
+	type scratch struct{ k, v []byte }
+	bufs := make([]scratch, batchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			bw.ExecBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	for i := 0; i < n; i++ {
+		op := next(i)
+		s := &bufs[len(batch)]
+		s.k = append(s.k[:0], op.Key...)
+		s.v = append(s.v[:0], op.Val...)
+		var kind core.OpKind
+		switch op.Kind {
+		case ycsb.OpSearch:
+			kind = core.OpSearch
+		case ycsb.OpUpdate:
+			kind = core.OpUpdate
+		case ycsb.OpInsert:
+			kind = core.OpInsert
+		case ycsb.OpDelete:
+			kind = core.OpDelete
+		}
+		batch = append(batch, core.BatchOp{Kind: kind, Key: s.k, Value: s.v})
+		if len(batch) == batchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+func combine(name string, t pmem.Timing, clocks []int64, mem pmem.Stats, serial int64, ops int64) Result {
+	var maxClock int64
+	for _, c := range clocks {
+		if c > maxClock {
+			maxClock = c
+		}
+	}
+	readNS := int64(float64(mem.MediaReadBytes()) / t.PMReadBandwidth * 1e9)
+	writeNS := int64(float64(mem.MediaWriteBytes()) / t.PMWriteBandwidth * 1e9)
+	elapsed, bound := maxClock, "cpu"
+	if serial > elapsed {
+		elapsed, bound = serial, "lock"
+	}
+	if readNS > elapsed {
+		elapsed, bound = readNS, "read-bw"
+	}
+	if writeNS > elapsed {
+		elapsed, bound = writeNS, "write-bw"
+	}
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	return Result{Name: name, Ops: ops, Elapsed: elapsed, Mem: mem, Bound: bound}
+}

@@ -1,0 +1,136 @@
+// Package hash provides the 64-bit hash function used throughout the
+// index implementations, together with helpers that carve a hash value
+// into the pieces the Spash layout needs: the directory prefix, the
+// in-segment bucket suffix, and the key / overflow fingerprints.
+//
+// The hash is a from-scratch implementation of the public-domain
+// XXH64 algorithm, chosen for its speed and its excellent avalanche
+// behaviour (extendible hashing relies on uniformly distributed prefix
+// bits; fingerprint filtering relies on uniform low bits).
+package hash
+
+import "math/bits"
+
+const (
+	prime1 = 0x9E3779B185EBCA87
+	prime2 = 0xC2B2AE3D27D4EB4F
+	prime3 = 0x165667B19E3779F9
+	prime4 = 0x85EBCA77C2B2AE63
+	prime5 = 0x27D4EB2F165667C5
+)
+
+// Sum64 returns the XXH64 hash of b with seed 0.
+func Sum64(b []byte) uint64 {
+	n := len(b)
+	var h uint64
+	if n >= 32 {
+		var v1, v2, v3, v4 uint64 = prime1, prime2, 0, 0
+		v1 += prime2
+		v4 -= prime1
+		for len(b) >= 32 {
+			v1 = round(v1, le64(b[0:8]))
+			v2 = round(v2, le64(b[8:16]))
+			v3 = round(v3, le64(b[16:24]))
+			v4 = round(v4, le64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = prime5
+	}
+	h += uint64(n)
+	for len(b) >= 8 {
+		h ^= round(0, le64(b[0:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(le32(b[0:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	return avalanche(h)
+}
+
+// Sum64Uint64 hashes a fixed 8-byte integer key. It is the fast path
+// for the paper's inline 8B-8B micro-benchmark keys and is equivalent
+// to Sum64 of the key's little-endian encoding.
+func Sum64Uint64(k uint64) uint64 {
+	h := uint64(prime5) + 8
+	h ^= round(0, k)
+	h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	return avalanche(h)
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	return acc*prime1 + prime4
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Prefix returns the highest depth bits of h, the extendible-hash
+// directory index. Prefix(h, 0) is always 0.
+func Prefix(h uint64, depth uint) uint64 {
+	if depth == 0 {
+		return 0
+	}
+	return h >> (64 - depth)
+}
+
+// BucketSuffix returns the lowest bits of h used to pick the main
+// bucket within a segment (Spash uses the lowest 2 bits for its 4
+// buckets).
+func BucketSuffix(h uint64, bits uint) uint64 {
+	return h & (1<<bits - 1)
+}
+
+// KeyFingerprint returns bits 3..15 of h (13 bits), the fingerprint
+// Spash stores in the reserved top bits of a slot's key word to filter
+// pointer dereferences during search.
+func KeyFingerprint(h uint64) uint16 {
+	return uint16(h>>3) & 0x1FFF
+}
+
+// OverflowFingerprint returns bits 3..12 of h (10 bits), the hint
+// fingerprint stored in main-bucket value words for entries that were
+// pushed to an overflow bucket. (10 bits rather than the paper's 12 so
+// the value word's 16 reserved bits also fit the inline flag, the
+// hint-valid flag and the 4-bit overflow slot index.)
+func OverflowFingerprint(h uint64) uint16 {
+	return uint16(h>>3) & 0x03FF
+}

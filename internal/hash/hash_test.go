@@ -1,0 +1,118 @@
+package hash
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors for XXH64 with seed 0, from the reference
+// implementation.
+func TestSum64KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"abc", 0x44bc2cf5ad770999},
+		{"message digest", 0x066ed728fceeb3be},
+		{"abcdefghijklmnopqrstuvwxyz", 0xcfe1f278fa89835c},
+		{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789", 0xaaa46907d3047814},
+		{"12345678901234567890123456789012345678901234567890123456789012345678901234567890", 0xe04a477f19ee145d},
+	}
+	for _, c := range cases {
+		if got := Sum64([]byte(c.in)); got != c.want {
+			t.Errorf("Sum64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSum64Uint64MatchesBytes(t *testing.T) {
+	f := func(k uint64) bool {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], k)
+		return Sum64Uint64(k) == Sum64(b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	h := uint64(0xF000000000000001)
+	if got := Prefix(h, 0); got != 0 {
+		t.Errorf("Prefix depth 0 = %d, want 0", got)
+	}
+	if got := Prefix(h, 4); got != 0xF {
+		t.Errorf("Prefix depth 4 = %#x, want 0xF", got)
+	}
+	if got := Prefix(h, 64); got != h {
+		t.Errorf("Prefix depth 64 = %#x, want %#x", got, h)
+	}
+}
+
+// Growing the depth by one bit must refine, not scramble, the prefix:
+// Prefix(h, d+1) >> 1 == Prefix(h, d). Extendible hashing's split
+// correctness depends on this.
+func TestPrefixRefines(t *testing.T) {
+	f := func(h uint64, d uint8) bool {
+		depth := uint(d % 63)
+		return Prefix(h, depth+1)>>1 == Prefix(h, depth)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketSuffix(t *testing.T) {
+	if got := BucketSuffix(0b1011, 2); got != 0b11 {
+		t.Errorf("BucketSuffix = %b, want 11", got)
+	}
+	if got := BucketSuffix(0b1000, 2); got != 0 {
+		t.Errorf("BucketSuffix = %b, want 0", got)
+	}
+}
+
+func TestFingerprintWidths(t *testing.T) {
+	f := func(h uint64) bool {
+		return KeyFingerprint(h) < 1<<13 && OverflowFingerprint(h) < 1<<10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The directory distribution should be close to uniform: hashing
+// sequential integer keys into 256 prefix buckets should not leave any
+// bucket pathologically over- or under-full.
+func TestPrefixUniformity(t *testing.T) {
+	const n = 1 << 16
+	var counts [256]int
+	for i := 0; i < n; i++ {
+		counts[Prefix(Sum64Uint64(uint64(i)), 8)]++
+	}
+	want := n / 256
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bucket %d has %d keys, want around %d", b, c, want)
+		}
+	}
+}
+
+func BenchmarkSum64Uint64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Sum64Uint64(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkSum64_16B(b *testing.B) {
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		Sum64(buf)
+	}
+}

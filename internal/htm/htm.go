@@ -1,0 +1,478 @@
+// Package htm emulates Restricted Transactional Memory (Intel TSX) in
+// software, providing the programming model the Spash paper builds its
+// concurrency control on (§II-C2, §IV).
+//
+// Real RTM makes the writes of a transaction atomically visible in the
+// CPU cache, aborts on data conflicts, and aborts when the read/write
+// set exceeds the private cache capacity. On an eADR platform,
+// visibility implies durability, which is what lets the paper run a
+// persistent index lock-free. Go exposes none of this, so this package
+// implements the same contract with a TL2-style software transactional
+// memory over the simulated persistent memory (package pmem) and over
+// ordinary volatile words (the DRAM directory):
+//
+//   - word-granularity versioned stripes with a global version clock,
+//   - buffered writes applied atomically at commit under striped
+//     locks, so concurrent transactions (and raw readers that follow
+//     the validation protocol) never observe partial transactions,
+//   - Conflict aborts on validation failure or stripe-lock contention,
+//   - Capacity aborts when a transaction's footprint exceeds the
+//     configured budget (motivating the paper's staged doubling),
+//   - Explicit aborts for the two-phase protocol's validation step.
+//
+// Like hardware transactions, a transaction body may be executed
+// several times; it must be free of side effects other than tx.Load*
+// and tx.Store*.
+//
+// Commit serialisation on hot stripes is accounted to a vsync.Group,
+// so the virtual-time model sees the (small) coherence cost of many
+// cores committing to the same cacheline.
+package htm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"spash/internal/pmem"
+	"spash/internal/vsync"
+)
+
+// Code classifies the outcome of a transaction attempt, mirroring the
+// RTM abort status word.
+type Code int
+
+const (
+	// Committed: the transaction's writes are visible (and, under
+	// eADR, durable).
+	Committed Code = iota
+	// Conflict: a data conflict with a concurrent transaction or a
+	// non-transactional bumping store; retrying may succeed.
+	Conflict
+	// Capacity: the read or write set exceeded the hardware budget;
+	// retrying the same transaction will abort again.
+	Capacity
+	// Explicit: the body requested an abort (xabort), e.g. because
+	// its preparation-phase assumptions no longer hold.
+	Explicit
+)
+
+func (c Code) String() string {
+	switch c {
+	case Committed:
+		return "committed"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	default:
+		return "explicit"
+	}
+}
+
+// ErrAbort is returned by a transaction body to request an explicit
+// abort. Bodies may also return it wrapped to carry a reason.
+var ErrAbort = errors.New("htm: explicit abort")
+
+// Virtual-time costs of the transactional machinery.
+const (
+	beginCostNS      = 15
+	commitBaseNS     = 30
+	commitPerWordNS  = 8
+	stripeSerialBase = 25
+)
+
+// Config sizes the emulated hardware.
+type Config struct {
+	// Stripes is the number of version stripes (power of two).
+	// Distinct words mapping to one stripe conflict falsely, like
+	// cacheline-granular HTM tracking.
+	Stripes int
+	// WriteCapacityWords bounds a transaction's write set, modelling
+	// the L1-sized RTM write set (48 KB ≈ 6144 words on the paper's
+	// testbed).
+	WriteCapacityWords int
+	// ReadCapacityWords bounds the read set (RTM tracks reads in L2;
+	// the default models 1.25 MB ≈ 160K words).
+	ReadCapacityWords int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stripes == 0 {
+		c.Stripes = 1 << 18
+	}
+	if c.WriteCapacityWords == 0 {
+		c.WriteCapacityWords = 6144
+	}
+	if c.ReadCapacityWords == 0 {
+		c.ReadCapacityWords = 160 << 10
+	}
+	return c
+}
+
+// stripe layout: bit 0 = locked, bits 63..1 = version (shifted left 1).
+type stripe struct {
+	word   atomic.Uint64
+	serial atomic.Int64
+	_      [6]uint64 // pad to a cacheline to avoid real false sharing
+}
+
+// TM is a transactional memory domain. All transactions that may
+// conflict must share one TM.
+type TM struct {
+	cfg    Config
+	clock  atomic.Uint64
+	strips []stripe
+	mask   uint64
+	// irrevMu serialises irrevocable transactions (see irrevocable.go).
+	irrevMu sync.Mutex
+	// Group receives commit serialisation totals for the virtual-time
+	// model; may be nil.
+	Group *vsync.Group
+
+	commits     atomic.Int64
+	conflicts   atomic.Int64
+	capacities  atomic.Int64
+	explicits   atomic.Int64
+	irrevocable atomic.Int64
+}
+
+// Stats are the domain's cumulative transaction counters.
+type Stats struct {
+	Commits     int64
+	Conflicts   int64
+	Capacities  int64
+	Explicits   int64
+	Irrevocable int64
+}
+
+// Stats returns the counters.
+func (tm *TM) Stats() Stats {
+	return Stats{
+		Commits:     tm.commits.Load(),
+		Conflicts:   tm.conflicts.Load(),
+		Capacities:  tm.capacities.Load(),
+		Explicits:   tm.explicits.Load(),
+		Irrevocable: tm.irrevocable.Load(),
+	}
+}
+
+// New creates a transactional memory domain.
+func New(cfg Config) *TM {
+	cfg = cfg.withDefaults()
+	n := 1
+	for n < cfg.Stripes {
+		n <<= 1
+	}
+	return &TM{
+		cfg:    cfg,
+		strips: make([]stripe, n),
+		mask:   uint64(n - 1),
+	}
+}
+
+// stripeFor maps a location key to its stripe. PM locations use the
+// pool offset; volatile locations use the word's address. Keys are
+// hashed so neighbouring words spread across stripes, with deliberate
+// aliasing at cacheline granularity (key >> 3 keeps words of a line
+// distinct; real HTM conflicts at line granularity, which callers can
+// approximate by padding hot structures).
+func (tm *TM) stripeFor(key uintptr) *stripe {
+	x := uint64(key) >> 3
+	x ^= x >> 17
+	x *= 0x9E3779B97F4A7C15
+	return &tm.strips[(x>>16)&tm.mask]
+}
+
+// conflictSignal unwinds a doomed transaction body (the software
+// analogue of the hardware jumping back to xbegin).
+type conflictSignal struct{}
+
+type wsEntry struct {
+	key  uintptr // stripe key
+	addr uint64  // PM address (if pm)
+	ptr  *uint64 // volatile word (if !pm)
+	val  uint64
+	pm   bool
+}
+
+type rsEntry struct {
+	s   *stripe
+	ver uint64
+}
+
+// Txn is an in-flight transaction. It is valid only inside the body
+// passed to TM.Run.
+type Txn struct {
+	tm   *TM
+	ctx  *pmem.Ctx
+	pool *pmem.Pool
+	rv   uint64
+	rs   []rsEntry
+	ws   []wsEntry
+}
+
+// Run executes body as one transaction attempt on behalf of worker c.
+// It returns Committed and body's nil error on success; Conflict or
+// Capacity on hardware-style aborts (body effects discarded); Explicit
+// (with body's error) when the body returned non-nil. Run does not
+// retry: callers implement their retry/fallback policy, as with real
+// RTM.
+//
+// PM access inside body must go through tx.Load/tx.Store (pool
+// supplied per call so one TM can span pools); volatile shared words
+// through tx.LoadVol/tx.StoreVol. Reading locations written by
+// concurrent non-transactional code is safe only if those writers use
+// TM.BumpStore64 / TM.BumpCASVol etc., which advance stripe versions.
+func (tm *TM) Run(c *pmem.Ctx, pool *pmem.Pool, body func(tx *Txn) error) (code Code, err error) {
+	tx := txnPool.Get().(*Txn)
+	tx.tm, tx.ctx, tx.pool = tm, c, pool
+	tx.rs = tx.rs[:0]
+	tx.ws = tx.ws[:0]
+	tx.rv = tm.clock.Load()
+	c.Charge(beginCostNS)
+
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case conflictSignal:
+				tm.conflicts.Add(1)
+				code, err = Conflict, nil
+			case capacitySignal:
+				tm.capacities.Add(1)
+				code, err = Capacity, nil
+			default:
+				panic(r)
+			}
+		}
+		tx.tm = nil
+		txnPool.Put(tx)
+	}()
+
+	if err := body(tx); err != nil {
+		tm.explicits.Add(1)
+		return Explicit, err
+	}
+	if !tx.commit() {
+		tm.conflicts.Add(1)
+		return Conflict, nil
+	}
+	tm.commits.Add(1)
+	return Committed, nil
+}
+
+func (tx *Txn) abortConflict() {
+	panic(conflictSignal{})
+}
+
+// Load reads a 64-bit PM word transactionally.
+func (tx *Txn) Load(addr uint64) uint64 {
+	return tx.load(uintptr(addr), addr, nil, true)
+}
+
+// LoadVol reads a volatile 64-bit word transactionally.
+func (tx *Txn) LoadVol(p *uint64) uint64 {
+	return tx.load(ptrKey(p), 0, p, false)
+}
+
+func (tx *Txn) load(key uintptr, addr uint64, ptr *uint64, pm bool) uint64 {
+	// Read-own-writes.
+	for i := len(tx.ws) - 1; i >= 0; i-- {
+		if tx.ws[i].key == key {
+			return tx.ws[i].val
+		}
+	}
+	if len(tx.rs) >= tx.tm.cfg.ReadCapacityWords {
+		panic(capacitySignal{})
+	}
+	s := tx.tm.stripeFor(key)
+	v1 := s.word.Load()
+	if v1&1 != 0 || v1>>1 > tx.rv {
+		tx.abortConflict()
+	}
+	var val uint64
+	if pm {
+		val = tx.pool.Load64(tx.ctx, addr)
+	} else {
+		val = atomic.LoadUint64(ptr)
+		tx.ctx.ChargeDRAM(1)
+	}
+	if s.word.Load() != v1 {
+		tx.abortConflict()
+	}
+	tx.rs = append(tx.rs, rsEntry{s, v1})
+	return val
+}
+
+// Store buffers a 64-bit PM store; it becomes visible (and durable
+// under eADR) only if the transaction commits.
+func (tx *Txn) Store(addr uint64, v uint64) {
+	tx.store(uintptr(addr), addr, nil, true, v)
+}
+
+// StoreVol buffers a volatile 64-bit store.
+func (tx *Txn) StoreVol(p *uint64, v uint64) {
+	tx.store(ptrKey(p), 0, p, false, v)
+}
+
+// capacitySignal distinguishes capacity aborts from conflicts.
+type capacitySignal struct{}
+
+func (tx *Txn) store(key uintptr, addr uint64, ptr *uint64, pm bool, v uint64) {
+	for i := len(tx.ws) - 1; i >= 0; i-- {
+		if tx.ws[i].key == key {
+			tx.ws[i].val = v
+			return
+		}
+	}
+	if len(tx.ws) >= tx.tm.cfg.WriteCapacityWords {
+		panic(capacitySignal{})
+	}
+	tx.ws = append(tx.ws, wsEntry{key: key, addr: addr, ptr: ptr, val: v, pm: pm})
+}
+
+// WriteSetSize returns the current number of buffered writes
+// (diagnostic; used by staged-doubling tests).
+func (tx *Txn) WriteSetSize() int { return len(tx.ws) }
+
+// commit implements the TL2 commit: lock write stripes, validate the
+// read set, publish, bump versions.
+func (tx *Txn) commit() bool {
+	c := tx.ctx
+	if len(tx.ws) == 0 {
+		// Read-only: the per-load validation already established a
+		// consistent snapshot at rv.
+		c.Charge(commitBaseNS)
+		return true
+	}
+
+	// Acquire stripe locks (try-lock; abort on contention, so no
+	// deadlock). Duplicate stripes (two words aliasing one stripe)
+	// are locked once.
+	locked := make([]*stripe, 0, len(tx.ws))
+	lockedSet := func(s *stripe) bool {
+		for _, l := range locked {
+			if l == s {
+				return true
+			}
+		}
+		return false
+	}
+	release := func(ok bool) {
+		var wv uint64
+		if ok {
+			wv = tx.tm.clock.Add(1)
+		}
+		for _, s := range locked {
+			old := s.word.Load()
+			if ok {
+				s.word.Store(wv << 1)
+			} else {
+				s.word.Store(old &^ 1)
+			}
+			t := s.serial.Add(stripeSerialBase)
+			if g := tx.tm.Group; g != nil {
+				g.Bump(t)
+			}
+		}
+	}
+
+	for i := range tx.ws {
+		s := tx.tm.stripeFor(tx.ws[i].key)
+		if lockedSet(s) {
+			continue
+		}
+		v := s.word.Load()
+		if v&1 != 0 || v>>1 > tx.rv || !s.word.CompareAndSwap(v, v|1) {
+			release(false)
+			return false
+		}
+		locked = append(locked, s)
+	}
+
+	// Validate the read set.
+	for _, r := range tx.rs {
+		v := r.s.word.Load()
+		if v != r.ver && !(v == r.ver|1 && lockedSet(r.s)) {
+			release(false)
+			return false
+		}
+	}
+
+	// Publish.
+	for _, w := range tx.ws {
+		if w.pm {
+			tx.pool.Store64(c, w.addr, w.val)
+		} else {
+			atomic.StoreUint64(w.ptr, w.val)
+			c.ChargeDRAM(1)
+		}
+	}
+	c.Charge(commitBaseNS + int64(len(tx.ws))*commitPerWordNS)
+	release(true)
+	return true
+}
+
+// BumpStore64 performs a non-transactional PM store that concurrent
+// transactions observe as a conflict (the stripe version advances).
+// Used for lock words on the fallback path.
+func (tm *TM) BumpStore64(c *pmem.Ctx, pool *pmem.Pool, addr uint64, v uint64) {
+	s := tm.stripeFor(uintptr(addr))
+	tm.lockStripe(s)
+	pool.Store64(c, addr, v)
+	tm.unlockStripe(s)
+}
+
+// BumpStoreVol performs a non-transactional volatile store with
+// stripe-version advancement.
+func (tm *TM) BumpStoreVol(c *pmem.Ctx, p *uint64, v uint64) {
+	s := tm.stripeFor(ptrKey(p))
+	tm.lockStripe(s)
+	atomic.StoreUint64(p, v)
+	c.ChargeDRAM(1)
+	tm.unlockStripe(s)
+}
+
+// BumpCASVol performs a non-transactional volatile compare-and-swap
+// with stripe-version advancement. Returns whether it swapped.
+func (tm *TM) BumpCASVol(c *pmem.Ctx, p *uint64, old, new uint64) bool {
+	s := tm.stripeFor(ptrKey(p))
+	tm.lockStripe(s)
+	ok := atomic.CompareAndSwapUint64(p, old, new)
+	c.ChargeDRAM(1)
+	tm.unlockStripe(s)
+	return ok
+}
+
+func (tm *TM) lockStripe(s *stripe) {
+	for {
+		v := s.word.Load()
+		if v&1 == 0 && s.word.CompareAndSwap(v, v|1) {
+			return
+		}
+	}
+}
+
+func (tm *TM) unlockStripe(s *stripe) {
+	wv := tm.clock.Add(1)
+	s.word.Store(wv << 1)
+}
+
+func ptrKey(p *uint64) uintptr {
+	// The word's address is a stable unique key: Go's collector does
+	// not move heap objects, and the words we key on (directory
+	// entries, lock words) stay reachable for the TM's lifetime.
+	return uintptr(unsafe.Pointer(p))
+}
+
+// txnPool recycles transaction descriptors (and their read/write set
+// backing arrays) across attempts.
+var txnPool = sync.Pool{
+	New: func() any {
+		return &Txn{
+			rs: make([]rsEntry, 0, 64),
+			ws: make([]wsEntry, 0, 16),
+		}
+	},
+}

@@ -1,0 +1,117 @@
+package htm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"spash/internal/pmem"
+)
+
+// ITxn is an irrevocable transaction: instead of optimistic
+// validation it takes the stripe lock of every word it touches (reads
+// included) and holds them until Done. It therefore never aborts and
+// is mutually exclusive, word by word, with committing optimistic
+// transactions — the property hardware gets for free from instant
+// commits, and which a software TM must provide explicitly for its
+// lock-elision fallback path: without it, a fallback's raw reads could
+// observe the half-published write set of a transaction that validated
+// just before the fallback lock was taken.
+//
+// Deadlock freedom: optimistic commits only try-lock (they abort and
+// release on contention), and irrevocable transactions are serialised
+// among themselves by a TM-wide mutex, so an ITxn spinning on a stripe
+// always waits on a finite commit.
+type ITxn struct {
+	tm   *TM
+	ctx  *pmem.Ctx
+	pool *pmem.Pool
+	held []*stripe
+	// heldVer/heldDirty record each held stripe's pre-lock version and
+	// whether it was written (written stripes release with a bumped
+	// version so optimists conflict; read-only stripes restore their
+	// version to avoid spurious aborts).
+	heldVer   []uint64
+	heldDirty []bool
+}
+
+// Irrevocable runs body as an irrevocable transaction. body must
+// perform all shared-word access through the ITxn.
+func (tm *TM) Irrevocable(c *pmem.Ctx, pool *pmem.Pool, body func(it *ITxn) error) error {
+	tm.irrevMu.Lock()
+	defer tm.irrevMu.Unlock()
+	tm.irrevocable.Add(1)
+	it := &ITxn{tm: tm, ctx: c, pool: pool}
+	err := body(it)
+	it.releaseAll()
+	return err
+}
+
+// acquire locks the stripe for key if not already held and returns its
+// index in the held set.
+func (it *ITxn) acquire(key uintptr) int {
+	s := it.tm.stripeFor(key)
+	for i, h := range it.held {
+		if h == s {
+			return i
+		}
+	}
+	var v uint64
+	for {
+		v = s.word.Load()
+		if v&1 == 0 && s.word.CompareAndSwap(v, v|1) {
+			break
+		}
+		runtime.Gosched()
+	}
+	it.held = append(it.held, s)
+	it.heldVer = append(it.heldVer, v)
+	it.heldDirty = append(it.heldDirty, false)
+	return len(it.held) - 1
+}
+
+func (it *ITxn) releaseAll() {
+	var wv uint64
+	for _, d := range it.heldDirty {
+		if d {
+			wv = it.tm.clock.Add(1)
+			break
+		}
+	}
+	for i, s := range it.held {
+		if it.heldDirty[i] {
+			s.word.Store(wv << 1)
+		} else {
+			s.word.Store(it.heldVer[i])
+		}
+	}
+	it.held, it.heldVer, it.heldDirty = nil, nil, nil
+}
+
+// Load reads a PM word under the stripe lock.
+func (it *ITxn) Load(addr uint64) uint64 {
+	it.acquire(uintptr(addr))
+	return it.pool.Load64(it.ctx, addr)
+}
+
+// Store writes a PM word under the stripe lock; the write becomes
+// conflicting-visible to optimistic transactions at release.
+func (it *ITxn) Store(addr uint64, v uint64) {
+	i := it.acquire(uintptr(addr))
+	it.heldDirty[i] = true
+	it.pool.Store64(it.ctx, addr, v)
+}
+
+// LoadVol reads a volatile word under the stripe lock.
+func (it *ITxn) LoadVol(p *uint64) uint64 {
+	it.acquire(ptrKey(p))
+	it.ctx.ChargeDRAM(1)
+	return atomic.LoadUint64(p)
+}
+
+// StoreVol writes a volatile word under the stripe lock.
+func (it *ITxn) StoreVol(p *uint64, v uint64) {
+	i := it.acquire(ptrKey(p))
+	it.heldDirty[i] = true
+	it.ctx.ChargeDRAM(1)
+	atomic.StoreUint64(p, v)
+}

@@ -1,0 +1,176 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIrrevocableBasic(t *testing.T) {
+	tm, pool, c := newTestTM()
+	err := tm.Irrevocable(c, pool, func(it *ITxn) error {
+		it.Store(64, 5)
+		if got := it.Load(64); got != 5 {
+			t.Errorf("read-own-write = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pool.Load64(c, 64); v != 5 {
+		t.Fatalf("word = %d", v)
+	}
+}
+
+// An irrevocable write must conflict optimistic transactions that read
+// the word (stripe version advances at release).
+func TestIrrevocableConflictsOptimists(t *testing.T) {
+	tm, pool, c := newTestTM()
+	pool.Store64(c, 64, 1)
+	code, _ := tm.Run(c, pool, func(tx *Txn) error {
+		if tx.Load(64) != 1 {
+			t.Error("stale read")
+		}
+		tm.Irrevocable(c, pool, func(it *ITxn) error {
+			it.Store(64, 2)
+			return nil
+		})
+		tx.Store(128, 9)
+		return nil
+	})
+	if code != Conflict {
+		t.Fatalf("code = %v, want conflict", code)
+	}
+	if v := pool.Load64(c, 128); v != 0 {
+		t.Fatalf("conflicting txn published: %d", v)
+	}
+}
+
+// Read-only stripes must release with their original version: a pure
+// irrevocable read does not abort unrelated readers.
+func TestIrrevocableReadsDoNotConflict(t *testing.T) {
+	tm, pool, c := newTestTM()
+	pool.Store64(c, 64, 7)
+	code, _ := tm.Run(c, pool, func(tx *Txn) error {
+		if tx.Load(64) != 7 {
+			t.Error("bad read")
+		}
+		tm.Irrevocable(c, pool, func(it *ITxn) error {
+			_ = it.Load(64) // read only
+			return nil
+		})
+		tx.Store(128, 1)
+		return nil
+	})
+	if code != Committed {
+		t.Fatalf("code = %v, want committed (irrevocable read aborted us)", code)
+	}
+}
+
+// Mixed concurrent increments: half the workers use optimistic
+// transactions, half the irrevocable path; no update may be lost.
+func TestIrrevocableAtomicityMixed(t *testing.T) {
+	tm, pool, _ := newTestTM()
+	const workers, incs = 8, 1500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := pool.NewCtx()
+			for i := 0; i < incs; i++ {
+				if w%2 == 0 {
+					tm.Irrevocable(c, pool, func(it *ITxn) error {
+						it.Store(64, it.Load(64)+1)
+						return nil
+					})
+				} else {
+					for {
+						code, _ := tm.Run(c, pool, func(tx *Txn) error {
+							tx.Store(64, tx.Load(64)+1)
+							return nil
+						})
+						if code == Committed {
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := pool.NewCtx()
+	if v := pool.Load64(c, 64); v != workers*incs {
+		t.Fatalf("counter = %d, want %d", v, workers*incs)
+	}
+}
+
+// Multi-word invariant with an irrevocable writer and optimistic
+// readers: words must never be observed torn.
+func TestIrrevocableMultiWordInvariant(t *testing.T) {
+	tm, pool, _ := newTestTM()
+	const a, b = 1024, 4096
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := pool.NewCtx()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tm.Irrevocable(c, pool, func(it *ITxn) error {
+				it.Store(a, i)
+				it.Store(b, i)
+				return nil
+			})
+		}
+	}()
+	c := pool.NewCtx()
+	for i := 0; i < 4000; i++ {
+		var va, vb uint64
+		code, _ := tm.Run(c, pool, func(tx *Txn) error {
+			va = tx.Load(a)
+			vb = tx.Load(b)
+			return nil
+		})
+		if code == Committed && va != vb {
+			t.Fatalf("torn state observed: %d != %d", va, vb)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestIrrevocableVolatileWords(t *testing.T) {
+	tm, pool, c := newTestTM()
+	var word uint64
+	tm.Irrevocable(c, pool, func(it *ITxn) error {
+		it.StoreVol(&word, 11)
+		if it.LoadVol(&word) != 11 {
+			t.Error("read-own-write vol")
+		}
+		return nil
+	})
+	if word != 11 {
+		t.Fatalf("word = %d", word)
+	}
+}
+
+func TestIrrevocableErrorPropagates(t *testing.T) {
+	tm, pool, c := newTestTM()
+	if err := tm.Irrevocable(c, pool, func(it *ITxn) error {
+		it.Store(64, 1)
+		return ErrAbort
+	}); err != ErrAbort {
+		t.Fatalf("err = %v", err)
+	}
+	// Irrevocable writes are not rolled back (callers use errors only
+	// to report, not to abort — the name is literal).
+	if v := pool.Load64(c, 64); v != 1 {
+		t.Fatalf("word = %d", v)
+	}
+}

@@ -1,0 +1,43 @@
+// Package ixapi defines the common interface implemented by Spash and
+// by every reimplemented baseline (CCEH, Dash, Level hashing, CLevel,
+// Plush, Halo), so the conformance tests and the benchmark harness can
+// drive them uniformly.
+package ixapi
+
+import (
+	"spash/internal/pmem"
+	"spash/internal/vsync"
+)
+
+// Index is a persistent hash index over a simulated PM pool.
+type Index interface {
+	// Name identifies the index in benchmark output.
+	Name() string
+	// NewWorker returns a per-goroutine execution handle.
+	NewWorker() Worker
+	// Len returns the number of live key-value pairs.
+	Len() int
+	// LoadFactor returns entries / slot capacity (Fig 9).
+	LoadFactor() float64
+	// Pool returns the simulated device, for memory-event counters.
+	Pool() *pmem.Pool
+	// Group returns the lock/commit serialisation group, for the
+	// virtual-time elapsed model.
+	Group() *vsync.Group
+}
+
+// Worker is a per-goroutine handle. Implementations are not safe for
+// concurrent use of one Worker.
+type Worker interface {
+	Insert(key, val []byte) error
+	Search(key, dst []byte) ([]byte, bool, error)
+	Update(key, val []byte) (bool, error)
+	Delete(key []byte) (bool, error)
+	// Ctx returns the worker's pmem context (virtual clock).
+	Ctx() *pmem.Ctx
+	Close()
+}
+
+// Factory creates a fresh index on a fresh device. Used by conformance
+// tests and the harness.
+type Factory func(platform pmem.Config) (Index, error)

@@ -1,0 +1,93 @@
+package pmem
+
+// maxPrefetch bounds the number of in-flight asynchronous loads a
+// single worker can track. The paper's pipeline depth tops out at 8.
+const maxPrefetch = 16
+
+// Ctx is the per-worker execution context. Every memory operation on a
+// Pool takes a Ctx; the pool charges virtual time to the Ctx's clock
+// and accumulates the worker's event counters locally, so the hot path
+// has no cross-worker contention.
+//
+// A Ctx must not be used from two goroutines at once. A worker that
+// lives for the whole run can keep one Ctx; short-lived workers should
+// Release their Ctx when done so its counters fold into the pool.
+type Ctx struct {
+	pool *Pool
+
+	// clock is the worker's virtual time in nanoseconds.
+	clock int64
+	// pendingFlushes counts clwb operations issued since the last
+	// fence; it determines the fence's drain cost.
+	pendingFlushes int
+
+	// prefetch tracks in-flight asynchronous loads: the line address
+	// and the virtual time at which its data becomes available.
+	prefetch [maxPrefetch]struct {
+		line uint64
+		done int64
+	}
+	nprefetch int
+
+	stats Stats
+}
+
+// Clock returns the worker's virtual time in nanoseconds.
+func (c *Ctx) Clock() int64 { return c.clock }
+
+// ResetClock zeroes the worker's virtual clock (used at phase
+// boundaries by the harness).
+func (c *Ctx) ResetClock() { c.clock = 0 }
+
+// Charge advances the worker's clock by ns nanoseconds. Index code
+// uses it to account for work on volatile structures (hashing, DRAM
+// directory walks) that does not touch the simulated pool.
+func (c *Ctx) Charge(ns int64) { c.clock += ns }
+
+// ChargeDRAM advances the clock by n DRAM access costs.
+func (c *Ctx) ChargeDRAM(n int) { c.clock += int64(n) * c.pool.cfg.Timing.DRAMAccess }
+
+// Stats returns the events recorded through this context so far.
+func (c *Ctx) Stats() Stats { return c.stats }
+
+// Release folds the context's counters into the pool's retired total.
+// The context must not be used afterwards.
+func (c *Ctx) Release() {
+	c.pool.retire(c)
+	c.pool = nil
+}
+
+// notePrefetch records that line will be available at virtual time
+// done. If the table is full the oldest entry is dropped (matching a
+// hardware prefetcher's limited tracking).
+func (c *Ctx) notePrefetch(line uint64, done int64) {
+	for i := 0; i < c.nprefetch; i++ {
+		if c.prefetch[i].line == line {
+			if done < c.prefetch[i].done {
+				c.prefetch[i].done = done
+			}
+			return
+		}
+	}
+	if c.nprefetch == maxPrefetch {
+		copy(c.prefetch[:], c.prefetch[1:])
+		c.nprefetch--
+	}
+	c.prefetch[c.nprefetch].line = line
+	c.prefetch[c.nprefetch].done = done
+	c.nprefetch++
+}
+
+// takePrefetch looks up (and removes) an in-flight load of line. It
+// returns the completion time and whether a prefetch was found.
+func (c *Ctx) takePrefetch(line uint64) (int64, bool) {
+	for i := 0; i < c.nprefetch; i++ {
+		if c.prefetch[i].line == line {
+			done := c.prefetch[i].done
+			c.nprefetch--
+			c.prefetch[i] = c.prefetch[c.nprefetch]
+			return done, true
+		}
+	}
+	return 0, false
+}

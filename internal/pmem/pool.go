@@ -1,0 +1,341 @@
+package pmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a simulated persistent-memory device fronted by a simulated
+// CPU cache. Addresses are byte offsets into the pool; address 0 is
+// reserved as the nil pointer and 64-bit accesses must be 8-byte
+// aligned (the backing store is word-granular and word accesses are
+// atomic, like real hardware).
+type Pool struct {
+	cfg   Config
+	words []uint64
+	cache *cache
+	xpb   *xpbuffer
+
+	mu      sync.Mutex
+	ctxs    map[*Ctx]struct{}
+	retired Stats
+}
+
+// New creates a simulated PM pool. The pool's content starts zeroed
+// (as after an initial provisioning of the DIMMs).
+func New(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:   cfg,
+		words: make([]uint64, cfg.PoolSize/8),
+		ctxs:  make(map[*Ctx]struct{}),
+	}
+	p.cache = newCache(cfg)
+	p.xpb = newXPBuffer(cfg.XPBufferLines)
+	return p
+}
+
+// Config returns the pool's configuration (with defaults applied).
+func (p *Pool) Config() Config { return p.cfg }
+
+// Size returns the pool capacity in bytes.
+func (p *Pool) Size() uint64 { return p.cfg.PoolSize }
+
+// NewCtx returns a fresh per-worker context.
+func (p *Pool) NewCtx() *Ctx {
+	c := &Ctx{pool: p}
+	p.mu.Lock()
+	p.ctxs[c] = struct{}{}
+	p.mu.Unlock()
+	return c
+}
+
+func (p *Pool) retire(c *Ctx) {
+	p.mu.Lock()
+	p.retired = p.retired.Add(c.stats)
+	delete(p.ctxs, c)
+	p.mu.Unlock()
+}
+
+// Stats returns the pool-wide event totals: the retired contexts'
+// counters plus those of every live context. Live contexts must be
+// quiescent while Stats is called for an exact snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	s := p.retired
+	for c := range p.ctxs {
+		s = s.Add(c.stats)
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// MaxClock returns the largest virtual clock over all live contexts.
+func (p *Pool) MaxClock() int64 {
+	p.mu.Lock()
+	var m int64
+	for c := range p.ctxs {
+		if c.clock > m {
+			m = c.clock
+		}
+	}
+	p.mu.Unlock()
+	return m
+}
+
+// ResetClocks zeroes all live context clocks (phase boundary).
+func (p *Pool) ResetClocks() {
+	p.mu.Lock()
+	for c := range p.ctxs {
+		c.clock = 0
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) check(addr, size uint64) {
+	if addr+size > p.cfg.PoolSize || addr+size < addr {
+		panic(fmt.Sprintf("pmem: access [%#x,%#x) out of pool bounds %#x", addr, addr+size, p.cfg.PoolSize))
+	}
+}
+
+func (p *Pool) checkAligned(addr uint64) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("pmem: unaligned 64-bit access at %#x", addr))
+	}
+	p.check(addr, 8)
+}
+
+// touch performs the cache-model bookkeeping for one line access and
+// charges the context's virtual clock, consuming a pending prefetch of
+// the line if one exists.
+func (p *Pool) touch(c *Ctx, line uint64, store bool) {
+	t := &p.cfg.Timing
+	done, prefetched := int64(0), false
+	if !store && c.nprefetch > 0 {
+		done, prefetched = c.takePrefetch(line)
+	}
+	hit := p.cache.access(p, c, line, store)
+	switch {
+	case prefetched && hit:
+		// Data arrives at the prefetch completion time; the load
+		// itself only pays a cache-hit access.
+		if done > c.clock {
+			c.clock = done
+		}
+		c.clock += t.CacheHitLoad
+		c.stats.CacheHits++
+	case hit:
+		if store {
+			c.clock += t.CacheHitStore
+		} else {
+			c.clock += t.CacheHitLoad
+		}
+		c.stats.CacheHits++
+	default:
+		if store {
+			c.clock += t.CacheMissStore
+		} else {
+			c.clock += t.CacheMissLoad
+		}
+		c.stats.CacheMisses++
+	}
+}
+
+// Load64 atomically loads the 64-bit word at addr.
+func (p *Pool) Load64(c *Ctx, addr uint64) uint64 {
+	p.checkAligned(addr)
+	p.touch(c, addr&^uint64(CachelineSize-1), false)
+	return atomic.LoadUint64(&p.words[addr/8])
+}
+
+// Store64 atomically stores v to the 64-bit word at addr. The line
+// becomes dirty in the simulated cache; under eADR it is already
+// durable, under ADR it is durable only once flushed or evicted.
+func (p *Pool) Store64(c *Ctx, addr uint64, v uint64) {
+	p.checkAligned(addr)
+	p.touch(c, addr&^uint64(CachelineSize-1), true)
+	atomic.StoreUint64(&p.words[addr/8], v)
+}
+
+// CAS64 performs a compare-and-swap on the word at addr.
+func (p *Pool) CAS64(c *Ctx, addr uint64, old, new uint64) bool {
+	p.checkAligned(addr)
+	p.touch(c, addr&^uint64(CachelineSize-1), true)
+	return atomic.CompareAndSwapUint64(&p.words[addr/8], old, new)
+}
+
+// wordPtr exposes the backing word for transactional commit paths
+// (package htm); it performs no cache simulation.
+func (p *Pool) wordPtr(addr uint64) *uint64 {
+	return &p.words[addr/8]
+}
+
+// touchRange touches every cacheline overlapped by [addr, addr+n).
+func (p *Pool) touchRange(c *Ctx, addr, n uint64, store bool) {
+	if n == 0 {
+		return
+	}
+	first := addr &^ uint64(CachelineSize-1)
+	last := (addr + n - 1) &^ uint64(CachelineSize-1)
+	for line := first; line <= last; line += CachelineSize {
+		p.touch(c, line, store)
+	}
+}
+
+// Read copies len(dst) bytes starting at addr into dst, simulating the
+// cache traffic of the reads.
+func (p *Pool) Read(c *Ctx, addr uint64, dst []byte) {
+	n := uint64(len(dst))
+	p.check(addr, n)
+	p.touchRange(c, addr, n, false)
+	p.copyOut(addr, dst)
+}
+
+// Write copies src into the pool at addr, simulating the cache traffic
+// of the stores (write-allocate). Partial words at the edges are
+// merged read-modify-write; concurrent writers of the same word must
+// be synchronised by the caller, as on real hardware with non-atomic
+// multi-byte stores.
+func (p *Pool) Write(c *Ctx, addr uint64, src []byte) {
+	n := uint64(len(src))
+	p.check(addr, n)
+	p.touchRange(c, addr, n, true)
+	p.copyIn(addr, src)
+}
+
+// NTStore writes src to addr with non-temporal semantics: the data
+// bypasses the CPU cache and is immediately durable in media. Resident
+// lines in the written range are invalidated. Incompatible with HTM
+// transactions, as on real hardware.
+func (p *Pool) NTStore(c *Ctx, addr uint64, src []byte) {
+	n := uint64(len(src))
+	p.check(addr, n)
+	if n == 0 {
+		return
+	}
+	t := &p.cfg.Timing
+	first := addr &^ uint64(CachelineSize-1)
+	last := (addr + n - 1) &^ uint64(CachelineSize-1)
+	for line := first; line <= last; line += CachelineSize {
+		p.cache.invalidateLine(line)
+		c.stats.CachelineWrites++
+		c.stats.NTStores++
+		p.xpb.write(c, line)
+		c.clock += t.NTStoreLine
+	}
+	p.copyIn(addr, src)
+}
+
+// Flush issues clwb for every cacheline overlapping [addr, addr+size):
+// dirty lines are written back to media and stay resident clean. The
+// write-back is asynchronous; call Fence to order it (and pay the
+// drain cost).
+func (p *Pool) Flush(c *Ctx, addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	p.check(addr, size)
+	t := &p.cfg.Timing
+	first := addr &^ uint64(CachelineSize-1)
+	last := (addr + size - 1) &^ uint64(CachelineSize-1)
+	for line := first; line <= last; line += CachelineSize {
+		c.stats.Flushes++
+		c.clock += t.FlushIssue
+		p.cache.flushLine(p, c, line)
+		c.pendingFlushes++
+	}
+}
+
+// Fence is a persistence barrier (sfence): it drains outstanding
+// flushes issued through this context.
+func (p *Pool) Fence(c *Ctx) {
+	t := &p.cfg.Timing
+	c.stats.Fences++
+	if c.pendingFlushes > 0 {
+		c.clock += t.FenceDrain
+		c.pendingFlushes = 0
+	} else {
+		c.clock += t.FenceIdle
+	}
+}
+
+// Prefetch starts an asynchronous load of the cacheline containing
+// addr. The line is installed in the cache; the data becomes usable at
+// the completion time recorded in the context, so a later Load of the
+// same line only waits out the residual latency. This is the mechanism
+// behind the paper's pipelined execution (§III-D).
+func (p *Pool) Prefetch(c *Ctx, addr uint64) {
+	p.check(addr, 1)
+	t := &p.cfg.Timing
+	line := addr &^ uint64(CachelineSize-1)
+	hit := p.cache.access(p, c, line, false)
+	c.clock += t.DRAMAccess // issue cost
+	lat := t.CacheMissLoad
+	if hit {
+		lat = t.CacheHitLoad
+	} else {
+		c.stats.CacheMisses++
+	}
+	c.notePrefetch(line, c.clock+lat)
+}
+
+// Crash simulates a power failure. Under eADR the reserve energy
+// flushes the CPU cache, so every retired store survives; under ADR
+// all dirty cachelines are rolled back to their last media image. The
+// cache and XPBuffer come back empty. Crash requires the pool to be
+// quiescent (no concurrent operations), like a real power cut taken at
+// a point where the simulation's state is well-defined. It returns the
+// number of cachelines whose contents were lost.
+func (p *Pool) Crash() int {
+	lost := p.cache.crash(p, p.cfg.Mode)
+	p.xpb.reset()
+	return lost
+}
+
+// DirtyLines reports how many cachelines are currently dirty in the
+// simulated cache (diagnostic).
+func (p *Pool) DirtyLines() int { return p.cache.dirtyLines() }
+
+// copyOut copies pool bytes [addr, addr+len(dst)) into dst without
+// cache simulation.
+func (p *Pool) copyOut(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		w := atomic.LoadUint64(&p.words[addr/8])
+		off := int(addr & 7)
+		n := 8 - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = byte(w >> uint(8*(off+i)))
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// copyIn copies src into pool bytes starting at addr without cache
+// simulation. Partial words are read-modify-written.
+func (p *Pool) copyIn(addr uint64, src []byte) {
+	for len(src) > 0 {
+		wi := addr / 8
+		off := int(addr & 7)
+		n := 8 - off
+		if n > len(src) {
+			n = len(src)
+		}
+		if n == 8 {
+			atomic.StoreUint64(&p.words[wi], le64At(src, 0))
+		} else {
+			w := atomic.LoadUint64(&p.words[wi])
+			for i := 0; i < n; i++ {
+				sh := uint(8 * (off + i))
+				w = w&^(0xFF<<sh) | uint64(src[i])<<sh
+			}
+			atomic.StoreUint64(&p.words[wi], w)
+		}
+		src = src[n:]
+		addr += uint64(n)
+	}
+}

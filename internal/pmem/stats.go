@@ -1,0 +1,73 @@
+package pmem
+
+// Stats aggregates the memory-event counters of a pool. All counters
+// are totals since pool creation (or since the snapshot they are
+// diffed against).
+type Stats struct {
+	// CacheHits and CacheMisses count loads served by / missing the
+	// simulated CPU cache.
+	CacheHits   uint64
+	CacheMisses uint64
+	// CachelineReads counts cachelines transferred from PM media to
+	// the CPU cache (fill on load or store miss, prefetch).
+	CachelineReads uint64
+	// CachelineWrites counts cachelines written back from the CPU
+	// cache to PM media (eviction, flush) plus ntstore lines.
+	CachelineWrites uint64
+	// XPLineReads and XPLineWrites count accesses at the media's
+	// internal 256-byte granularity, after XPBuffer coalescing. These
+	// are the quantities the paper measures with ipmctl (Fig 8).
+	XPLineReads  uint64
+	XPLineWrites uint64
+	// Flushes counts clwb operations issued (whether or not the line
+	// was dirty); Fences counts memory barriers.
+	Flushes uint64
+	Fences  uint64
+	// Evictions counts dirty-line write-backs forced by capacity
+	// (as opposed to explicit flushes).
+	Evictions uint64
+	// NTStores counts cachelines moved by non-temporal stores.
+	NTStores uint64
+}
+
+// MediaReadBytes returns the bytes read from PM media, at XPLine
+// granularity.
+func (s Stats) MediaReadBytes() uint64 { return s.XPLineReads * XPLineSize }
+
+// MediaWriteBytes returns the bytes written to PM media, at XPLine
+// granularity. This is the quantity that consumes the scarce PM write
+// bandwidth (Observation 1).
+func (s Stats) MediaWriteBytes() uint64 { return s.XPLineWrites * XPLineSize }
+
+// Sub returns s - o, counter-wise. Useful for measuring a phase
+// between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		CacheHits:       s.CacheHits - o.CacheHits,
+		CacheMisses:     s.CacheMisses - o.CacheMisses,
+		CachelineReads:  s.CachelineReads - o.CachelineReads,
+		CachelineWrites: s.CachelineWrites - o.CachelineWrites,
+		XPLineReads:     s.XPLineReads - o.XPLineReads,
+		XPLineWrites:    s.XPLineWrites - o.XPLineWrites,
+		Flushes:         s.Flushes - o.Flushes,
+		Fences:          s.Fences - o.Fences,
+		Evictions:       s.Evictions - o.Evictions,
+		NTStores:        s.NTStores - o.NTStores,
+	}
+}
+
+// Add returns s + o, counter-wise.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		CacheHits:       s.CacheHits + o.CacheHits,
+		CacheMisses:     s.CacheMisses + o.CacheMisses,
+		CachelineReads:  s.CachelineReads + o.CachelineReads,
+		CachelineWrites: s.CachelineWrites + o.CachelineWrites,
+		XPLineReads:     s.XPLineReads + o.XPLineReads,
+		XPLineWrites:    s.XPLineWrites + o.XPLineWrites,
+		Flushes:         s.Flushes + o.Flushes,
+		Fences:          s.Fences + o.Fences,
+		Evictions:       s.Evictions + o.Evictions,
+		NTStores:        s.NTStores + o.NTStores,
+	}
+}

@@ -1,0 +1,155 @@
+// Package vsync provides mutual-exclusion primitives instrumented for
+// the virtual-time performance model.
+//
+// The reproduction measures throughput in virtual time (see package
+// pmem): each worker goroutine advances a private clock. Real blocking
+// on a contended lock does not advance any clock, so contention would
+// be invisible. Instead, every lock accumulates the total virtual time
+// for which it was held exclusively; since two critical sections of
+// the same lock can never overlap, that total is a lower bound on the
+// elapsed time of the run. The harness folds the maximum such total —
+// the hottest lock — into its elapsed-time estimate:
+//
+//	elapsed = max(max worker clock, hottest lock serial time,
+//	              media bytes / bandwidth)
+//
+// A zipfian workload hammering one per-segment lock therefore
+// bottlenecks on that lock's serial time, exactly the behaviour that
+// makes lock-based persistent hash tables scale poorly in the paper
+// (§VI-C, §VI-D).
+//
+// Every lock belongs to a Group; the group tracks the maximum serial
+// total over its locks so indexes do not have to enumerate their locks
+// at the end of a run.
+package vsync
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spash/internal/pmem"
+)
+
+// Acquisition cost constants (virtual nanoseconds). An uncontended
+// atomic RMW on a shared line costs a few tens of cycles; a reader
+// acquiring a read-write lock still performs an RMW on the lock word,
+// which serialises on the line even though readers admit each other.
+const (
+	// AcquireNS is charged to the acquiring worker's clock for every
+	// lock or unlock operation.
+	AcquireNS = 15
+	// ReadSerialNS is the serialisation contributed by one reader
+	// acquisition+release pair on the lock word's cacheline.
+	ReadSerialNS = 50
+	// WriteSerialNS is the fixed serialisation of a writer
+	// acquisition on top of its hold time.
+	WriteSerialNS = 50
+)
+
+// Group aggregates the serialisation totals of a set of locks.
+type Group struct {
+	maxSerial atomic.Int64
+}
+
+// MaxSerialNS returns the largest total serial time accumulated by any
+// lock of the group: a lower bound on the elapsed time of the run.
+func (g *Group) MaxSerialNS() int64 { return g.maxSerial.Load() }
+
+// Reset zeroes the group's maximum (phase boundary). Individual lock
+// totals keep growing; callers should measure phases by diffing
+// MaxSerialNS only if locks are also reset, so the harness instead
+// uses fresh indexes per phase or calls Reset on both.
+func (g *Group) Reset() { g.maxSerial.Store(0) }
+
+// Bump raises the group maximum to total if it exceeds it. Locks call
+// it with their running totals; package htm calls it with per-stripe
+// commit serialisation totals.
+func (g *Group) Bump(total int64) {
+	for {
+		cur := g.maxSerial.Load()
+		if total <= cur || g.maxSerial.CompareAndSwap(cur, total) {
+			return
+		}
+	}
+}
+
+// Mutex is a mutual-exclusion lock with virtual-time accounting. The
+// zero value is unusable; set G before first use (typically when the
+// owning structure is built).
+type Mutex struct {
+	G     *Group
+	mu    sync.Mutex
+	start int64 // holder's clock at Lock; guarded by mu
+	total int64 // accumulated serial ns; guarded by mu
+}
+
+// Lock acquires the mutex, charging the acquisition cost to c.
+func (m *Mutex) Lock(c *pmem.Ctx) {
+	m.mu.Lock()
+	c.Charge(AcquireNS)
+	m.start = c.Clock()
+}
+
+// Unlock releases the mutex, accounting the critical section's virtual
+// duration as serial time.
+func (m *Mutex) Unlock(c *pmem.Ctx) {
+	c.Charge(AcquireNS)
+	m.total += c.Clock() - m.start + WriteSerialNS
+	if m.G != nil {
+		m.G.Bump(m.total)
+	}
+	m.mu.Unlock()
+}
+
+// TotalSerialNS returns the lock's accumulated serial time. Callers
+// must ensure the lock is quiescent.
+func (m *Mutex) TotalSerialNS() int64 { return m.total }
+
+// RWMutex is a read-write lock with virtual-time accounting. Writer
+// critical sections serialise fully; readers admit each other but
+// still pay (and account) the cacheline serialisation of the lock
+// word, which is what limits reader scalability of real read-write
+// locks under skew.
+type RWMutex struct {
+	G     *Group
+	mu    sync.RWMutex
+	start int64        // writer's clock at Lock; guarded by mu
+	total atomic.Int64 // accumulated serial ns
+}
+
+// Lock acquires the write lock.
+func (rw *RWMutex) Lock(c *pmem.Ctx) {
+	rw.mu.Lock()
+	c.Charge(AcquireNS)
+	rw.start = c.Clock()
+}
+
+// Unlock releases the write lock.
+func (rw *RWMutex) Unlock(c *pmem.Ctx) {
+	c.Charge(AcquireNS)
+	t := rw.total.Add(c.Clock() - rw.start + WriteSerialNS)
+	if rw.G != nil {
+		rw.G.Bump(t)
+	}
+	rw.mu.Unlock()
+}
+
+// RLock acquires the read lock.
+func (rw *RWMutex) RLock(c *pmem.Ctx) {
+	rw.mu.RLock()
+	c.Charge(AcquireNS)
+}
+
+// RUnlock releases the read lock, accounting the lock-word
+// serialisation of the reader pair.
+func (rw *RWMutex) RUnlock(c *pmem.Ctx) {
+	c.Charge(AcquireNS)
+	t := rw.total.Add(ReadSerialNS)
+	if rw.G != nil {
+		rw.G.Bump(t)
+	}
+	rw.mu.RUnlock()
+}
+
+// TotalSerialNS returns the lock's accumulated serial time.
+func (rw *RWMutex) TotalSerialNS() int64 { return rw.total.Load() }

@@ -1,0 +1,105 @@
+package vsync
+
+import (
+	"sync"
+	"testing"
+
+	"spash/internal/pmem"
+)
+
+func newCtx() *pmem.Ctx {
+	return pmem.New(pmem.Config{PoolSize: 1 << 20}).NewCtx()
+}
+
+func TestMutexAccountsHoldTime(t *testing.T) {
+	var g Group
+	m := Mutex{G: &g}
+	c := newCtx()
+	m.Lock(c)
+	c.Charge(1000)
+	m.Unlock(c)
+	if got := m.TotalSerialNS(); got < 1000 {
+		t.Fatalf("serial = %d, want >= 1000", got)
+	}
+	if g.MaxSerialNS() != m.TotalSerialNS() {
+		t.Fatalf("group max %d != lock total %d", g.MaxSerialNS(), m.TotalSerialNS())
+	}
+}
+
+func TestGroupTracksHottestLock(t *testing.T) {
+	var g Group
+	hot := Mutex{G: &g}
+	cold := Mutex{G: &g}
+	c := newCtx()
+	for i := 0; i < 10; i++ {
+		hot.Lock(c)
+		c.Charge(500)
+		hot.Unlock(c)
+	}
+	cold.Lock(c)
+	c.Charge(100)
+	cold.Unlock(c)
+	if g.MaxSerialNS() != hot.TotalSerialNS() {
+		t.Fatalf("group max %d, hottest lock %d", g.MaxSerialNS(), hot.TotalSerialNS())
+	}
+}
+
+func TestRWMutexReaderAccounting(t *testing.T) {
+	var g Group
+	rw := RWMutex{G: &g}
+	c := newCtx()
+	const readers = 100
+	for i := 0; i < readers; i++ {
+		rw.RLock(c)
+		c.Charge(10000) // long read sections do NOT serialise
+		rw.RUnlock(c)
+	}
+	if got := rw.TotalSerialNS(); got != readers*ReadSerialNS {
+		t.Fatalf("reader serial = %d, want %d", got, readers*ReadSerialNS)
+	}
+	rw.Lock(c)
+	c.Charge(700)
+	rw.Unlock(c)
+	if got := rw.TotalSerialNS(); got < readers*ReadSerialNS+700 {
+		t.Fatalf("after writer: %d", got)
+	}
+}
+
+func TestMutexExcludesConcurrently(t *testing.T) {
+	var g Group
+	m := Mutex{G: &g}
+	pool := pmem.New(pmem.Config{PoolSize: 1 << 20})
+	var wg sync.WaitGroup
+	counter := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := pool.NewCtx()
+			for i := 0; i < 1000; i++ {
+				m.Lock(c)
+				counter++
+				m.Unlock(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000 (mutual exclusion broken)", counter)
+	}
+}
+
+func TestGroupReset(t *testing.T) {
+	var g Group
+	m := Mutex{G: &g}
+	c := newCtx()
+	m.Lock(c)
+	m.Unlock(c)
+	if g.MaxSerialNS() == 0 {
+		t.Fatal("expected nonzero max")
+	}
+	g.Reset()
+	if g.MaxSerialNS() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}

@@ -1,0 +1,187 @@
+// Package ycsb reimplements the workload machinery of the Yahoo!
+// Cloud Serving Benchmark (Cooper et al., SoCC'10) that the paper's
+// macro evaluation uses (§VI-C): a zipfian request-key generator with
+// the classic Gray et al. algorithm (the same one YCSB core uses,
+// supporting the default skew θ = 0.99), its scrambled variant that
+// spreads hot ranks over the whole key space, a uniform generator for
+// the micro-benchmarks, and the read/update mixes of the evaluated
+// workloads.
+//
+// Generators are deterministic given a seed; each worker should own
+// its generator (they share only immutable precomputed constants).
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+
+	"spash/internal/hash"
+)
+
+// Generator produces request keys in [0, N).
+type Generator interface {
+	// Next returns the next key id.
+	Next() uint64
+}
+
+// Uniform generates uniformly distributed keys, the access pattern of
+// the paper's micro-benchmarks (§VI-B).
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64, seed int64) *Uniform {
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next key id.
+func (u *Uniform) Next() uint64 { return u.rng.Uint64() % u.n }
+
+// zipfConsts holds the precomputed constants of Gray's algorithm;
+// they depend only on (n, theta) and are shared between workers.
+type zipfConsts struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 1 + 0.5^theta
+}
+
+func newZipfConsts(n uint64, theta float64) *zipfConsts {
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	c := &zipfConsts{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		half:  1 + math.Pow(0.5, theta),
+	}
+	c.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	return c
+}
+
+// zeta computes the generalised harmonic number H_{n,theta}.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Zipfian generates zipf-distributed ranks: rank 0 is the most
+// popular. The default YCSB skew is theta = 0.99.
+type Zipfian struct {
+	c   *zipfConsts
+	rng *rand.Rand
+}
+
+// DefaultTheta is YCSB's default zipfian constant.
+const DefaultTheta = 0.99
+
+// NewZipfian returns a zipfian rank generator over [0, n) with the
+// given skew. Precomputation is O(n).
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	return &Zipfian{c: newZipfConsts(n, theta), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fork returns an independent generator with the same distribution
+// (sharing the precomputed constants) and its own seed.
+func (z *Zipfian) Fork(seed int64) *Zipfian {
+	return &Zipfian{c: z.c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next zipf-distributed rank.
+func (z *Zipfian) Next() uint64 {
+	c := z.c
+	u := z.rng.Float64()
+	uz := u * c.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < c.half {
+		return 1
+	}
+	r := uint64(float64(c.n) * math.Pow(c.eta*u-c.eta+1, c.alpha))
+	if r >= c.n {
+		r = c.n - 1
+	}
+	return r
+}
+
+// Scrambled wraps a zipfian rank generator and spreads the hot ranks
+// pseudo-randomly over the key space, as YCSB's
+// ScrambledZipfianGenerator does — hot keys should not be physically
+// clustered.
+type Scrambled struct {
+	z *Zipfian
+}
+
+// NewScrambled returns a scrambled-zipfian key generator over [0, n).
+func NewScrambled(n uint64, theta float64, seed int64) *Scrambled {
+	return &Scrambled{z: NewZipfian(n, theta, seed)}
+}
+
+// Fork returns an independent generator sharing precomputed state.
+func (s *Scrambled) Fork(seed int64) *Scrambled {
+	return &Scrambled{z: s.z.Fork(seed)}
+}
+
+// Next returns the next key id.
+func (s *Scrambled) Next() uint64 {
+	return scramble(s.z.Next(), s.z.c.n)
+}
+
+func scramble(rank, n uint64) uint64 {
+	return hash.Sum64Uint64(rank) % n
+}
+
+// HotSet returns the k most-popular key ids of a scrambled-zipfian
+// distribution over [0, n) — the oracle the paper compares its hotspot
+// detector against (Fig 12a): ranks 0..k-1 after scrambling.
+func HotSet(n uint64, k int) map[uint64]struct{} {
+	set := make(map[uint64]struct{}, k)
+	for rank := uint64(0); int(rank) < k; rank++ {
+		set[scramble(rank, n)] = struct{}{}
+	}
+	return set
+}
+
+// IsHot reports whether key is among the top-k scrambled-zipfian keys.
+// Convenience for oracle-mode hotness checks.
+func IsHot(set map[uint64]struct{}, key uint64) bool {
+	_, ok := set[key]
+	return ok
+}
+
+// Latest is YCSB's "latest" distribution: recently inserted keys are
+// the most popular (rank 0 = the newest key). The insertion frontier
+// advances via Advance, e.g. as new records are appended.
+type Latest struct {
+	z   *Zipfian
+	max uint64
+}
+
+// NewLatest returns a latest-distribution generator whose newest key
+// id is max-1.
+func NewLatest(max uint64, theta float64, seed int64) *Latest {
+	return &Latest{z: NewZipfian(max, theta, seed), max: max}
+}
+
+// Next returns the next key id, skewed towards the newest.
+func (l *Latest) Next() uint64 {
+	r := l.z.Next()
+	if r >= l.max {
+		r = l.max - 1
+	}
+	return l.max - 1 - r
+}
+
+// Advance moves the insertion frontier forward by n keys. The
+// underlying zipfian constants are reused (an approximation YCSB
+// itself makes between recomputations).
+func (l *Latest) Advance(n uint64) { l.max += n }

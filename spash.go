@@ -1,0 +1,261 @@
+// Package spash is a Go reproduction of Spash, the scalable persistent
+// hash index for platforms with a persistent CPU cache (eADR) from
+// "Exploiting Persistent CPU Cache for Scalable Persistent Hash Index"
+// (ICDE 2024).
+//
+// Because Go exposes neither persistent memory, cacheline flush
+// control, nor hardware transactional memory, the index runs on a
+// simulated platform: a PM device with an XPLine-granular media model
+// and a set-associative CPU cache (package internal/pmem), and an
+// RTM-style software transactional memory (package internal/htm).
+// The simulation reproduces the hardware behaviours the paper's design
+// exploits — write amplification from random cacheline eviction,
+// bandwidth savings from cache-absorbed hot writes, eADR crash
+// semantics, HTM conflict/capacity aborts — and meters every PM access
+// so the paper's evaluation can be regenerated (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	db, err := spash.Open(spash.Options{})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	s := db.Session()        // one per worker goroutine
+//	defer s.Close()
+//	s.Insert([]byte("key"), []byte("value"))
+//	val, ok, err := s.Get([]byte("key"), nil)
+//
+// # Crash recovery
+//
+// The simulated platform can lose power at any quiescent point:
+//
+//	img := db.Platform()     // the simulated PM device
+//	db.Crash()               // power failure (eADR: nothing is lost)
+//	db2, err := spash.Recover(img, spash.Options{})
+//
+// Under the default eADR mode every completed operation survives; in
+// ADR mode (Options.Platform.Mode = spash.ADR) unflushed data rolls
+// back, demonstrating the gap the paper closes.
+package spash
+
+import (
+	"errors"
+	"fmt"
+
+	"spash/internal/alloc"
+	"spash/internal/core"
+	"spash/internal/pmem"
+	"spash/internal/vsync"
+)
+
+// Re-exported limits and policy types.
+const (
+	// MaxKVLen bounds key and value lengths.
+	MaxKVLen = core.MaxKVLen
+	// SegmentSize is the size of one fine-grained hash segment (one
+	// XPLine, the PM media's internal access granularity).
+	SegmentSize = core.SegmentSize
+)
+
+// Concurrency-control modes (Fig 12c variants).
+const (
+	ModeHTM       = core.ModeHTM
+	ModeWriteLock = core.ModeWriteLock
+	ModeRWLock    = core.ModeRWLock
+)
+
+// Update flush policies (Table I, Fig 12a variants).
+const (
+	UpdateAdaptive    = core.UpdateAdaptive
+	UpdateAlwaysFlush = core.UpdateAlwaysFlush
+	UpdateNeverFlush  = core.UpdateNeverFlush
+	UpdateOracle      = core.UpdateOracle
+)
+
+// Insertion placement policies (§III-C, Fig 12b variants).
+const (
+	InsertCompactedFlush = core.InsertCompactedFlush
+	InsertNoCompact      = core.InsertNoCompact
+	InsertCompactNoFlush = core.InsertCompactNoFlush
+)
+
+// IndexOptions configures the index (alias of the core configuration
+// so callers never import internal packages).
+type IndexOptions = core.Config
+
+// PlatformOptions configures the simulated PM device.
+type PlatformOptions = pmem.Config
+
+// Persistence-domain modes for PlatformOptions.Mode.
+const (
+	EADR = pmem.EADR
+	ADR  = pmem.ADR
+)
+
+// DefaultPlatform returns the default simulated device configuration
+// (256 MB pool, 8 MB cache, eADR).
+func DefaultPlatform() PlatformOptions { return pmem.DefaultConfig() }
+
+// Options configures a DB.
+type Options struct {
+	// Platform configures the simulated PM device; the zero value is
+	// pmem.DefaultConfig (256 MB pool, 8 MB cache, eADR).
+	Platform pmem.Config
+	// Index configures the Spash index itself; the zero value matches
+	// the paper's defaults (HTM concurrency, adaptive updates,
+	// compacted-flush insertion, pipeline depth 4, 8K-entry hotspot
+	// detector).
+	Index core.Config
+}
+
+// DB is a Spash index together with the simulated platform it lives
+// on. All methods are safe for concurrent use; per-worker state lives
+// in Sessions.
+type DB struct {
+	pool  *pmem.Pool
+	alloc *alloc.Allocator
+	ix    *core.Index
+	ctx   *pmem.Ctx
+}
+
+// Open creates a fresh index on a newly provisioned simulated PM
+// device.
+func Open(opts Options) (*DB, error) {
+	pool := pmem.New(opts.Platform)
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		return nil, fmt.Errorf("spash: formatting pool: %w", err)
+	}
+	ix, err := core.Open(c, pool, al, opts.Index)
+	if err != nil {
+		return nil, fmt.Errorf("spash: creating index: %w", err)
+	}
+	return &DB{pool: pool, alloc: al, ix: ix, ctx: c}, nil
+}
+
+// Recover reopens an index on an existing device, e.g. after Crash.
+// The volatile directory, allocator free lists and counters are
+// rebuilt from persistent state.
+func Recover(platform *pmem.Pool, opts Options) (*DB, error) {
+	if platform == nil {
+		return nil, errors.New("spash: nil platform")
+	}
+	c := platform.NewCtx()
+	ix, al, err := core.Recover(c, platform, opts.Index)
+	if err != nil {
+		return nil, fmt.Errorf("spash: recovering index: %w", err)
+	}
+	return &DB{pool: platform, alloc: al, ix: ix, ctx: c}, nil
+}
+
+// Platform returns the simulated PM device (for stats, crash
+// injection, and Recover).
+func (db *DB) Platform() *pmem.Pool { return db.pool }
+
+// Index returns the underlying core index (advanced use: ablation
+// toggles, maintenance operations).
+func (db *DB) Index() *core.Index { return db.ix }
+
+// Crash simulates a power failure on the device. With eADR (default)
+// the persistent CPU cache is flushed by the reserve energy and
+// nothing is lost; with ADR all unflushed cachelines roll back. The DB
+// must be quiescent; after Crash the DB is unusable — call Recover on
+// Platform().
+func (db *DB) Crash() int { return db.pool.Crash() }
+
+// Close releases the DB's resources. The simulated device (and the
+// data on it) remains available via Platform().
+func (db *DB) Close() {}
+
+// Len returns the number of live key-value pairs.
+func (db *DB) Len() int { return db.ix.Len() }
+
+// LoadFactor returns entries / slot capacity — the memory-utilisation
+// metric of the paper's Fig 9.
+func (db *DB) LoadFactor() float64 { return db.ix.LoadFactor() }
+
+// Stats bundles index counters with platform memory-event counters.
+type Stats struct {
+	Index  core.Stats
+	Memory pmem.Stats
+}
+
+// Stats returns a snapshot of index and platform counters.
+func (db *DB) Stats() Stats {
+	return Stats{Index: db.ix.Stats(), Memory: db.pool.Stats()}
+}
+
+// Group exposes the virtual-time serialisation group (benchmarking).
+func (db *DB) Group() *vsync.Group { return db.ix.Group() }
+
+// TryShrink halves the directory if every segment's local depth allows
+// it (maintenance; see core.Index.TryShrink).
+func (db *DB) TryShrink() bool { return db.ix.TryShrink(db.ctx) }
+
+// Session is a per-worker handle: it owns the worker's virtual clock,
+// allocator caches (including the compacted-flush chunk) and pipeline
+// state. Sessions are not safe for concurrent use; create one per
+// goroutine.
+type Session struct {
+	h *core.Handle
+}
+
+// Session returns a new worker session.
+func (db *DB) Session() *Session {
+	return &Session{h: db.ix.NewHandle(nil)}
+}
+
+// Close returns the session's cached resources to the DB.
+func (s *Session) Close() { s.h.Close() }
+
+// Ctx returns the session's pmem context (virtual clock + counters).
+func (s *Session) Ctx() *pmem.Ctx { return s.h.Ctx() }
+
+// Insert stores key→value, replacing any existing value.
+func (s *Session) Insert(key, value []byte) error { return s.h.Insert(key, value) }
+
+// Get looks key up; the value is appended to dst (which may be nil).
+func (s *Session) Get(key, dst []byte) (value []byte, found bool, err error) {
+	return s.h.Search(key, dst)
+}
+
+// Update replaces the value of an existing key (adaptive in-place
+// update). Returns false when the key is absent.
+func (s *Session) Update(key, value []byte) (bool, error) { return s.h.Update(key, value) }
+
+// Delete removes key, reporting whether it was present.
+func (s *Session) Delete(key []byte) (bool, error) { return s.h.Delete(key) }
+
+// Batch types re-exported for pipelined execution (§III-D).
+type (
+	// Op is one request of a pipelined batch.
+	Op = core.BatchOp
+	// OpKind selects the operation of a batch request.
+	OpKind = core.OpKind
+)
+
+// Batch operation kinds.
+const (
+	OpGet    = core.OpSearch
+	OpUpdate = core.OpUpdate
+	OpInsert = core.OpInsert
+	OpDelete = core.OpDelete
+)
+
+// ExecBatch executes ops with pipelined PM reads: the preparation of
+// request i+PipelineDepth-1 (directory lookup + asynchronous bucket
+// prefetch) is issued before request i executes, overlapping PM read
+// latencies.
+func (s *Session) ExecBatch(ops []Op) { s.h.ExecBatch(ops) }
+
+// TryMerge attempts to merge the (empty) segment responsible for key
+// with its buddy (maintenance after bulk deletes).
+func (s *Session) TryMerge(key []byte) bool { return s.h.TryMerge(key) }
+
+// ForEach visits every live key-value pair once (segment-atomic, not a
+// global snapshot; see core.Index.ForEach). The byte slices are only
+// valid during the callback.
+func (s *Session) ForEach(fn func(key, value []byte) bool) error {
+	return s.h.Index().ForEach(s.h, fn)
+}
