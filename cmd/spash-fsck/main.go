@@ -1,13 +1,19 @@
 // Command spash-fsck is the offline consistency checker: it builds an
-// index, optionally crashes the device mid-life, recovers, and runs
-// the full structural invariant scan (directory well-formedness,
+// index, optionally crashes the device — either at a quiescent point
+// (-crash) or mid-operation at an exact persistence-primitive step
+// (-crashstep N, via the deterministic fault injector) — recovers, and
+// runs the full structural invariant scan (directory well-formedness,
 // registry agreement, slot routing, fingerprints, hint hygiene,
 // counters) plus an allocator occupancy report — the check an operator
 // would run on a suspect pool.
 //
+// The run is reproducible: all randomness comes from -seed. The final
+// line of output is machine-readable — "spash-fsck: PASS" or
+// "spash-fsck: FAIL: <reason>" — and the exit status matches (0/1).
+//
 // Usage:
 //
-//	spash-fsck [-records 100000] [-churn 3] [-crash]
+//	spash-fsck [-records 100000] [-churn 3] [-seed 1] [-crash] [-crashstep N]
 package main
 
 import (
@@ -18,12 +24,16 @@ import (
 	"os"
 
 	"spash"
+	"spash/internal/pmem"
 )
 
 func main() {
 	records := flag.Int("records", 100000, "records inserted")
 	churn := flag.Int("churn", 3, "delete/reinsert rounds before checking")
-	crash := flag.Bool("crash", true, "power-cycle the device before checking")
+	crash := flag.Bool("crash", true, "power-cycle the device (quiescent) before checking")
+	seed := flag.Int64("seed", 1, "seed for the workload's randomness (reproducible torture runs)")
+	crashStep := flag.Int64("crashstep", 0,
+		"inject a power failure before the N-th persistence-primitive step of the workload (0 = disabled)")
 	flag.Parse()
 
 	platform := spash.DefaultPlatform()
@@ -33,30 +43,61 @@ func main() {
 		fail(err)
 	}
 	s := db.Session()
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(*seed))
 	kb := make([]byte, 8)
-	fmt.Printf("building: %d records, %d churn rounds...\n", *records, *churn)
-	for i := uint64(0); i < uint64(*records); i++ {
-		binary.LittleEndian.PutUint64(kb, i)
-		if err := s.Insert(kb, kb); err != nil {
-			fail(err)
-		}
-	}
-	for r := 0; r < *churn; r++ {
-		for i := 0; i < *records/2; i++ {
-			binary.LittleEndian.PutUint64(kb, uint64(rng.Intn(*records)))
-			s.Delete(kb)
-		}
-		for i := 0; i < *records/2; i++ {
-			k := uint64(rng.Intn(*records))
-			binary.LittleEndian.PutUint64(kb, k)
-			if err := s.Insert(kb, kb); err != nil {
-				fail(err)
-			}
-		}
+
+	var plan *pmem.FaultPlan
+	if *crashStep > 0 {
+		plan = &pmem.FaultPlan{CrashAtStep: *crashStep}
+		db.Platform().ArmFault(plan)
 	}
 
-	if *crash {
+	fmt.Printf("building: %d records, %d churn rounds (seed %d)...\n", *records, *churn, *seed)
+	werr := pmem.CatchCrash(func() error {
+		for i := uint64(0); i < uint64(*records); i++ {
+			binary.LittleEndian.PutUint64(kb, i)
+			if err := s.Insert(kb, kb); err != nil {
+				return err
+			}
+		}
+		for r := 0; r < *churn; r++ {
+			for i := 0; i < *records/2; i++ {
+				binary.LittleEndian.PutUint64(kb, uint64(rng.Intn(*records)))
+				if _, err := s.Delete(kb); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < *records/2; i++ {
+				binary.LittleEndian.PutUint64(kb, uint64(rng.Intn(*records)))
+				if err := s.Insert(kb, kb); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+
+	switch {
+	case plan != nil:
+		db.Platform().DisarmFault()
+		if !plan.Fired() {
+			fmt.Printf("fault injection: step %d beyond workload's %d steps; no crash fired\n",
+				*crashStep, plan.Steps())
+			if werr != nil {
+				fail(werr)
+			}
+		} else {
+			fmt.Printf("fault injection: power cut at step %d (mid-operation, %d cachelines lost)\n",
+				*crashStep, plan.LinesLost())
+			db, err = spash.Recover(db.Platform(), spash.Options{})
+			if err != nil {
+				fail(fmt.Errorf("recovery after injected crash: %w", err))
+			}
+			s = db.Session()
+		}
+	case werr != nil:
+		fail(werr)
+	case *crash:
 		platformPool := db.Platform()
 		lost := db.Crash()
 		fmt.Printf("power cycle: %d cachelines lost\n", lost)
@@ -89,10 +130,10 @@ func main() {
 		st.Index.Entries, st.Index.Segments, db.LoadFactor())
 	fmt.Printf("since last open: %d splits, %d merges, %d doublings, %d fallbacks\n",
 		st.Index.Splits, st.Index.Merges, st.Index.Doubles, st.Index.Fallbacks)
-	fmt.Println("\nspash-fsck: CLEAN")
+	fmt.Println("\nspash-fsck: PASS")
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "spash-fsck:", err)
+	fmt.Printf("spash-fsck: FAIL: %v\n", err)
 	os.Exit(1)
 }

@@ -19,6 +19,7 @@ package alloc
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"spash/internal/pmem"
@@ -120,9 +121,26 @@ func New(c *pmem.Ctx, pool *pmem.Pool) (*Allocator, error) {
 // rebuilds the arena table from the persistent directory. All blocks
 // are initially considered live; call MarkLive for every reachable
 // block and then FinishRecovery to reconstruct the free lists.
-func Attach(c *pmem.Ctx, pool *pmem.Pool) (*Allocator, error) {
+//
+// Attach is a total function over arbitrary pool contents: a corrupted
+// or truncated image yields a descriptive error, never a panic. Every
+// directory entry is validated — the class size must be a supported
+// class (or 0 for a raw span), the span non-empty and class-aligned,
+// and the running watermark must stay inside the pool.
+func Attach(c *pmem.Ctx, pool *pmem.Pool) (_ *Allocator, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pmem.IsInjectedCrash(r) {
+				panic(r)
+			}
+			err = fmt.Errorf("alloc: attach failed on corrupted pool: %v", r)
+		}
+	}()
 	a := &Allocator{pool: pool}
 	a.layout()
+	if a.dataBase >= pool.Size() {
+		return nil, fmt.Errorf("alloc: pool of %d bytes too small for metadata layout", pool.Size())
+	}
 	if pool.Load64(c, headerAddr) != magic {
 		return nil, errors.New("alloc: pool not formatted")
 	}
@@ -130,15 +148,47 @@ func Attach(c *pmem.Ctx, pool *pmem.Pool) (*Allocator, error) {
 	a.live = make(map[uint64]struct{})
 	// Replay the directory to restore the watermark. Arenas become
 	// fully-bumped (their free space is recovered by the mark phase).
+	avail := pool.Size() - a.dataBase
 	for i := uint64(0); i < a.dirCap; i++ {
 		e := pool.Load64(c, a.dirBase+i*8)
 		if e == 0 {
 			break
 		}
+		classSize := e >> 32
+		span := (e & 0xFFFFFFFF) * pmem.XPLineSize
+		if classSize != 0 {
+			if classFor(int(classSize)) < 0 || uint64(ClassSize(int(classSize))) != classSize {
+				return nil, fmt.Errorf("alloc: directory entry %d has unsupported class size %d", i, classSize)
+			}
+			if span%classSize != 0 {
+				return nil, fmt.Errorf("alloc: directory entry %d: span %d not a multiple of class size %d", i, span, classSize)
+			}
+		}
+		if span == 0 {
+			return nil, fmt.Errorf("alloc: directory entry %d has empty span", i)
+		}
+		if span > avail-a.watermark {
+			return nil, fmt.Errorf("alloc: directory entry %d overflows the pool (watermark %d + span %d > %d data bytes)",
+				i, a.watermark, span, avail)
+		}
 		a.dirLen++
-		a.watermark += (e & 0xFFFFFFFF) * pmem.XPLineSize
+		a.watermark += span
 	}
 	return a, nil
+}
+
+// DataBase returns the pool address where carved data begins. Pool
+// owners use it (with CarvedEnd) to bounds-check persistent pointers
+// during recovery.
+func (a *Allocator) DataBase() uint64 { return a.dataBase }
+
+// CarvedEnd returns the pool address one past the last carved byte:
+// every block the allocator has ever issued lies in
+// [DataBase, CarvedEnd).
+func (a *Allocator) CarvedEnd() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dataBase + a.watermark
 }
 
 // layout computes the directory and data regions from the pool size.

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"errors"
+	"fmt"
 
 	"spash/internal/pmem"
 )
@@ -28,6 +29,12 @@ func (a *Allocator) FinishRecovery(c *pmem.Ctx) error {
 		e := a.pool.Load64(c, a.dirBase+i*8)
 		classSize := e >> 32
 		span := (e & 0xFFFFFFFF) * pmem.XPLineSize
+		// Attach validated every entry; re-check the class here so a
+		// directory mutated between Attach and FinishRecovery cannot
+		// index classes out of range.
+		if classSize != 0 && (classFor(int(classSize)) < 0 || span%classSize != 0) {
+			return fmt.Errorf("alloc: directory entry %d corrupted during recovery (class %d, span %d)", i, classSize, span)
+		}
 		if classSize != 0 {
 			// Sweep in descending address order: free lists pop from
 			// the tail, so reclaimed low-address blocks are reused

@@ -22,6 +22,8 @@ const mergeThreshold = SlotsPerSegment / 2
 // on a sample of deletions and may be called explicitly after bulk
 // deletes. Returns whether a merge happened.
 func (h *Handle) TryMerge(key []byte) bool {
+	h.c.BeginOp()
+	defer h.c.EndOp()
 	r := makeReq(key)
 	if h.ix.cfg.Concurrency != ModeHTM {
 		return h.ix.mergeLocked(h, &r)

@@ -162,6 +162,8 @@ func (h *Handle) execFallback(r *req, body func(m mem, seg uint64) error) error 
 
 // Search looks key up and, when found, appends its value to dst.
 func (h *Handle) Search(key, dst []byte) ([]byte, bool, error) {
+	h.c.BeginOp()
+	defer h.c.EndOp()
 	r := makeReq(key)
 	found := false
 	out := dst
@@ -189,6 +191,8 @@ func (h *Handle) Insert(key, val []byte) error {
 	if len(key) == 0 || len(key) > MaxKVLen || len(val) > MaxKVLen {
 		return errKVTooLarge
 	}
+	h.c.BeginOp()
+	defer h.c.EndOp()
 	r := makeReq(key)
 
 	kpay, kInline := r.kpay, r.kInline
@@ -260,6 +264,8 @@ func (h *Handle) Update(key, val []byte) (bool, error) {
 	if len(key) == 0 || len(key) > MaxKVLen || len(val) > MaxKVLen {
 		return false, errKVTooLarge
 	}
+	h.c.BeginOp()
+	defer h.c.EndOp()
 	r := makeReq(key)
 	vpay, vInline := inlineValuePayload(val)
 	var newAddr uint64
@@ -356,6 +362,8 @@ func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
 // empty a segment (sampled, 1-in-16) attempt a merge with the buddy
 // segment.
 func (h *Handle) Delete(key []byte) (bool, error) {
+	h.c.BeginOp()
+	defer h.c.EndOp()
 	r := makeReq(key)
 	found := false
 	var freeKey, freeVal uint64

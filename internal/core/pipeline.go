@@ -39,6 +39,8 @@ type batchState struct {
 // flight per worker and their latencies overlap. With PipelineDepth=1
 // the batch degenerates to sequential execution.
 func (h *Handle) ExecBatch(ops []BatchOp) {
+	h.c.BeginOp()
+	defer h.c.EndOp()
 	pd := h.ix.cfg.PipelineDepth
 	if pd < 1 {
 		pd = 1

@@ -21,7 +21,23 @@ import (
 // durable by construction (visibility implies durability), so recovery
 // is purely a rebuild of volatile state — the property the durable-
 // linearizability tests verify.
-func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (*Index, *alloc.Allocator, error) {
+//
+// Recover is a total function over arbitrary pool contents: corrupted
+// images (bad magic, out-of-range registry pointer, impossible depths
+// or prefixes, overlapping or gapped coverage, segment addresses
+// outside the carved data region) produce a descriptive error, never a
+// panic. A residual pmem access panic from a corruption shape not
+// caught by the explicit checks is converted to an error by the
+// backstop; only an injected-crash unwind passes through.
+func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Allocator, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pmem.IsInjectedCrash(r) {
+				panic(r)
+			}
+			err = fmt.Errorf("core: recovery failed on corrupted pool: %v", r)
+		}
+	}()
 	al, err := alloc.Attach(c, pool)
 	if err != nil {
 		return nil, nil, err
@@ -33,6 +49,17 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (*Index, *alloc.Allocator
 	ix := newIndex(pool, al, cfg)
 	ix.registryAddr = pool.Load64(c, alloc.RootAddr(rootRegistry))
 	ix.registryCap = pool.Size() / SegmentSize
+
+	dataBase, carvedEnd := al.DataBase(), al.CarvedEnd()
+	switch {
+	case ix.registryAddr == 0:
+		return nil, nil, errors.New("core: registry root pointer is nil")
+	case ix.registryAddr&7 != 0:
+		return nil, nil, fmt.Errorf("core: registry root pointer %#x misaligned", ix.registryAddr)
+	case ix.registryAddr < dataBase || ix.registryAddr+ix.registryCap*8 > pool.Size():
+		return nil, nil, fmt.Errorf("core: registry [%#x,%#x) outside pool data region [%#x,%#x)",
+			ix.registryAddr, ix.registryAddr+ix.registryCap*8, dataBase, pool.Size())
+	}
 
 	type segInfo struct {
 		addr, prefix uint64
@@ -46,6 +73,17 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (*Index, *alloc.Allocator
 			continue
 		}
 		si := segInfo{addr: i * SegmentSize, prefix: regPrefix(e), depth: regDepth(e)}
+		if si.depth > maxDepth {
+			return nil, nil, fmt.Errorf("core: registry entry %d has depth %d > max %d", i, si.depth, maxDepth)
+		}
+		if si.prefix >= 1<<si.depth {
+			return nil, nil, fmt.Errorf("core: registry entry %d has prefix %#x not representable at depth %d",
+				i, si.prefix, si.depth)
+		}
+		if si.addr < dataBase || si.addr+SegmentSize > carvedEnd {
+			return nil, nil, fmt.Errorf("core: registry entry %d claims segment %#x outside carved data [%#x,%#x)",
+				i, si.addr, dataBase, carvedEnd)
+		}
 		if si.depth > maxd {
 			maxd = si.depth
 		}
@@ -53,6 +91,14 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (*Index, *alloc.Allocator
 	}
 	if len(segs) == 0 {
 		return nil, nil, errors.New("core: registry empty; index corrupt")
+	}
+	// A complete buddy covering of maximum depth d contains at least
+	// d+1 segments (d splits from a single root), and the directory a
+	// genuine image needs never exceeds the segment population by more
+	// than a few doublings. Reject depths a valid image cannot have
+	// before allocating the 1<<maxd-entry directory.
+	if uint64(maxd) > uint64(len(segs)-1) || (maxd > 6 && uint64(1)<<maxd > 64*ix.registryCap) {
+		return nil, nil, fmt.Errorf("core: registry depth %d impossible for %d segments; index corrupt", maxd, len(segs))
 	}
 
 	d := newDirectory(maxd)

@@ -1,0 +1,398 @@
+// Package crashtest is the crash-point fault-injection harness: it
+// replays a scripted workload against a fresh index, injects a
+// simulated power failure at one exact persistence-primitive step
+// (pmem.FaultPlan), recovers the pool, and checks both the structural
+// invariants (core.CheckInvariants) and a durability oracle. Sweeping
+// the crash step across the whole workload enumerates every mid-
+// operation crash state a given platform (eADR or ADR) can produce —
+// the coverage RECIPE showed is where PM indexes actually break.
+//
+// The durability oracle is the paper's eADR claim made executable:
+// after recovery, every acknowledged operation must be present with
+// its exact value, and the single in-flight operation must be atomic —
+// the recovered index reflects either its pre-state or its post-state,
+// nothing in between. Under ADR the same sweep demonstrates the gap
+// the paper predicts: unflushed acknowledged writes sit in the volatile
+// cache and roll back, so the oracle (or recovery itself) fails at some
+// crash steps.
+//
+// Scripts run single-threaded in ModeHTM, which makes each sweep fully
+// deterministic: trial N and trial N+1 count the same step stream, so
+// the sweep terminates exactly when N exceeds the workload's total step
+// count. The lock-based ablation modes are deliberately out of scope —
+// their raw stores tear mid-operation by design, which is the very
+// reason the paper builds on HTM.
+package crashtest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spash/internal/alloc"
+	"spash/internal/core"
+	"spash/internal/pmem"
+)
+
+// OpKind is a scripted operation type.
+type OpKind int
+
+const (
+	OpInsert OpKind = iota
+	OpUpdate
+	OpDelete
+)
+
+// Op is one scripted, acknowledged index operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+	Val  string
+}
+
+// Script is a deterministic workload.
+type Script []Op
+
+// key8 builds an 8-byte key whose inline payload fits 48 bits, hitting
+// the inline-key slot path.
+func key8(i int) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(i))
+	return string(b[:])
+}
+
+// val8 builds an 8-byte inline-value payload.
+func val8(i int) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(i)*2654435761%1<<47)
+	return string(b[:])
+}
+
+// pad returns a deterministic printable payload of n bytes.
+func pad(seed, n int) string {
+	b := make([]byte, n)
+	x := uint32(seed)*2654435761 + 12345
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = 'a' + byte(x>>24%26)
+	}
+	return string(b)
+}
+
+// DefaultScript returns the standard workload: it drives every
+// structure-changing path of the index — inline and out-of-line
+// inserts (small records through the compacted-flush chunk path, large
+// multi-XPLine records), adaptive updates (inline overwrite, same-class
+// in-place, class-changing reallocation, repeated updates that turn a
+// key hot), deletes (including the sampled merge path), segment splits
+// and, from InitialDepth 1, staged directory doubling.
+func DefaultScript() Script {
+	var s Script
+	// Phase 1: inline inserts, enough to split segments repeatedly and
+	// double the directory several times from depth 1.
+	for i := 0; i < 56; i++ {
+		s = append(s, Op{OpInsert, key8(i), val8(i)})
+	}
+	// Phase 2: small out-of-line records exercising the compacted-flush
+	// XPLine chunk (fills several 256 B chunks with 24..88 B records).
+	for i := 0; i < 20; i++ {
+		s = append(s, Op{OpInsert, fmt.Sprintf("okey-%03d", i), pad(i, 24+i*3)})
+	}
+	// Phase 3: large records (several XPLines) and long keys.
+	for i := 0; i < 6; i++ {
+		s = append(s, Op{OpInsert, "long-key-" + pad(100+i, 24), pad(200+i, 300+i*90)})
+	}
+	// Phase 4: updates — inline rewrite, same-class in-place,
+	// class-changing, and a hot key hammered repeatedly.
+	for i := 0; i < 12; i++ {
+		s = append(s, Op{OpUpdate, key8(i), val8(1000 + i)})
+	}
+	for i := 0; i < 10; i++ {
+		s = append(s, Op{OpUpdate, fmt.Sprintf("okey-%03d", i), pad(300+i, 24+i*3)}) // same class
+	}
+	for i := 0; i < 6; i++ {
+		s = append(s, Op{OpUpdate, fmt.Sprintf("okey-%03d", i), pad(400+i, 200)}) // class change
+	}
+	for r := 0; r < 8; r++ {
+		s = append(s, Op{OpUpdate, key8(3), val8(2000 + r)}) // hot
+	}
+	// Phase 5: deletes (sampled merges) interleaved with re-inserts.
+	for i := 40; i < 56; i++ {
+		s = append(s, Op{OpDelete, key8(i), ""})
+	}
+	for i := 0; i < 5; i++ {
+		s = append(s, Op{OpDelete, fmt.Sprintf("okey-%03d", 15+i), ""})
+	}
+	for i := 56; i < 72; i++ {
+		s = append(s, Op{OpInsert, key8(i), pad(500+i, 48)})
+	}
+	return s
+}
+
+// Arm is one cell of the crash matrix: a persistence domain crossed
+// with the flush policies under test.
+type Arm struct {
+	Name   string
+	Mode   pmem.Mode
+	Insert core.InsertPolicy
+	Update core.UpdatePolicy
+}
+
+// Arms returns the full eADR/ADR × flush-policy matrix.
+func Arms() []Arm {
+	return []Arm{
+		{"eadr-compacted-adaptive", pmem.EADR, core.InsertCompactedFlush, core.UpdateAdaptive},
+		{"eadr-nocompact-always", pmem.EADR, core.InsertNoCompact, core.UpdateAlwaysFlush},
+		{"eadr-compactnoflush-never", pmem.EADR, core.InsertCompactNoFlush, core.UpdateNeverFlush},
+		{"adr-compacted-adaptive", pmem.ADR, core.InsertCompactedFlush, core.UpdateAdaptive},
+	}
+}
+
+// Trial is the outcome of one crash-point trial.
+type Trial struct {
+	Step  int64
+	Fired bool
+	// Steps is the total step count observed (meaningful when !Fired:
+	// the workload completed, sizing the sweep).
+	Steps int64
+	// RecoverErr is the error from core.Recover after the crash.
+	RecoverErr error
+	// InvariantErr is the CheckInvariants result on the recovered index.
+	InvariantErr error
+	// LostAcked counts acknowledged operations whose effect is missing
+	// or wrong in the recovered index (always 0 on a healthy eADR run).
+	LostAcked int
+	// InFlightTorn reports that the in-flight operation was neither
+	// fully applied nor fully absent.
+	InFlightTorn bool
+}
+
+// Failed reports whether the trial violated the durability contract.
+func (tr *Trial) Failed() bool {
+	return tr.RecoverErr != nil || tr.InvariantErr != nil || tr.LostAcked > 0 || tr.InFlightTorn
+}
+
+// Err formats the trial's violation, or nil.
+func (tr *Trial) Err() error {
+	switch {
+	case tr.RecoverErr != nil:
+		return fmt.Errorf("crash at step %d: recovery failed: %w", tr.Step, tr.RecoverErr)
+	case tr.InvariantErr != nil:
+		return fmt.Errorf("crash at step %d: invariants violated: %w", tr.Step, tr.InvariantErr)
+	case tr.InFlightTorn:
+		return fmt.Errorf("crash at step %d: in-flight operation torn", tr.Step)
+	case tr.LostAcked > 0:
+		return fmt.Errorf("crash at step %d: %d acknowledged operations lost", tr.Step, tr.LostAcked)
+	}
+	return nil
+}
+
+// Result aggregates a sweep.
+type Result struct {
+	Arm        Arm
+	TotalSteps int64
+	Trials     int
+	Failures   []Trial // trials violating the durability contract
+}
+
+// runCfg builds the index configuration for an arm.
+func runCfg(arm Arm) core.Config {
+	return core.Config{
+		InitialDepth: 1,
+		Concurrency:  core.ModeHTM,
+		Insert:       arm.Insert,
+		Update:       arm.Update,
+		// Single-worker scripts never conflict; keep retries minimal so
+		// an unexpected fallback shows up as a step-count change.
+	}
+}
+
+func poolFor(mode pmem.Mode) *pmem.Pool {
+	return pmem.New(pmem.Config{
+		PoolSize: 4 << 20,
+		Mode:     mode,
+		// A small cache forces evictions, so ADR runs exhibit the
+		// mixed durable/rolled-back images real crashes produce.
+		CacheSize: 64 << 10,
+	})
+}
+
+func applyOp(h *core.Handle, op *Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return h.Insert([]byte(op.Key), []byte(op.Val))
+	case OpUpdate:
+		_, err := h.Update([]byte(op.Key), []byte(op.Val))
+		return err
+	case OpDelete:
+		_, err := h.Delete([]byte(op.Key))
+		return err
+	}
+	return fmt.Errorf("crashtest: unknown op kind %d", op.Kind)
+}
+
+func applyModel(m map[string]string, op *Op) {
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		if op.Kind == OpUpdate {
+			if _, ok := m[op.Key]; !ok {
+				return // update of absent key is a no-op
+			}
+		}
+		m[op.Key] = op.Val
+	case OpDelete:
+		delete(m, op.Key)
+	}
+}
+
+// RunTrial executes one crash-point trial of script under arm,
+// injecting the power cut at crashStep (1-based; a step beyond the
+// workload's total completes without firing).
+func RunTrial(arm Arm, script Script, crashStep int64) (Trial, error) {
+	tr := Trial{Step: crashStep}
+	pool := poolFor(arm.Mode)
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		return tr, err
+	}
+	cfg := runCfg(arm)
+	ix, err := core.Open(c, pool, al, cfg)
+	if err != nil {
+		return tr, err
+	}
+	h := ix.NewHandle(c)
+
+	// acked is the model of acknowledged state; it trails the index by
+	// exactly the in-flight operation.
+	acked := make(map[string]string, len(script))
+	inFlight := -1
+	fp := &pmem.FaultPlan{CrashAtStep: crashStep}
+	pool.ArmFault(fp)
+	werr := pmem.CatchCrash(func() error {
+		for i := range script {
+			inFlight = i
+			if err := applyOp(h, &script[i]); err != nil {
+				return fmt.Errorf("op %d (%v %q): %w", i, script[i].Kind, script[i].Key, err)
+			}
+			applyModel(acked, &script[i])
+			inFlight = -1
+		}
+		return nil
+	})
+	pool.DisarmFault()
+	tr.Fired = fp.Fired()
+	tr.Steps = fp.Steps()
+	if werr != nil && !errors.Is(werr, pmem.ErrInjectedCrash) {
+		return tr, werr // genuine workload failure, not a crash
+	}
+	if !tr.Fired {
+		// Workload completed; the sweep is done. Sanity: the live index
+		// must satisfy the oracle too.
+		tr.LostAcked, tr.InFlightTorn = checkOracle(ix, c, script, acked, -1)
+		tr.InvariantErr = ix.CheckInvariants(c)
+		return tr, nil
+	}
+
+	// Power is restored: attach with a fresh context, rebuild, verify.
+	c2 := pool.NewCtx()
+	ix2, _, rerr := core.Recover(c2, pool, cfg)
+	if rerr != nil {
+		tr.RecoverErr = rerr
+		return tr, nil
+	}
+	tr.InvariantErr = ix2.CheckInvariants(c2)
+	tr.LostAcked, tr.InFlightTorn = checkOracle(ix2, c2, script, acked, inFlight)
+	if n := ix2.Len(); n != len(acked) && (inFlight < 0 || !lenExplainedByInFlight(n, script, acked, inFlight)) {
+		tr.LostAcked++
+	}
+	return tr, nil
+}
+
+// lenExplainedByInFlight reports whether the recovered entry count
+// matches the post-state of the in-flight operation.
+func lenExplainedByInFlight(n int, script Script, acked map[string]string, inFlight int) bool {
+	post := make(map[string]string, len(acked)+1)
+	for k, v := range acked {
+		post[k] = v
+	}
+	applyModel(post, &script[inFlight])
+	return n == len(post)
+}
+
+// checkOracle verifies the durability oracle over the script's key
+// universe: every acknowledged key maps to its acknowledged value, keys
+// acknowledged deleted (or never inserted) are absent, and the key of
+// the in-flight operation may reflect either its pre- or post-state.
+// Returns the number of acknowledged violations and whether the
+// in-flight key was torn.
+func checkOracle(ix *core.Index, c *pmem.Ctx, script Script, acked map[string]string, inFlight int) (lost int, torn bool) {
+	h := ix.NewHandle(c)
+	universe := make(map[string]struct{}, len(script))
+	for i := range script {
+		universe[script[i].Key] = struct{}{}
+	}
+	var inKey string
+	var postVal string
+	var postPresent bool
+	if inFlight >= 0 {
+		op := &script[inFlight]
+		inKey = op.Key
+		post := map[string]string{}
+		if v, ok := acked[inKey]; ok {
+			post[inKey] = v
+		}
+		applyModel(post, op)
+		postVal, postPresent = post[inKey]
+	}
+	for k := range universe {
+		got, found, err := h.Search([]byte(k), nil)
+		if err != nil {
+			lost++
+			continue
+		}
+		wantVal, wantPresent := acked[k]
+		matches := func(val string, present bool) bool {
+			if !present {
+				return !found
+			}
+			return found && bytes.Equal(got, []byte(val))
+		}
+		if inFlight >= 0 && k == inKey {
+			if !matches(wantVal, wantPresent) && !matches(postVal, postPresent) {
+				torn = true
+			}
+			continue
+		}
+		if !matches(wantVal, wantPresent) {
+			lost++
+		}
+	}
+	return lost, torn
+}
+
+// Sweep enumerates crash steps 1, 1+stride, 1+2*stride, … of script
+// under arm until a trial completes without firing (every step of the
+// workload with stride 1). It returns the aggregated result; trial
+// infrastructure errors (not durability violations) abort the sweep.
+func Sweep(arm Arm, script Script, stride int64) (Result, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	res := Result{Arm: arm}
+	for step := int64(1); ; step += stride {
+		tr, err := RunTrial(arm, script, step)
+		if err != nil {
+			return res, fmt.Errorf("%s step %d: %w", arm.Name, step, err)
+		}
+		res.Trials++
+		if tr.Failed() {
+			res.Failures = append(res.Failures, tr)
+		}
+		if !tr.Fired {
+			res.TotalSteps = tr.Steps
+			return res, nil
+		}
+	}
+}

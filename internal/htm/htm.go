@@ -400,7 +400,23 @@ func (tx *Txn) commit() bool {
 		}
 	}
 
-	// Publish.
+	// Publish. The PM portion is a failure-atomic section for the
+	// crash injector: hardware RTM retires a commit's stores as one
+	// all-or-nothing event, so an injected power cut can land before or
+	// after the publish but never tear it (a crashSignal raised at the
+	// section boundary unwinds through Run's recover, which re-panics
+	// unknown types, to the operation's CatchCrash).
+	hasPM := false
+	for i := range tx.ws {
+		if tx.ws[i].pm {
+			hasPM = true
+			break
+		}
+	}
+	if hasPM {
+		tx.pool.BeginAtomic(c)
+		defer tx.pool.EndAtomic(c)
+	}
 	for _, w := range tx.ws {
 		if w.pm {
 			tx.pool.Store64(c, w.addr, w.val)

@@ -29,7 +29,38 @@ type Ctx struct {
 	}
 	nprefetch int
 
+	// opDepth tracks BeginOp/EndOp nesting: while > 0 this worker has an
+	// operation in flight and the pool refuses quiescent-only Crash
+	// calls. atomicDepth tracks BeginAtomic/EndAtomic nesting for the
+	// fault injector's failure-atomic sections (fault.go).
+	opDepth     int
+	atomicDepth int
+
 	stats Stats
+}
+
+// BeginOp marks the start of an index operation on this worker. Ops
+// may nest (an operation that calls another counts once); while any
+// operation is in flight, Pool.Crash without an armed FaultPlan
+// panics, because a mid-operation power cut is only well-defined when
+// taken through the deterministic fault injector.
+func (c *Ctx) BeginOp() {
+	if c.opDepth == 0 {
+		c.pool.inFlight.Add(1)
+	}
+	c.opDepth++
+}
+
+// EndOp marks the end of the innermost operation started by BeginOp.
+// It is safe in a deferred call on the injected-crash unwind path.
+func (c *Ctx) EndOp() {
+	if c.opDepth == 0 {
+		panic("pmem: EndOp without BeginOp")
+	}
+	c.opDepth--
+	if c.opDepth == 0 {
+		c.pool.inFlight.Add(-1)
+	}
 }
 
 // Clock returns the worker's virtual time in nanoseconds.

@@ -1,0 +1,250 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+)
+
+func faultTestPool(mode Mode) *Pool {
+	return New(Config{
+		PoolSize:  1 << 20,
+		Mode:      mode,
+		CacheSize: 1 << 16,
+	})
+}
+
+// TestFaultStepCounting verifies that a count-only plan (CrashAtStep
+// 0) counts exactly one step per persistence primitive and never
+// fires.
+func TestFaultStepCounting(t *testing.T) {
+	p := faultTestPool(EADR)
+	c := p.NewCtx()
+	fp := &FaultPlan{}
+	p.ArmFault(fp)
+
+	p.Store64(c, 64, 1)            // 1
+	p.CAS64(c, 64, 1, 2)           // 2
+	p.Write(c, 128, []byte{1, 2})  // 3
+	p.NTStore(c, 256, []byte{3})   // 4
+	p.Flush(c, 64, 8)              // 5
+	p.Fence(c)                     // 6
+	p.NTStore(c, 512, nil)         // n==0: not a step
+	_ = p.Load64(c, 64)            // loads are not steps
+	p.Flush(c, 64, 0)              // size==0: not a step
+	if got := fp.Steps(); got != 6 {
+		t.Fatalf("Steps() = %d, want 6", got)
+	}
+	if fp.Fired() {
+		t.Fatal("count-only plan fired")
+	}
+	if p.DisarmFault() != fp {
+		t.Fatal("DisarmFault returned wrong plan")
+	}
+	if p.FaultArmed() {
+		t.Fatal("still armed after DisarmFault")
+	}
+}
+
+// TestFaultFiresAtStep checks that the crash fires before the Nth
+// primitive executes: stores 1..N-1 land, store N does not.
+func TestFaultFiresAtStep(t *testing.T) {
+	p := faultTestPool(EADR)
+	c := p.NewCtx()
+	fp := &FaultPlan{CrashAtStep: 3}
+	p.ArmFault(fp)
+
+	err := CatchCrash(func() error {
+		p.Store64(c, 64, 11)  // step 1
+		p.Store64(c, 72, 22)  // step 2
+		p.Store64(c, 80, 33)  // step 3: crash fires, store suppressed
+		t.Fatal("unreachable: crash did not unwind")
+		return nil
+	})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("CatchCrash err = %v, want ErrInjectedCrash", err)
+	}
+	if !fp.Fired() {
+		t.Fatal("plan did not record firing")
+	}
+	p.DisarmFault()
+
+	c2 := p.NewCtx()
+	if got := p.Load64(c2, 64); got != 11 {
+		t.Errorf("word at 64 = %d, want 11 (eADR retains retired stores)", got)
+	}
+	if got := p.Load64(c2, 72); got != 22 {
+		t.Errorf("word at 72 = %d, want 22", got)
+	}
+	if got := p.Load64(c2, 80); got != 0 {
+		t.Errorf("word at 80 = %d, want 0 (crash fires before the step executes)", got)
+	}
+}
+
+// TestFaultADRRollsBack checks that under ADR an injected crash rolls
+// unflushed dirty lines back to their media image while flushed data
+// survives.
+func TestFaultADRRollsBack(t *testing.T) {
+	p := faultTestPool(ADR)
+	c := p.NewCtx()
+
+	// Durable prefix, written and flushed before arming.
+	p.Store64(c, 64, 7)
+	p.Flush(c, 64, 8)
+	p.Fence(c)
+
+	fp := &FaultPlan{CrashAtStep: 2}
+	p.ArmFault(fp)
+	err := CatchCrash(func() error {
+		p.Store64(c, 128, 99) // step 1: dirty, never flushed
+		p.Store64(c, 192, 55) // step 2: crash
+		return nil
+	})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v, want ErrInjectedCrash", err)
+	}
+	if fp.LinesLost() == 0 {
+		t.Error("ADR crash lost no lines, want at least the dirty line at 128")
+	}
+	p.DisarmFault()
+
+	c2 := p.NewCtx()
+	if got := p.Load64(c2, 64); got != 7 {
+		t.Errorf("flushed word = %d, want 7", got)
+	}
+	if got := p.Load64(c2, 128); got != 0 {
+		t.Errorf("unflushed word = %d, want 0 (ADR rolls dirty lines back)", got)
+	}
+}
+
+// TestFaultPostCrashAccessesUnwind verifies that once the plan has
+// fired, any further persistence primitive (e.g. from a concurrent
+// worker) unwinds instead of mutating the post-crash image.
+func TestFaultPostCrashAccessesUnwind(t *testing.T) {
+	p := faultTestPool(EADR)
+	c := p.NewCtx()
+	p.ArmFault(&FaultPlan{CrashAtStep: 1})
+	if err := CatchCrash(func() error { p.Store64(c, 64, 1); return nil }); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("first op err = %v", err)
+	}
+	err := CatchCrash(func() error { p.Store64(c, 72, 2); return nil })
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-crash store err = %v, want ErrInjectedCrash", err)
+	}
+	p.DisarmFault()
+	c2 := p.NewCtx()
+	if got := p.Load64(c2, 72); got != 0 {
+		t.Errorf("post-crash store mutated the image: %d", got)
+	}
+}
+
+// TestFaultAtomicSection verifies that a failure-atomic section counts
+// one step at BeginAtomic and none inside, so a crash can land before
+// the section but never within it.
+func TestFaultAtomicSection(t *testing.T) {
+	p := faultTestPool(EADR)
+	c := p.NewCtx()
+	fp := &FaultPlan{}
+	p.ArmFault(fp)
+
+	p.BeginAtomic(c) // step 1
+	p.Store64(c, 64, 1)
+	p.Store64(c, 72, 2)
+	p.Store64(c, 80, 3)
+	p.EndAtomic(c)
+	p.Store64(c, 88, 4) // step 2
+	if got := fp.Steps(); got != 2 {
+		t.Fatalf("Steps() = %d, want 2 (publish counts once)", got)
+	}
+	p.DisarmFault()
+
+	// A crash at the atomic section's step leaves all of its stores out.
+	p2 := faultTestPool(EADR)
+	c2 := p2.NewCtx()
+	p2.ArmFault(&FaultPlan{CrashAtStep: 1})
+	err := CatchCrash(func() error {
+		p2.BeginAtomic(c2)
+		p2.Store64(c2, 64, 1)
+		p2.Store64(c2, 72, 2)
+		p2.EndAtomic(c2)
+		return nil
+	})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v", err)
+	}
+	p2.DisarmFault()
+	c3 := p2.NewCtx()
+	if p2.Load64(c3, 64) != 0 || p2.Load64(c3, 72) != 0 {
+		t.Error("crash landed inside a failure-atomic section: partial publish visible")
+	}
+}
+
+// TestCrashQuiescencePanics checks the loud failure when Crash is
+// called with an operation in flight and no plan armed.
+func TestCrashQuiescencePanics(t *testing.T) {
+	p := faultTestPool(EADR)
+	c := p.NewCtx()
+	c.BeginOp()
+	if p.InFlightOps() != 1 {
+		t.Fatalf("InFlightOps = %d, want 1", p.InFlightOps())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Crash() mid-operation without a FaultPlan did not panic")
+			}
+		}()
+		p.Crash()
+	}()
+	c.EndOp()
+	if p.InFlightOps() != 0 {
+		t.Fatalf("InFlightOps = %d after EndOp, want 0", p.InFlightOps())
+	}
+	// Quiescent Crash still works.
+	p.Crash()
+	// Mid-operation Crash with a plan armed is allowed (routed through
+	// the injector's bookkeeping by the caller).
+	c.BeginOp()
+	p.ArmFault(&FaultPlan{})
+	p.Crash()
+	p.DisarmFault()
+	c.EndOp()
+}
+
+// TestCatchCrashPassthrough verifies CatchCrash re-panics foreign
+// panics and passes through ordinary errors.
+func TestCatchCrashPassthrough(t *testing.T) {
+	want := errors.New("boom")
+	if err := CatchCrash(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	defer func() {
+		if r := recover(); r != "other" {
+			t.Fatalf("recovered %v, want foreign panic to pass through", r)
+		}
+	}()
+	_ = CatchCrash(func() error { panic("other") })
+}
+
+// TestAccessErrorTyped verifies out-of-bounds and misaligned accesses
+// panic with the typed AccessError recovery code depends on.
+func TestAccessErrorTyped(t *testing.T) {
+	p := faultTestPool(EADR)
+	c := p.NewCtx()
+	catch := func(fn func()) (ae AccessError, ok bool) {
+		defer func() {
+			r := recover()
+			ae, ok = r.(AccessError)
+		}()
+		fn()
+		return
+	}
+	if ae, ok := catch(func() { p.Load64(c, p.Size()) }); !ok || ae.Misaligned {
+		t.Errorf("OOB load: got (%v, %v), want in-bounds AccessError", ae, ok)
+	}
+	if ae, ok := catch(func() { p.Store64(c, 3, 1) }); !ok || !ae.Misaligned {
+		t.Errorf("misaligned store: got (%v, %v), want Misaligned AccessError", ae, ok)
+	}
+	if ae, ok := catch(func() { p.Read(c, p.Size()-4, make([]byte, 8)) }); !ok {
+		t.Errorf("OOB read: got (%v, %v)", ae, ok)
+	}
+}

@@ -20,6 +20,13 @@ type Pool struct {
 	mu      sync.Mutex
 	ctxs    map[*Ctx]struct{}
 	retired Stats
+
+	// fault is the armed crash-injection plan (fault.go); inFlight
+	// counts operations currently executing between Ctx.BeginOp and
+	// Ctx.EndOp, so Crash can refuse non-quiescent power cuts that do
+	// not go through a FaultPlan.
+	fault    atomic.Pointer[FaultPlan]
+	inFlight atomic.Int64
 }
 
 // New creates a simulated PM pool. The pool's content starts zeroed
@@ -95,13 +102,13 @@ func (p *Pool) ResetClocks() {
 
 func (p *Pool) check(addr, size uint64) {
 	if addr+size > p.cfg.PoolSize || addr+size < addr {
-		panic(fmt.Sprintf("pmem: access [%#x,%#x) out of pool bounds %#x", addr, addr+size, p.cfg.PoolSize))
+		panic(AccessError{Addr: addr, Size: size, PoolSize: p.cfg.PoolSize})
 	}
 }
 
 func (p *Pool) checkAligned(addr uint64) {
 	if addr&7 != 0 {
-		panic(fmt.Sprintf("pmem: unaligned 64-bit access at %#x", addr))
+		panic(AccessError{Addr: addr, Misaligned: true})
 	}
 	p.check(addr, 8)
 }
@@ -154,6 +161,7 @@ func (p *Pool) Load64(c *Ctx, addr uint64) uint64 {
 // durable, under ADR it is durable only once flushed or evicted.
 func (p *Pool) Store64(c *Ctx, addr uint64, v uint64) {
 	p.checkAligned(addr)
+	p.step(c)
 	p.touch(c, addr&^uint64(CachelineSize-1), true)
 	atomic.StoreUint64(&p.words[addr/8], v)
 }
@@ -161,6 +169,7 @@ func (p *Pool) Store64(c *Ctx, addr uint64, v uint64) {
 // CAS64 performs a compare-and-swap on the word at addr.
 func (p *Pool) CAS64(c *Ctx, addr uint64, old, new uint64) bool {
 	p.checkAligned(addr)
+	p.step(c)
 	p.touch(c, addr&^uint64(CachelineSize-1), true)
 	return atomic.CompareAndSwapUint64(&p.words[addr/8], old, new)
 }
@@ -200,6 +209,7 @@ func (p *Pool) Read(c *Ctx, addr uint64, dst []byte) {
 func (p *Pool) Write(c *Ctx, addr uint64, src []byte) {
 	n := uint64(len(src))
 	p.check(addr, n)
+	p.step(c)
 	p.touchRange(c, addr, n, true)
 	p.copyIn(addr, src)
 }
@@ -214,6 +224,7 @@ func (p *Pool) NTStore(c *Ctx, addr uint64, src []byte) {
 	if n == 0 {
 		return
 	}
+	p.step(c)
 	t := &p.cfg.Timing
 	first := addr &^ uint64(CachelineSize-1)
 	last := (addr + n - 1) &^ uint64(CachelineSize-1)
@@ -236,6 +247,7 @@ func (p *Pool) Flush(c *Ctx, addr, size uint64) {
 		return
 	}
 	p.check(addr, size)
+	p.step(c)
 	t := &p.cfg.Timing
 	first := addr &^ uint64(CachelineSize-1)
 	last := (addr + size - 1) &^ uint64(CachelineSize-1)
@@ -250,6 +262,7 @@ func (p *Pool) Flush(c *Ctx, addr, size uint64) {
 // Fence is a persistence barrier (sfence): it drains outstanding
 // flushes issued through this context.
 func (p *Pool) Fence(c *Ctx) {
+	p.step(c)
 	t := &p.cfg.Timing
 	c.stats.Fences++
 	if c.pendingFlushes > 0 {
@@ -284,14 +297,25 @@ func (p *Pool) Prefetch(c *Ctx, addr uint64) {
 // flushes the CPU cache, so every retired store survives; under ADR
 // all dirty cachelines are rolled back to their last media image. The
 // cache and XPBuffer come back empty. Crash requires the pool to be
-// quiescent (no concurrent operations), like a real power cut taken at
-// a point where the simulation's state is well-defined. It returns the
+// quiescent (no operations between Ctx.BeginOp and Ctx.EndOp): a power
+// cut taken mid-operation has ill-defined simulation state unless it
+// goes through the deterministic fault injector, so a non-quiescent
+// Crash without an armed FaultPlan panics instead of silently
+// producing an image no real power failure could. It returns the
 // number of cachelines whose contents were lost.
 func (p *Pool) Crash() int {
+	if n := p.inFlight.Load(); n > 0 && p.fault.Load() == nil {
+		panic(fmt.Sprintf("pmem: Crash with %d operations in flight and no armed FaultPlan; "+
+			"mid-operation power cuts must use fault injection (Pool.ArmFault)", n))
+	}
 	lost := p.cache.crash(p, p.cfg.Mode)
 	p.xpb.reset()
 	return lost
 }
+
+// InFlightOps returns the number of operations currently executing
+// (between Ctx.BeginOp and Ctx.EndOp) on this pool.
+func (p *Pool) InFlightOps() int { return int(p.inFlight.Load()) }
 
 // DirtyLines reports how many cachelines are currently dirty in the
 // simulated cache (diagnostic).
