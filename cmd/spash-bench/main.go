@@ -5,10 +5,15 @@
 // Usage:
 //
 //	spash-bench [-fig all|1|7|8|9|10|11|12a|12b|12c|12d|table1|ext-doubling|ext-hotspot|ext-eadr] [-scale small|medium|large]
+//	            [-json DIR] [-metrics-addr HOST:PORT]
 //
 // Output is a sequence of labelled tables (one per figure panel); see
 // EXPERIMENTS.md for the mapping to the paper's figures and the
-// expected shapes.
+// expected shapes. With -json each figure additionally writes a
+// machine-readable BENCH_<fig>.json artifact (results + obs snapshot)
+// into DIR. With -metrics-addr the process serves /metrics (Prometheus
+// text over the latest snapshot), /debug/vars, /debug/obs/trace and
+// /debug/pprof while the figures run.
 package main
 
 import (
@@ -16,10 +21,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"spash/internal/harness"
+	"spash/internal/obs"
 )
 
 type figure struct {
@@ -45,15 +53,36 @@ var figures = []figure{
 	{"ext-eadr", "eADR+HTM vs legacy-ADR discipline (extension)", harness.ExtEADRBenefit},
 }
 
+// curRec is the recorder of the figure currently running; the
+// /metrics source reads it so scrapes follow the active figure.
+var curRec atomic.Pointer[harness.Recorder]
+
 func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate (all, 1, 7-11, 12a-12d, table1, ext-doubling, ext-hotspot, ext-eadr)")
 	scaleFlag := flag.String("scale", "medium", "workload scale (small, medium, large)")
+	jsonDir := flag.String("json", "", "write one BENCH_<fig>.json artifact per figure into this directory")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/obs/trace and /debug/pprof on this address (off when empty)")
 	flag.Parse()
 
 	scale, err := harness.ScaleByName(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsAddr != "" {
+		obs.SetDefault(nil, func() obs.Snapshot { return curRec.Load().Obs() })
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	wanted := strings.Split(*figFlag, ",")
@@ -76,9 +105,26 @@ func main() {
 		ran++
 		fmt.Printf("\n==> %s\n", f.desc)
 		start := time.Now()
-		if err := f.run(os.Stdout, scale); err != nil {
+		artName := f.name
+		if artName[0] >= '0' && artName[0] <= '9' {
+			artName = "fig" + artName
+		}
+		rec := harness.NewRecorder(artName, map[string]string{"scale": *scaleFlag})
+		curRec.Store(rec)
+		harness.SetRecorder(rec)
+		err := f.run(os.Stdout, scale)
+		harness.SetRecorder(nil)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
 			os.Exit(1)
+		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+artName+".json")
+			if err := rec.WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("artifact: %s\n", path)
 		}
 		fmt.Printf("\n(%s regenerated in %.1fs wall time)\n", f.desc, time.Since(start).Seconds())
 	}

@@ -8,30 +8,43 @@
 //	spash-ycsb -index spash -workload balanced -records 200000 -ops 200000
 //	spash-ycsb -index level -workload write-intensive -dist zipfian -threads 56
 //	spash-ycsb -index all -valuesize 256
+//	spash-ycsb -index spash -json BENCH_ycsb_a.json -metrics-addr 127.0.0.1:8080
+//
+// With -json the run phase executes sequentially (per worker) so
+// per-operation latencies can be sampled, and the results, latency
+// percentiles and the unified observability snapshot (media traffic,
+// HTM counters, splits/merges/doublings, probe-length percentiles) are
+// written to the given path as one JSON document. With -metrics-addr
+// the process serves /metrics (Prometheus text), /debug/vars (expvar),
+// /debug/obs/trace (structural events) and /debug/pprof during the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
 	"spash/internal/harness"
 	"spash/internal/ixapi"
+	"spash/internal/obs"
 	"spash/internal/ycsb"
 )
 
 func main() {
 	var (
-		index    = flag.String("index", "spash", "index to drive (spash, cceh, dash, level, clevel, plush, halo, all)")
-		workload = flag.String("workload", "balanced", "run mixture (read-intensive, balanced, write-intensive, search-only, update-only)")
-		dist     = flag.String("dist", "zipfian", "request distribution (zipfian, uniform)")
-		records  = flag.Int("records", 200000, "records loaded")
-		ops      = flag.Int("ops", 200000, "run-phase operations")
-		threads  = flag.Int("threads", 56, "worker count")
-		valSize  = flag.Int("valuesize", 8, "value size in bytes (8 = inline)")
-		theta    = flag.Float64("theta", ycsb.DefaultTheta, "zipfian skew")
+		index       = flag.String("index", "spash", "index to drive (spash, cceh, dash, level, clevel, plush, halo, all)")
+		workload    = flag.String("workload", "balanced", "run mixture (read-intensive, balanced, write-intensive, search-only, update-only)")
+		dist        = flag.String("dist", "zipfian", "request distribution (zipfian, uniform)")
+		records     = flag.Int("records", 200000, "records loaded")
+		ops         = flag.Int("ops", 200000, "run-phase operations")
+		threads     = flag.Int("threads", 56, "worker count")
+		valSize     = flag.Int("valuesize", 8, "value size in bytes (8 = inline)")
+		theta       = flag.Float64("theta", ycsb.DefaultTheta, "zipfian skew")
+		jsonPath    = flag.String("json", "", "write a machine-readable artifact (results + latency + obs snapshot) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/obs/trace and /debug/pprof on this address (off when empty)")
 	)
 	flag.Parse()
 
@@ -79,31 +92,91 @@ func main() {
 		}
 	}
 
+	var rec *harness.Recorder
+	if *jsonPath != "" {
+		rec = harness.NewRecorder("ycsb_"+strings.ReplaceAll(*workload, "-", "_"), map[string]string{
+			"index": *index, "workload": *workload, "dist": *dist,
+			"records": strconv.Itoa(*records), "ops": strconv.Itoa(*ops),
+			"threads": strconv.Itoa(*threads), "valuesize": strconv.Itoa(*valSize),
+			"theta": fmt.Sprintf("%g", th),
+		})
+		harness.SetRecorder(rec)
+		defer harness.SetRecorder(nil)
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/obs/trace, /debug/pprof)\n", addr)
+	}
+
 	fmt.Printf("spash-ycsb: %d records, %d ops, %s %s, %dB values, %d workers\n\n",
 		*records, *ops, *dist, mix.Name(), *valSize, *threads)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "index\tload Mops/s\trun Mops/s\tbound\tXP-reads/op\tXP-writes/op")
 	fmt.Fprintln(tw, "-----\t-----------\t----------\t-----\t-----------\t------------")
+	exported := false
 	for _, e := range entries {
 		ix, err := e.New(scale.Platform())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if !exported {
+			if reg := harness.ObsRegistryOf(ix); reg != nil {
+				// First obs-capable index feeds the HTTP export surface.
+				obs.SetDefault(reg, obsSource(ix))
+				exported = true
+			}
+		}
 		load := harness.LoadIndex(ix, *threads, *records, *valSize, false)
-		run := runMix(ix, e, scale, mix, th, *valSize)
+		pre, hasObs := harness.ObsSnapshotOf(ix)
+		run := runMix(ix, e, scale, mix, th, *valSize, rec != nil)
+		if rec != nil && hasObs {
+			// The artifact carries the run phase's obs delta (load
+			// excluded) so derived per-op rates describe the workload.
+			post, _ := harness.ObsSnapshotOf(ix)
+			d := post.Sub(pre)
+			d.Ops = run.Ops
+			d.Finalize()
+			rec.SetObs(d)
+		}
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t%.2f\t%.2f\n",
 			e.Name, load.Throughput(), run.Throughput(), run.Bound,
 			run.PerOp(run.Mem.XPLineReads), run.PerOp(run.Mem.XPLineWrites))
 	}
 	tw.Flush()
+
+	if rec != nil {
+		if err := rec.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nartifact: %s\n", *jsonPath)
+	}
 }
 
-func runMix(ix ixapi.Index, e harness.Entry, s harness.Scale, mix ycsb.Mix, theta float64, valSize int) harness.Result {
+func obsSource(ix ixapi.Index) obs.Source {
+	return func() obs.Snapshot {
+		s, _ := harness.ObsSnapshotOf(ix)
+		s.Finalize()
+		return s
+	}
+}
+
+func runMix(ix ixapi.Index, e harness.Entry, s harness.Scale, mix ycsb.Mix, theta float64, valSize int, withLatency bool) harness.Result {
 	per := s.YCSBOps / s.MaxThreads
 	if per == 0 {
 		per = 1
 	}
-	return harness.RunWorkload(mix.Name(), ix, s.MaxThreads, per, e.Pipeline,
-		harness.MixSourceFor(mix, uint64(s.YCSBLoad), theta, valSize, 12345))
+	src := harness.MixSourceFor(mix, uint64(s.YCSBLoad), theta, valSize, 12345)
+	if withLatency {
+		// Sequential per-worker execution so every operation's virtual
+		// latency is sampled into the artifact.
+		res, _ := harness.RunWithLatency(mix.Name(), ix, s.MaxThreads, per, src)
+		return res
+	}
+	return harness.RunWorkload(mix.Name(), ix, s.MaxThreads, per, e.Pipeline, src)
 }

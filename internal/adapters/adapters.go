@@ -7,6 +7,7 @@ import (
 	"spash/internal/alloc"
 	"spash/internal/core"
 	"spash/internal/ixapi"
+	"spash/internal/obs"
 	"spash/internal/pmem"
 	"spash/internal/vsync"
 )
@@ -56,6 +57,14 @@ func (s *Spash) Group() *vsync.Group { return s.ix.Group() }
 
 // Core returns the wrapped index (harness ablation hooks).
 func (s *Spash) Core() *core.Index { return s.ix }
+
+// Obs returns the index's observability registry (nil when disabled).
+func (s *Spash) Obs() *obs.Registry { return s.ix.Obs() }
+
+// ObsSnapshot captures a unified observability snapshot; the harness
+// discovers it through the optional interface assertion
+// `interface{ ObsSnapshot() obs.Snapshot }` on ixapi.Index.
+func (s *Spash) ObsSnapshot() obs.Snapshot { return s.ix.ObsSnapshot() }
 
 type spashWorker struct {
 	h *core.Handle

@@ -320,11 +320,22 @@ type Stats struct {
 	WatermarkBytes uint64
 	// Arenas is the number of directory entries (arenas + raw spans).
 	Arenas uint64
+	// FreeBlocks is the number of recycled blocks sitting on the
+	// global class free lists (signed so phase deltas can go negative
+	// when a phase consumes more than it frees).
+	FreeBlocks int64
 }
 
 // Stats returns occupancy counters.
 func (a *Allocator) Stats() Stats {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return Stats{WatermarkBytes: a.watermark, Arenas: a.dirLen}
+	s := Stats{WatermarkBytes: a.watermark, Arenas: a.dirLen}
+	a.mu.Unlock()
+	for i := range a.classes {
+		cs := &a.classes[i]
+		cs.mu.Lock()
+		s.FreeBlocks += int64(len(cs.free))
+		cs.mu.Unlock()
+	}
+	return s
 }

@@ -130,7 +130,7 @@ func (ix *Index) checkSegment(c *pmem.Ctx, m mem, seg, prefix uint64, depth uint
 		}
 		// The entry must be locatable through the public read path.
 		r := makeReq(key)
-		if idx, _, _ := ix.locate(m, c, seg, &r); idx != s {
+		if idx, _, _, _ := ix.locate(m, c, seg, &r); idx != s {
 			return 0, fmt.Errorf("segment %#x slot %d: locate found %d", seg, s, idx)
 		}
 	}

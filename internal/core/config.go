@@ -1,5 +1,7 @@
 package core
 
+import "spash/internal/obs"
+
 // ConcurrencyMode selects the concurrency-control protocol. The
 // default HTM mode is the paper's contribution; the lock modes are the
 // ablation variants of Fig 12(c), mirroring the protocols of Dash
@@ -142,6 +144,16 @@ type Config struct {
 	// LockStripeBits sizes the lock table of the lock-based modes:
 	// 2^bits per-segment-group locks.
 	LockStripeBits uint
+
+	// Obs supplies an externally owned observability registry (shared
+	// across indexes, exported over HTTP). Nil with DisableObs false
+	// (the default) creates a private registry; see internal/obs.
+	Obs *obs.Registry
+	// DisableObs turns structural-event accounting off entirely: the
+	// index runs with a nil registry and every instrumentation site
+	// reduces to a nil check (the overhead baseline of
+	// BenchmarkObsOverhead).
+	DisableObs bool
 }
 
 // withDefaults fills zero fields.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"spash/internal/htm"
+	"spash/internal/obs"
 	"spash/internal/pmem"
 )
 
@@ -31,13 +32,17 @@ func (ix *Index) triggerDouble(c *pmem.Ctx) {
 				return nil
 			}
 			nd := newDirectory(old.depth + 1)
-			for j, e := range old.entries {
+			for j := range old.entries {
+				// Atomic: late HTM commits may still be storing entries
+				// while the resize drains (same as TryShrink's copy).
+				e := atomic.LoadUint64(&old.entries[j])
 				nd.entries[2*j] = e
 				nd.entries[2*j+1] = e
 			}
 			return nd
 		})
 		ix.doubles.Add(1)
+		ix.reg.Inc(obs.CDoubles)
 		return
 	}
 	old := ix.dir.Load()
@@ -45,6 +50,7 @@ func (ix *Index) triggerDouble(c *pmem.Ctx) {
 		ix.resizeFlag.Store(0)
 		return
 	}
+	ix.reg.Trace(obs.EvDoubleStart, c.Clock(), int64(old.depth), 0)
 	ds := &doublingState{
 		old: old,
 		new: newDirectory(old.depth + 1),
@@ -78,10 +84,12 @@ func (ix *Index) triggerDouble(c *pmem.Ctx) {
 
 	ix.dir.Store(ds.new)
 	ix.tm.BumpStoreVol(dc, &ix.dirGen, gen+2) // even: doubling done
+	ix.reg.Trace(obs.EvDoubleDone, dc.Clock(), int64(ds.new.depth), parts)
 	dc.Release()
 	ix.doubling.Store(nil)
 	ix.resizeFlag.Store(0)
 	ix.doubles.Add(1)
+	ix.reg.Inc(obs.CDoubles)
 }
 
 // copyStage copies one directory partition from the old to the new
@@ -113,8 +121,10 @@ func (ix *Index) copyStage(c *pmem.Ctx, ds *doublingState, part int, collab bool
 		})
 		switch code {
 		case htm.Committed:
+			ix.reg.Inc(obs.CDoublingStages)
 			if collab {
 				ix.collabStages.Add(1)
+				ix.reg.Inc(obs.CCollabStages)
 			}
 			return
 		case htm.Conflict, htm.Capacity:
@@ -191,7 +201,14 @@ func (ix *Index) stopWorldResize(c *pmem.Ctx, build func(old *directory) *direct
 		c.ChargeDRAM(len(old.entries) + len(nd.entries))
 		ix.dir.Store(nd)
 	}
-	ix.lastResizeCost.Store(c.Clock() - start)
+	cost := c.Clock() - start
+	ix.lastResizeCost.Store(cost)
+	ix.reg.Add(obs.CResizeStallNS, cost)
+	newDepth := int64(-1)
+	if nd != nil {
+		newDepth = int64(nd.depth)
+	}
+	ix.reg.Trace(obs.EvStopWorld, c.Clock(), newDepth, cost)
 	ix.resizeEpoch.Add(1)
 	ix.tm.BumpStoreVol(c, &ix.dirGen, gen+2)
 	ix.doubling.Store(nil)

@@ -47,15 +47,17 @@ func (ix *Index) keyMatches(c *pmem.Ctx, kw uint64, r *req) bool {
 // locate finds r's slot in the segment: the main bucket first, then
 // the overflow entries advertised by the bucket's hints. Thanks to the
 // every-overflow-entry-has-a-hint invariant, a miss here proves
-// absence. Returns the slot index with its current words, or idx = -1.
-func (ix *Index) locate(m mem, c *pmem.Ctx, seg uint64, r *req) (idx int, kw, vw uint64) {
+// absence. Returns the slot index with its current words, or idx = -1,
+// plus the number of slot words probed (the probe-length observable).
+func (ix *Index) locate(m mem, c *pmem.Ctx, seg uint64, r *req) (idx int, kw, vw uint64, probes int) {
 	b := mainBucket(r.h)
 	base := b * SlotsPerBucket
 	// Main bucket scan.
 	for s := base; s < base+SlotsPerBucket; s++ {
 		w := m.load(slotAddr(seg, s))
+		probes++
 		if keyOccupied(w) && ix.keyMatches(c, w, r) {
-			return s, w, m.load(slotAddr(seg, s) + 8)
+			return s, w, m.load(slotAddr(seg, s) + 8), probes
 		}
 	}
 	// Hint scan: every overflow entry homed in this bucket has a hint
@@ -67,11 +69,12 @@ func (ix *Index) locate(m mem, c *pmem.Ctx, seg uint64, r *req) (idx int, kw, vw
 		}
 		oi := hintIdx(hv)
 		w := m.load(slotAddr(seg, oi))
+		probes++
 		if keyOccupied(w) && ix.keyMatches(c, w, r) {
-			return oi, w, m.load(slotAddr(seg, oi) + 8)
+			return oi, w, m.load(slotAddr(seg, oi) + 8), probes
 		}
 	}
-	return -1, 0, 0
+	return -1, 0, 0, probes
 }
 
 // findFree picks the slot for a new entry following circular probing

@@ -8,6 +8,7 @@ import (
 
 	"spash/internal/alloc"
 	"spash/internal/htm"
+	"spash/internal/obs"
 	"spash/internal/pmem"
 	"spash/internal/vsync"
 )
@@ -70,6 +71,9 @@ type Index struct {
 	// group aggregates lock and HTM-commit serialisation for the
 	// virtual-time model.
 	group *vsync.Group
+	// reg is the observability registry (nil when DisableObs): striped
+	// structural-event counters, histograms and the trace ring.
+	reg *obs.Registry
 
 	// dirGen is odd while a resize (doubling or halving) is in
 	// progress; every transaction reads it. dir is the current stable
@@ -146,6 +150,7 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 	}
 	pool.Fence(c)
 	h.Close()
+	ix.reg.Add(obs.CSegAlloc, int64(len(d.entries)))
 	ix.dir.Store(d)
 
 	pool.Store64(c, alloc.RootAddr(rootRegistry), regAddr)
@@ -164,6 +169,10 @@ func newIndex(pool *pmem.Pool, al *alloc.Allocator, cfg Config) *Index {
 	}
 	ix.tm = htm.New(htm.Config{})
 	ix.tm.Group = ix.group
+	ix.reg = cfg.Obs
+	if ix.reg == nil && !cfg.DisableObs {
+		ix.reg = obs.NewRegistry()
+	}
 	ix.hot = newHotspot(cfg.HotspotPartitionBits, cfg.HotKeysPerPartition)
 	if cfg.Concurrency != ModeHTM {
 		n := 1 << cfg.LockStripeBits
@@ -186,6 +195,16 @@ func (ix *Index) Pool() *pmem.Pool { return ix.pool }
 
 // Group returns the serialisation group for the virtual-time model.
 func (ix *Index) Group() *vsync.Group { return ix.group }
+
+// Obs returns the observability registry (nil when disabled).
+func (ix *Index) Obs() *obs.Registry { return ix.reg }
+
+// ObsSnapshot captures the unified observability snapshot: pool
+// memory events, HTM outcomes, allocator occupancy and the registry's
+// structural counters and histograms, in one diffable document.
+func (ix *Index) ObsSnapshot() obs.Snapshot {
+	return obs.Capture(ix.pool.Stats(), ix.tm.Stats(), ix.alloc.Stats(), ix.reg)
+}
 
 // newSegment allocates and zeroes one segment.
 func (ix *Index) newSegment(c *pmem.Ctx, h *alloc.Handle) (uint64, error) {

@@ -5,6 +5,7 @@ import (
 
 	"spash/internal/hash"
 	"spash/internal/htm"
+	"spash/internal/obs"
 )
 
 // mergeAttempts bounds transactional merge retries; merging is
@@ -30,6 +31,8 @@ func (h *Handle) TryMerge(key []byte) bool {
 	}
 	ix := h.ix
 	var freedSeg uint64
+	liveAfter := 0
+	mergedDepth := uint(0)
 	for attempt := 0; attempt < mergeAttempts; attempt++ {
 		code, _ := ix.tm.Run(h.c, ix.pool, func(tx *htm.Txn) error {
 			freedSeg = 0
@@ -73,6 +76,7 @@ func (h *Handle) TryMerge(key []byte) bool {
 			if len(entsA)+len(entsB) > mergeThreshold {
 				return nil
 			}
+			liveAfter, mergedDepth = len(entsA)+len(entsB), depth-1
 			img, ok := layoutSegment(append(entsA, entsB...))
 			if !ok {
 				return nil // pathological bucket skew; keep both
@@ -99,11 +103,17 @@ func (h *Handle) TryMerge(key []byte) bool {
 			h.ah.Free(h.c, freedSeg, SegmentSize)
 			ix.segments.Add(-1)
 			ix.merges.Add(1)
+			h.lane.Inc(obs.CMerges)
+			h.lane.Inc(obs.CSegFree)
+			ix.reg.Trace(obs.EvMerge, h.c.Clock(), int64(mergedDepth), int64(liveAfter))
+			ix.reg.ObserveKeyed(obs.HSegOccupancy, r.h, liveAfter)
 			return true
 		case htm.Conflict:
 			ix.txConflicts.Add(1)
+			h.lane.Inc(obs.CHTMConflicts)
 		case htm.Capacity:
 			ix.txCapacity.Add(1)
+			h.lane.Inc(obs.CHTMCapacity)
 			return false // covering range too wide; not worth forcing
 		case htm.Explicit:
 			return false
@@ -156,5 +166,9 @@ func (ix *Index) mergeLocked(h *Handle, r *req) bool {
 	h.ah.Free(h.c, seg, SegmentSize)
 	ix.segments.Add(-1)
 	ix.merges.Add(1)
+	h.lane.Inc(obs.CMerges)
+	h.lane.Inc(obs.CSegFree)
+	ix.reg.Trace(obs.EvMerge, h.c.Clock(), int64(depth-1), int64(len(entsA)+len(entsB)))
+	ix.reg.ObserveKeyed(obs.HSegOccupancy, r.h, len(entsA)+len(entsB))
 	return true
 }

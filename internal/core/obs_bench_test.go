@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkObsOverhead measures the cost of the observability
+// instrumentation on the index hot path: the same insert+search mix
+// with the registry enabled (default Config) and disabled
+// (Config.DisableObs, nil registry, every site reduces to a nil
+// check). The acceptance bar for the obs layer is ≤2% between the two.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"enabled", Config{}},
+		{"disabled", Config{DisableObs: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			_, h := newTestIndex(b, bc.cfg)
+			defer h.Close()
+			key := make([]byte, 8)
+			val := make([]byte, 8)
+			const keySpace = 1 << 16
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i%keySpace))
+				binary.LittleEndian.PutUint64(val, uint64(i))
+				if i%4 == 0 {
+					if err := h.Insert(key, val); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, _, err := h.Search(key, val[:0]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

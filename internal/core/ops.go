@@ -6,6 +6,7 @@ import (
 
 	"spash/internal/alloc"
 	"spash/internal/htm"
+	"spash/internal/obs"
 	"spash/internal/pmem"
 )
 
@@ -20,6 +21,9 @@ type Handle struct {
 	ix *Index
 	c  *pmem.Ctx
 	ah *alloc.Handle
+	// lane is this worker's private observability stripe (nil when
+	// the registry is disabled; all methods nil-safe).
+	lane *obs.Lane
 
 	// resizeEpoch is the last stop-the-world resize this worker
 	// accounted for.
@@ -35,7 +39,7 @@ func (ix *Index) NewHandle(c *pmem.Ctx) *Handle {
 	if c == nil {
 		c = ix.pool.NewCtx()
 	}
-	return &Handle{ix: ix, c: c, ah: ix.alloc.NewHandle()}
+	return &Handle{ix: ix, c: c, ah: ix.alloc.NewHandle(), lane: ix.reg.Lane()}
 }
 
 // Ctx returns the handle's pmem context.
@@ -79,12 +83,15 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 			return nil
 		case htm.Conflict:
 			ix.txConflicts.Add(1)
+			h.lane.Inc(obs.CHTMConflicts)
 			conflicts++
 			if conflicts > ix.cfg.MaxTxRetries {
 				return h.execFallback(r, body)
 			}
 		case htm.Capacity:
 			ix.txCapacity.Add(1)
+			h.lane.Inc(obs.CHTMCapacity)
+			ix.reg.Trace(obs.EvHTMCapacity, h.c.Clock(), int64(r.h>>48), 0)
 			return h.execFallback(r, body)
 		case htm.Explicit:
 			re, ok := err.(retryError)
@@ -118,6 +125,8 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 func (h *Handle) execFallback(r *req, body func(m mem, seg uint64) error) error {
 	ix := h.ix
 	ix.fallbacks.Add(1)
+	h.lane.Inc(obs.CLockFallbacks)
+	ix.reg.Trace(obs.EvLockFallback, h.c.Clock(), int64(r.h>>48), 0)
 	for {
 		cPtr, ce, seg, ok := ix.resolveCanonicalNoWait(r.h)
 		if !ok {
@@ -169,7 +178,8 @@ func (h *Handle) Search(key, dst []byte) ([]byte, bool, error) {
 	out := dst
 	err := h.exec(&r, true, func(m mem, seg uint64) error {
 		found, out = false, dst
-		idx, _, vw := h.ix.locate(m, h.c, seg, &r)
+		idx, _, vw, pr := h.ix.locate(m, h.c, seg, &r)
+		h.lane.Observe(obs.HProbeLen, pr)
 		if idx < 0 {
 			return nil
 		}
@@ -220,7 +230,8 @@ func (h *Handle) Insert(key, val []byte) error {
 	freeValLen := 0
 	err := h.exec(&r, false, func(m mem, seg uint64) error {
 		replaced, freeVal, freeValLen = false, 0, 0
-		idx, _, oldVW := h.ix.locate(m, h.c, seg, &r)
+		idx, _, oldVW, pr := h.ix.locate(m, h.c, seg, &r)
+		h.lane.Observe(obs.HProbeLen, pr)
 		if idx >= 0 {
 			va := slotAddr(seg, idx) + 8
 			m.store(va, oldVW&hintMask|vwBase)
@@ -282,7 +293,8 @@ func (h *Handle) Update(key, val []byte) (bool, error) {
 	freeOldLen := 0
 	err := h.exec(&r, false, func(m mem, seg uint64) error {
 		found, usedNew, freeOld, freeOldLen, flushAddr = false, false, 0, 0, 0
-		idx, _, vw := h.ix.locate(m, h.c, seg, &r)
+		idx, _, vw, pr := h.ix.locate(m, h.c, seg, &r)
+		h.lane.Observe(obs.HProbeLen, pr)
 		if idx < 0 {
 			return nil
 		}
@@ -321,6 +333,11 @@ func (h *Handle) Update(key, val []byte) (bool, error) {
 	if !found {
 		return false, nil
 	}
+	if usedNew {
+		h.lane.Inc(obs.CUpdateAppend)
+	} else {
+		h.lane.Inc(obs.CUpdateInPlace)
+	}
 	if freeOld != 0 {
 		h.freeRecord(freeOld, freeOldLen)
 	}
@@ -340,21 +357,27 @@ func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
 	case UpdateAlwaysFlush:
 		if recAddr != 0 {
 			ix.pool.Flush(h.c, recAddr, uint64(recordSpace(size)))
+			h.lane.Inc(obs.CUpdateFlushes)
 		}
 		return
 	case UpdateOracle:
 		if ix.cfg.OracleHot != nil && ix.cfg.OracleHot(r.h) {
 			ix.hot.hits.Add(1)
+			h.lane.Inc(obs.CFlushSkipHot)
 			return
 		}
 	default: // UpdateAdaptive
 		if ix.hot.touch(r.h) {
+			h.lane.Inc(obs.CFlushSkipHot)
 			return
 		}
 	}
 	// Cold: flush only multi-cacheline entries.
 	if recAddr != 0 && size > pmem.CachelineSize {
 		ix.pool.Flush(h.c, recAddr, uint64(recordSpace(size)))
+		h.lane.Inc(obs.CUpdateFlushes)
+	} else {
+		h.lane.Inc(obs.CFlushSkipSmall)
 	}
 }
 
@@ -370,7 +393,8 @@ func (h *Handle) Delete(key []byte) (bool, error) {
 	freeValLen := 0
 	err := h.exec(&r, false, func(m mem, seg uint64) error {
 		found, freeKey, freeVal, freeValLen = false, 0, 0, 0
-		idx, kw, vw := h.ix.locate(m, h.c, seg, &r)
+		idx, kw, vw, pr := h.ix.locate(m, h.c, seg, &r)
+		h.lane.Observe(obs.HProbeLen, pr)
 		if idx < 0 {
 			return nil
 		}
@@ -415,13 +439,16 @@ func (h *Handle) allocRecord(data []byte) (uint64, error) {
 		if filledChunk != 0 {
 			// One XPLine write-back for the whole compacted chunk.
 			h.ix.pool.Flush(h.c, filledChunk, pmem.XPLineSize)
+			h.lane.Inc(obs.CChunkFlushes)
 		} else if space > 128 {
 			// Large cold record: flush to avoid eviction-order
 			// amplification (DP2).
 			h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
+			h.lane.Inc(obs.CRecordFlushes)
 		}
 	case InsertNoCompact:
 		h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
+		h.lane.Inc(obs.CRecordFlushes)
 	case InsertCompactNoFlush:
 		// Leave everything to cache eviction.
 	}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"spash/internal/hash"
+	"spash/internal/obs"
 	"spash/internal/pmem"
 )
 
@@ -122,7 +123,7 @@ func (ix *Index) splitLocked(h *Handle, hh uint64) error {
 		snap[i] = ix.pool.Load64(c, seg+uint64(i)*8)
 	}
 	prefix := hash.Prefix(hh, depth)
-	imgA, imgB, err := ix.splitImages(c, seg, &snap, depth)
+	imgA, imgB, liveA, liveB, err := ix.splitImages(c, seg, &snap, depth)
 	if err != nil {
 		return err
 	}
@@ -158,6 +159,11 @@ func (ix *Index) splitLocked(h *Handle, hh uint64) error {
 	}
 	ix.splits.Add(1)
 	ix.segments.Add(1)
+	h.lane.Inc(obs.CSplits)
+	h.lane.Inc(obs.CSegAlloc)
+	ix.reg.Trace(obs.EvSplit, c.Clock(), int64(depth+1), int64(liveA+liveB))
+	ix.reg.ObserveKeyed(obs.HSegOccupancy, hh, liveA)
+	ix.reg.ObserveKeyed(obs.HSegOccupancy, hh^splitOccSalt, liveB)
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "spash/internal/pmem"
+import (
+	"spash/internal/obs"
+	"spash/internal/pmem"
+)
 
 // OpKind is the operation type of a batched request.
 type OpKind uint8
@@ -45,6 +48,7 @@ func (h *Handle) ExecBatch(ops []BatchOp) {
 	if pd < 1 {
 		pd = 1
 	}
+	h.lane.Inc(obs.CPipelineBatches)
 	if cap(h.batch.reqs) < len(ops) {
 		h.batch.reqs = make([]req, len(ops))
 	}

@@ -8,6 +8,7 @@ import (
 
 	"spash/internal/hash"
 	"spash/internal/htm"
+	"spash/internal/obs"
 	"spash/internal/pmem"
 )
 
@@ -27,6 +28,10 @@ var errMaxDepth = errors.New("core: maximum directory depth reached")
 // splitConflictBudget is the number of transactional split attempts
 // before falling back to locking every covering directory entry.
 const splitConflictBudget = 32
+
+// splitOccSalt decorrelates the observation stripes of the two halves
+// of one split when recording their post-split occupancies.
+const splitOccSalt = 0x9E3779B97F4A7C15
 
 // split divides the segment holding hash hh into two fine-grained
 // segments (§III-A, Fig 3): entries whose next prefix bit is 1 move to
@@ -90,7 +95,7 @@ func (ix *Index) split(h *Handle, hh uint64) error {
 			snap[i] = ix.pool.Load64(c, seg+uint64(i)*8)
 		}
 		prefix := hash.Prefix(hh, depth)
-		imgA, imgB, err := ix.splitImages(c, seg, &snap, depth)
+		imgA, imgB, liveA, liveB, err := ix.splitImages(c, seg, &snap, depth)
 		if err != nil {
 			return err
 		}
@@ -151,9 +156,15 @@ func (ix *Index) split(h *Handle, hh uint64) error {
 			ix.pool.Flush(c, newSeg, SegmentSize)
 			ix.splits.Add(1)
 			ix.segments.Add(1)
+			h.lane.Inc(obs.CSplits)
+			h.lane.Inc(obs.CSegAlloc)
+			ix.reg.Trace(obs.EvSplit, c.Clock(), int64(depth+1), int64(liveA+liveB))
+			ix.reg.ObserveKeyed(obs.HSegOccupancy, hh, liveA)
+			ix.reg.ObserveKeyed(obs.HSegOccupancy, hh^splitOccSalt, liveB)
 			return nil
 		case htm.Conflict:
 			ix.txConflicts.Add(1)
+			h.lane.Inc(obs.CHTMConflicts)
 			h.ah.Free(c, newSeg, SegmentSize)
 			conflicts++
 			if conflicts > splitConflictBudget {
@@ -161,6 +172,7 @@ func (ix *Index) split(h *Handle, hh uint64) error {
 			}
 		case htm.Capacity:
 			ix.txCapacity.Add(1)
+			h.lane.Inc(obs.CHTMCapacity)
 			h.ah.Free(c, newSeg, SegmentSize)
 			return ix.splitFallback(h, hh)
 		case htm.Explicit:
@@ -183,7 +195,9 @@ func (ix *Index) split(h *Handle, hh uint64) error {
 
 // splitImages decodes a segment snapshot and lays out the two child
 // images: entries whose bit (63-depth) of the hash is 0 stay, 1 move.
-func (ix *Index) splitImages(c *pmem.Ctx, seg uint64, snap *[SegmentSize / 8]uint64, depth uint) (imgA, imgB [SegmentSize / 8]uint64, err error) {
+// liveA/liveB are the live-entry counts of the two halves (the
+// post-split occupancy observable).
+func (ix *Index) splitImages(c *pmem.Ctx, seg uint64, snap *[SegmentSize / 8]uint64, depth uint) (imgA, imgB [SegmentSize / 8]uint64, liveA, liveB int, err error) {
 	entries := ix.decodeSegment(c, snapMem{seg, snap}, seg)
 	var stay, move []segEntry
 	for _, en := range entries {
@@ -193,14 +207,15 @@ func (ix *Index) splitImages(c *pmem.Ctx, seg uint64, snap *[SegmentSize / 8]uin
 			stay = append(stay, en)
 		}
 	}
+	liveA, liveB = len(stay), len(move)
 	var ok bool
 	if imgA, ok = layoutSegment(stay); !ok {
-		return imgA, imgB, fmt.Errorf("core: split relayout failed (stay half)")
+		return imgA, imgB, liveA, liveB, fmt.Errorf("core: split relayout failed (stay half)")
 	}
 	if imgB, ok = layoutSegment(move); !ok {
-		return imgA, imgB, fmt.Errorf("core: split relayout failed (move half)")
+		return imgA, imgB, liveA, liveB, fmt.Errorf("core: split relayout failed (move half)")
 	}
-	return imgA, imgB, nil
+	return imgA, imgB, liveA, liveB, nil
 }
 
 // splitView returns the authoritative directory slice and depth for a
@@ -246,6 +261,8 @@ func (ix *Index) splitView(tx *htm.Txn, hh uint64, depth uint) ([]uint64, uint, 
 func (ix *Index) splitFallback(h *Handle, hh uint64) error {
 	c := h.c
 	ix.fallbacks.Add(1)
+	h.lane.Inc(obs.CSplitFallbacks)
+	ix.reg.Trace(obs.EvSplitFallback, c.Clock(), int64(hh>>48), 0)
 	for {
 		if atomic.LoadUint64(&ix.dirGen)&1 == 1 {
 			ix.waitResize()
@@ -301,7 +318,7 @@ func (ix *Index) splitFallback(h *Handle, hh uint64) error {
 			for i := range snap {
 				snap[i] = m.load(seg + uint64(i)*8)
 			}
-			imgA, imgB, ierr := ix.splitImages(c, seg, &snap, depth)
+			imgA, imgB, liveA, liveB, ierr := ix.splitImages(c, seg, &snap, depth)
 			if ierr != nil {
 				return ierr
 			}
@@ -325,6 +342,11 @@ func (ix *Index) splitFallback(h *Handle, hh uint64) error {
 			}
 			ix.splits.Add(1)
 			ix.segments.Add(1)
+			h.lane.Inc(obs.CSplits)
+			h.lane.Inc(obs.CSegAlloc)
+			ix.reg.Trace(obs.EvSplit, c.Clock(), int64(depth+1), int64(liveA+liveB))
+			ix.reg.ObserveKeyed(obs.HSegOccupancy, hh, liveA)
+			ix.reg.ObserveKeyed(obs.HSegOccupancy, hh^splitOccSalt, liveB)
 			return nil
 		})
 		if err != nil {

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"spash/internal/ixapi"
+	"spash/internal/obs"
+	"spash/internal/pmem"
+)
+
+// ResultJSON is the serialisable form of one measured phase.
+type ResultJSON struct {
+	Name      string     `json:"name"`
+	Ops       int64      `json:"ops"`
+	ElapsedNS int64      `json:"elapsed_ns"`
+	Mops      float64    `json:"mops"`
+	Bound     string     `json:"bound"`
+	Mem       pmem.Stats `json:"mem"`
+}
+
+func resultJSON(r Result) ResultJSON {
+	return ResultJSON{
+		Name:      r.Name,
+		Ops:       r.Ops,
+		ElapsedNS: r.Elapsed,
+		Mops:      r.Throughput(),
+		Bound:     r.Bound,
+		Mem:       r.Mem,
+	}
+}
+
+// Artifact is the machine-readable record of one benchmark invocation
+// (one figure, or one YCSB run), written as BENCH_<name>.json so CI
+// and analysis scripts consume measurements without parsing tables.
+type Artifact struct {
+	Schema  string            `json:"schema"`
+	Name    string            `json:"name"`
+	Config  map[string]string `json:"config,omitempty"`
+	Results []ResultJSON      `json:"results"`
+	Latency *LatencySummary   `json:"latency,omitempty"`
+	// Obs is the unified observability snapshot of the measured phase
+	// (media traffic, HTM, structural counters, probe/occupancy
+	// histograms, derived rates); ObsTotal is the cumulative snapshot
+	// over the index's whole lifetime, including the load phase (this
+	// is where splits, doublings and segment churn show up).
+	Obs      *obs.Snapshot `json:"obs,omitempty"`
+	ObsTotal *obs.Snapshot `json:"obs_total,omitempty"`
+}
+
+// ArtifactSchema versions the JSON layout.
+const ArtifactSchema = "spash-bench/v1"
+
+// Recorder accumulates the phases of one benchmark invocation into an
+// Artifact. Install it with SetRecorder; the run functions
+// (RunWorkload, RunPhase, RunWithLatency) then record every measured
+// phase, the latest obs snapshot of the index under test, and latency
+// summaries automatically.
+type Recorder struct {
+	mu  sync.Mutex
+	art Artifact
+}
+
+// NewRecorder starts an artifact named name (e.g. "fig10", "ycsb_a")
+// with optional free-form configuration (flag values, scale).
+func NewRecorder(name string, config map[string]string) *Recorder {
+	return &Recorder{art: Artifact{Schema: ArtifactSchema, Name: name, Config: config}}
+}
+
+func (r *Recorder) record(res Result) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.Results = append(r.art.Results, resultJSON(res))
+	r.mu.Unlock()
+}
+
+// SetObs attaches (or replaces) the artifact's phase obs snapshot.
+func (r *Recorder) SetObs(s obs.Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.Obs = &s
+	r.mu.Unlock()
+}
+
+// SetObsTotal attaches (or replaces) the cumulative obs snapshot.
+func (r *Recorder) SetObsTotal(s obs.Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.ObsTotal = &s
+	r.mu.Unlock()
+}
+
+// SetLatency attaches the artifact's op-latency summary.
+func (r *Recorder) SetLatency(s LatencySummary) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.Latency = &s
+	r.mu.Unlock()
+}
+
+// Obs returns the latest attached snapshot, preferring the cumulative
+// one (zero when none); it backs the /metrics source of the bench
+// commands.
+func (r *Recorder) Obs() obs.Snapshot {
+	if r == nil {
+		return obs.Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.art.ObsTotal != nil {
+		return *r.art.ObsTotal
+	}
+	if r.art.Obs == nil {
+		return obs.Snapshot{}
+	}
+	return *r.art.Obs
+}
+
+// Artifact returns a copy of the accumulated artifact.
+func (r *Recorder) Artifact() Artifact {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.art
+	a.Results = append([]ResultJSON(nil), r.art.Results...)
+	return a
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (r *Recorder) WriteFile(path string) error {
+	a := r.Artifact()
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// activeRec is the process-wide recorder hook; nil disables recording
+// (the default, zero overhead beyond one atomic load per phase).
+var activeRec atomic.Pointer[Recorder]
+
+// SetRecorder installs (or, with nil, removes) the active recorder.
+func SetRecorder(r *Recorder) {
+	activeRec.Store(r)
+}
+
+func recorder() *Recorder { return activeRec.Load() }
+
+// recordPhase files a phase result plus the index's cumulative obs
+// snapshot (when it exposes one) with the active recorder.
+func recordPhase(ix ixapi.Index, res Result) {
+	rec := recorder()
+	if rec == nil {
+		return
+	}
+	rec.record(res)
+	if snap, ok := ObsSnapshotOf(ix); ok {
+		snap.Ops = res.Ops
+		snap.Finalize()
+		rec.SetObsTotal(snap)
+	}
+}
+
+// ObsSnapshotOf extracts the unified observability snapshot from an
+// index that supports it (the Spash adapter does; baselines need not).
+func ObsSnapshotOf(ix ixapi.Index) (obs.Snapshot, bool) {
+	type snapshotter interface{ ObsSnapshot() obs.Snapshot }
+	if s, ok := ix.(snapshotter); ok {
+		return s.ObsSnapshot(), true
+	}
+	return obs.Snapshot{}, false
+}
+
+// ObsRegistryOf extracts the obs registry from an index that exposes
+// one (nil otherwise) — used to wire the trace-ring HTTP endpoint.
+func ObsRegistryOf(ix ixapi.Index) *obs.Registry {
+	type regger interface{ Obs() *obs.Registry }
+	if s, ok := ix.(regger); ok {
+		return s.Obs()
+	}
+	return nil
+}

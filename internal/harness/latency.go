@@ -16,22 +16,69 @@ import (
 type LatencyHist struct {
 	mu      sync.Mutex
 	samples []int64
+	sorted  []int64 // cached ascending copy, invalidated by add
 }
 
 func (h *LatencyHist) add(batch []int64) {
 	h.mu.Lock()
 	h.samples = append(h.samples, batch...)
+	h.sorted = nil
 	h.mu.Unlock()
+}
+
+// sortedSamples returns an ascending copy of the samples, built under
+// the lock on first use after a mutation and cached so repeated
+// percentile queries sort once. The samples themselves are never
+// reordered, so concurrent adders and readers don't race.
+func (h *LatencyHist) sortedSamples() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sorted == nil && len(h.samples) > 0 {
+		h.sorted = append([]int64(nil), h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+	}
+	return h.sorted
 }
 
 // Percentile returns the p-th percentile latency in virtual ns.
 func (h *LatencyHist) Percentile(p float64) int64 {
-	if len(h.samples) == 0 {
+	s := h.sortedSamples()
+	if len(s) == 0 {
 		return 0
 	}
-	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-	idx := int(p / 100 * float64(len(h.samples)-1))
-	return h.samples[idx]
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// LatencySummary is the JSON-artifact form of the distribution
+// (virtual ns).
+type LatencySummary struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P90   int64 `json:"p90_ns"`
+	P99   int64 `json:"p99_ns"`
+	P999  int64 `json:"p999_ns"`
+	Max   int64 `json:"max_ns"`
+}
+
+// Summary captures the percentiles reported in the paper's latency
+// figures into a serialisable struct.
+func (h *LatencyHist) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
 }
 
 // Max returns the worst-case latency.
@@ -89,5 +136,7 @@ func RunWithLatency(name string, ix ixapi.Index, workers, opsPerWorker int, src 
 	mem := pool.Stats().Sub(mem0)
 	serial := g.MaxSerialNS() - serial0
 	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+	recordPhase(ix, res)
+	recorder().SetLatency(hist.Summary())
 	return res, hist
 }

@@ -86,7 +86,9 @@ func RunPhase(name string, ix ixapi.Index, workers, opsPerWorker int, fn func(w 
 
 	mem := pool.Stats().Sub(mem0)
 	serial := g.MaxSerialNS() - serial0
-	return combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+	recordPhase(ix, res)
+	return res
 }
 
 // Scale bundles the workload sizes; the paper's 20M/100M-key, 8G-op

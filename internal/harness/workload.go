@@ -56,7 +56,9 @@ func RunWorkload(name string, ix ixapi.Index, workers, opsPerWorker int, pipelin
 
 	mem := pool.Stats().Sub(mem0)
 	serial := g.MaxSerialNS() - serial0
-	return combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
+	recordPhase(ix, res)
+	return res
 }
 
 func runSequential(w ixapi.Worker, next func(i int) Op, n int) {

@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+// The registry's hot-path cost: one padded atomic add when enabled,
+// one nil check when disabled. Compare with the ~dozens of simulated
+// memory events per index operation to see why the instrumented hot
+// path stays within noise (see also BenchmarkObsOverhead in
+// internal/core).
+
+func BenchmarkLaneInc(b *testing.B) {
+	ln := NewRegistrySized(4, 64).Lane()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ln.Inc(CSplits)
+	}
+}
+
+func BenchmarkLaneIncDisabled(b *testing.B) {
+	var ln *Lane
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ln.Inc(CSplits)
+	}
+}
+
+func BenchmarkLaneObserve(b *testing.B) {
+	ln := NewRegistrySized(4, 64).Lane()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ln.Observe(HProbeLen, i&7)
+	}
+}
+
+func BenchmarkObserveKeyedParallel(b *testing.B) {
+	r := NewRegistrySized(64, 64)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		k := uint64(0)
+		for pb.Next() {
+			k += 0x9E3779B97F4A7C15
+			r.ObserveKeyed(HProbeLen, k, int(k&7))
+		}
+	})
+}
+
+func BenchmarkTraceAdd(b *testing.B) {
+	r := NewRegistrySized(4, DefaultRingSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Trace(EvSplit, int64(i), 1, 2)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Source produces the current cumulative snapshot of a live index.
+type Source func() Snapshot
+
+// defaultSource/defaultRegistry is the process-wide export target: the
+// most recently registered observable index. Benchmarks open many
+// indexes in sequence; the export endpoints follow the live one.
+var (
+	defaultSource   atomic.Pointer[Source]
+	defaultRegistry atomic.Pointer[Registry]
+	expvarOnce      sync.Once
+)
+
+// SetDefault registers reg and snap as the process-wide export target
+// for /metrics, /debug/vars and /debug/obs/trace. Passing a nil snap
+// clears the target.
+func SetDefault(reg *Registry, snap Source) {
+	if snap == nil {
+		defaultSource.Store(nil)
+		defaultRegistry.Store(nil)
+		return
+	}
+	defaultSource.Store(&snap)
+	defaultRegistry.Store(reg)
+}
+
+func currentSnapshot() (Snapshot, bool) {
+	p := defaultSource.Load()
+	if p == nil {
+		return Snapshot{}, false
+	}
+	return (*p)(), true
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format under the spash_ namespace.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	g := func(name string, v interface{}) {
+		fmt.Fprintf(w, "spash_%s %v\n", name, v)
+	}
+	g("pm_media_read_bytes_total", s.Mem.MediaReadBytes())
+	g("pm_media_write_bytes_total", s.Mem.MediaWriteBytes())
+	g("pm_xpline_reads_total", s.Mem.XPLineReads)
+	g("pm_xpline_writes_total", s.Mem.XPLineWrites)
+	g("pm_cacheline_reads_total", s.Mem.CachelineReads)
+	g("pm_cacheline_writes_total", s.Mem.CachelineWrites)
+	g("pm_flushes_total", s.Mem.Flushes)
+	g("pm_fences_total", s.Mem.Fences)
+	g("pm_evictions_total", s.Mem.Evictions)
+	g("pm_ntstores_total", s.Mem.NTStores)
+	g("pm_cache_hits_total", s.Mem.CacheHits)
+	g("pm_cache_misses_total", s.Mem.CacheMisses)
+	g("htm_commits_total", s.HTM.Commits)
+	g("htm_conflicts_total", s.HTM.Conflicts)
+	g("htm_capacity_aborts_total", s.HTM.Capacities)
+	g("htm_explicit_aborts_total", s.HTM.Explicits)
+	g("htm_irrevocable_total", s.HTM.Irrevocable)
+	g("alloc_watermark_bytes", s.Alloc.WatermarkBytes)
+	g("alloc_arenas", s.Alloc.Arenas)
+	g("alloc_free_blocks", s.Alloc.FreeBlocks)
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		g(k+"_total", s.Counters[k])
+	}
+	hnames := make([]string, 0, len(s.Hists))
+	for k := range s.Hists {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := s.Hists[k]
+		if h.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			p     float64
+		}{{"0.5", 50}, {"0.99", 99}, {"1", 100}} {
+			fmt.Fprintf(w, "spash_%s{quantile=%q} %d\n", k, q.label, h.Percentile(q.p))
+		}
+		fmt.Fprintf(w, "spash_%s_count %d\n", k, h.Count())
+	}
+}
+
+// Handler serves the current default snapshot as Prometheus text.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s, ok := currentSnapshot()
+		if !ok {
+			http.Error(w, "no observable index registered", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WritePrometheus(w)
+	})
+}
+
+// traceHandler serves the default registry's trace ring as JSON.
+func traceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r := defaultRegistry.Load()
+		if r == nil {
+			http.Error(w, "no observable index registered", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		r.ring.WriteJSON(w)
+	})
+}
+
+// publishExpvar exposes the default snapshot under the expvar key
+// "spash" (idempotent; expvar panics on duplicate names).
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("spash", expvar.Func(func() any {
+			s, ok := currentSnapshot()
+			if !ok {
+				return nil
+			}
+			return s
+		}))
+	})
+}
+
+// NewMux returns the observability mux: /metrics (Prometheus text of
+// the default snapshot), /debug/vars (expvar, including the "spash"
+// snapshot), /debug/pprof/* and /debug/obs/trace (trace-ring JSON).
+func NewMux() *http.ServeMux {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/obs/trace", traceHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability HTTP server on addr (e.g.
+// "127.0.0.1:9100"; ":0" picks a free port) and returns the bound
+// address. The server runs until the process exits.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewMux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,92 @@
+package obs
+
+// HistSnapshot is a summed histogram: Counts[v] is the number of
+// samples with (clamped) value v. Bucket index equals exact value for
+// the bounded quantities the registry tracks.
+type HistSnapshot struct {
+	Counts []int64 `json:"counts"`
+}
+
+// Count returns the total number of samples.
+func (h HistSnapshot) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average sample value (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	var n, sum int64
+	for v, c := range h.Counts {
+		n += c
+		sum += int64(v) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Percentile returns the smallest value v such that at least p percent
+// of the samples are ≤ v (0 when empty). p is in [0, 100].
+func (h HistSnapshot) Percentile(p float64) int {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	need := int64(p / 100 * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	if need > total {
+		need = total
+	}
+	var cum int64
+	for v, c := range h.Counts {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return len(h.Counts) - 1
+}
+
+// Sub returns h - o bucket-wise (missing buckets treated as zero).
+func (h HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	n := len(h.Counts)
+	if len(o.Counts) > n {
+		n = len(o.Counts)
+	}
+	out := HistSnapshot{Counts: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		var a, b int64
+		if i < len(h.Counts) {
+			a = h.Counts[i]
+		}
+		if i < len(o.Counts) {
+			b = o.Counts[i]
+		}
+		out.Counts[i] = a - b
+	}
+	return out
+}
+
+// Add returns h + o bucket-wise.
+func (h HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	n := len(h.Counts)
+	if len(o.Counts) > n {
+		n = len(o.Counts)
+	}
+	out := HistSnapshot{Counts: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		if i < len(h.Counts) {
+			out.Counts[i] += h.Counts[i]
+		}
+		if i < len(o.Counts) {
+			out.Counts[i] += o.Counts[i]
+		}
+	}
+	return out
+}

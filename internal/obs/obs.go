@@ -1,0 +1,291 @@
+// Package obs is the unified observability layer: a metrics registry
+// of cache-line-padded striped counters and bounded-value histograms,
+// a lock-free trace ring of timestamped structural events, a Snapshot
+// type that unifies the per-subsystem counters (pmem media traffic,
+// HTM outcomes, allocator occupancy, index structure churn) into one
+// diffable document, and an export surface (expvar, Prometheus text,
+// pprof — see export.go).
+//
+// The paper validates every design claim by counting exactly these
+// events: ipmctl media read/write bytes for the write-amplification
+// argument (Fig 8), HTM abort rates for the two-phase protocol (§IV-A)
+// and doubling stall time for the staged-doubling claim (§IV-B). The
+// registry makes those quantities first-class for any run.
+//
+// Hot-path cost. All mutation methods are nil-safe: a disabled
+// registry is a nil *Registry (and nil *Lane), so instrumentation
+// call sites cost one predictable branch when observability is off.
+// When on, each worker increments its own cache-line-padded lane, so
+// counters are contention-free under any worker count.
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Counter identifies one structural-event counter. The set mirrors the
+// events the paper reasons about; see CounterNames for the export
+// names and the README's taxonomy table for the figure mapping.
+type Counter int
+
+const (
+	// CSplits counts committed segment splits (§III-A).
+	CSplits Counter = iota
+	// CSplitFallbacks counts splits that completed on the irrevocable
+	// directory-locked path after the transactional path kept aborting.
+	CSplitFallbacks
+	// CMerges counts committed buddy-segment merges.
+	CMerges
+	// CDoubles counts completed directory doublings (§IV-B).
+	CDoubles
+	// CDoublingStages counts partition-copy stages executed by the
+	// doubling thread; CCollabStages those executed collaboratively by
+	// concurrent operations.
+	CDoublingStages
+	CCollabStages
+	// CResizeStallNS accumulates the virtual duration (ns) of
+	// stop-the-world resizes — the blocking §IV-B's staged design
+	// eliminates.
+	CResizeStallNS
+	// CHTMConflicts / CHTMCapacity count HTM aborts by cause;
+	// CLockFallbacks counts operations that took the per-segment
+	// fallback lock (the two-phase protocol's slow path, §IV-A).
+	CHTMConflicts
+	CHTMCapacity
+	CLockFallbacks
+	// CUpdateInPlace / CUpdateAppend classify adaptive updates
+	// (§III-B): value overwritten in place (same size class or inline)
+	// vs. a fresh record appended.
+	CUpdateInPlace
+	CUpdateAppend
+	// CFlushSkipHot / CFlushSkipSmall count update flushes elided by
+	// the Table I policy (hot entry; ≤ 1 cacheline). CUpdateFlushes
+	// counts the asynchronous flushes actually issued.
+	CFlushSkipHot
+	CFlushSkipSmall
+	CUpdateFlushes
+	// CChunkFlushes counts compacted-flush XPLine chunk write-backs
+	// (§III-C); CRecordFlushes counts individual record flushes.
+	CChunkFlushes
+	CRecordFlushes
+	// CSegAlloc / CSegFree count segment churn at the allocator.
+	CSegAlloc
+	CSegFree
+	// CPipelineBatches counts pipelined batch executions (§III-D).
+	CPipelineBatches
+
+	numCounters
+)
+
+// CounterNames are the stable export names, indexed by Counter.
+var CounterNames = [...]string{
+	CSplits:          "splits",
+	CSplitFallbacks:  "split_fallbacks",
+	CMerges:          "merges",
+	CDoubles:         "doubles",
+	CDoublingStages:  "doubling_stages",
+	CCollabStages:    "collab_stages",
+	CResizeStallNS:   "resize_stall_ns",
+	CHTMConflicts:    "htm_conflicts",
+	CHTMCapacity:     "htm_capacity",
+	CLockFallbacks:   "lock_fallbacks",
+	CUpdateInPlace:   "update_inplace",
+	CUpdateAppend:    "update_append",
+	CFlushSkipHot:    "flush_skip_hot",
+	CFlushSkipSmall:  "flush_skip_small",
+	CUpdateFlushes:   "update_flushes",
+	CChunkFlushes:    "chunk_flushes",
+	CRecordFlushes:   "record_flushes",
+	CSegAlloc:        "seg_alloc",
+	CSegFree:         "seg_free",
+	CPipelineBatches: "pipeline_batches",
+}
+
+// Hist identifies one bounded-value histogram.
+type Hist int
+
+const (
+	// HProbeLen is the per-lookup probe length: key slots examined by
+	// locate before a hit or a proven miss (the every-overflow-entry-
+	// has-a-hint invariant bounds it by one segment, §III-A).
+	HProbeLen Hist = iota
+	// HSegOccupancy is the live-entry count of a segment observed at
+	// restructure time (split/merge), the distribution behind the
+	// load-factor claim of Fig 9.
+	HSegOccupancy
+
+	numHists
+)
+
+// HistNames are the stable export names, indexed by Hist.
+var HistNames = [...]string{
+	HProbeLen:     "probe_len",
+	HSegOccupancy: "seg_occupancy",
+}
+
+// histBuckets is the value range of a histogram: values are clamped to
+// [0, histBuckets). Both tracked quantities are structurally bounded
+// well below this (probe length by the 16-slot segment plus hint scan,
+// occupancy by 16 slots), so bucket index == exact value.
+const histBuckets = 48
+
+// lane is one stripe of the registry. The trailing pad keeps adjacent
+// lanes from sharing the final cacheline.
+type lane struct {
+	counters [numCounters]atomic.Int64
+	hists    [numHists][histBuckets]atomic.Int64
+	_        [8]uint64
+}
+
+// Registry is the metrics registry. The zero value is not usable; a
+// nil *Registry is the disabled registry (all methods no-ops).
+type Registry struct {
+	lanes []lane
+	mask  uint64
+	next  atomic.Uint64
+	ring  *Ring
+}
+
+// NewRegistry returns an enabled registry sized for the current
+// GOMAXPROCS, with the default trace-ring capacity.
+func NewRegistry() *Registry {
+	return NewRegistrySized(2*runtime.GOMAXPROCS(0), DefaultRingSize)
+}
+
+// NewRegistrySized returns a registry with at least lanes stripes
+// (rounded up to a power of two) and a trace ring of ringSize events.
+func NewRegistrySized(lanes, ringSize int) *Registry {
+	n := 1
+	for n < lanes {
+		n <<= 1
+	}
+	return &Registry{
+		lanes: make([]lane, n),
+		mask:  uint64(n - 1),
+		ring:  newRing(ringSize),
+	}
+}
+
+// Lane is a worker's private stripe. Workers obtain one at start-up
+// (Registry.Lane) and do all hot-path accounting through it; a nil
+// *Lane is the disabled lane.
+type Lane struct {
+	l *lane
+}
+
+// Lane hands out a stripe (round-robin). Nil-safe: a nil registry
+// returns a nil (disabled) lane.
+func (r *Registry) Lane() *Lane {
+	if r == nil {
+		return nil
+	}
+	return &Lane{l: &r.lanes[r.next.Add(1)&r.mask]}
+}
+
+// Inc adds 1 to counter c.
+func (ln *Lane) Inc(c Counter) {
+	if ln == nil {
+		return
+	}
+	ln.l.counters[c].Add(1)
+}
+
+// Add adds d to counter c.
+func (ln *Lane) Add(c Counter, d int64) {
+	if ln == nil {
+		return
+	}
+	ln.l.counters[c].Add(d)
+}
+
+// Observe records value v (clamped to the bucket range) in histogram h.
+func (ln *Lane) Observe(h Hist, v int) {
+	if ln == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	} else if v >= histBuckets {
+		v = histBuckets - 1
+	}
+	ln.l.hists[h][v].Add(1)
+}
+
+// Inc adds 1 to counter c on a stripe derived from the counter id.
+// For call sites without a per-worker lane (rare structural events).
+func (r *Registry) Inc(c Counter) { r.Add(c, 1) }
+
+// Add adds d to counter c on a stripe derived from the counter id.
+func (r *Registry) Add(c Counter, d int64) {
+	if r == nil {
+		return
+	}
+	r.lanes[uint64(c)&r.mask].counters[c].Add(d)
+}
+
+// ObserveKeyed records v in histogram h on the stripe selected by key
+// (a key hash spreads contending workers without a lane).
+func (r *Registry) ObserveKeyed(h Hist, key uint64, v int) {
+	if r == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	} else if v >= histBuckets {
+		v = histBuckets - 1
+	}
+	x := key * 0x9E3779B97F4A7C15
+	r.lanes[(x>>32)&r.mask].hists[h][v].Add(1)
+}
+
+// Counters sums every lane and returns the totals keyed by export
+// name. Nil-safe: a nil registry returns an empty map.
+func (r *Registry) Counters() map[string]int64 {
+	m := make(map[string]int64, int(numCounters))
+	if r == nil {
+		return m
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		var t int64
+		for i := range r.lanes {
+			t += r.lanes[i].counters[c].Load()
+		}
+		if t != 0 {
+			m[CounterNames[c]] = t
+		}
+	}
+	return m
+}
+
+// HistSnapshot sums histogram h across lanes. Nil-safe.
+func (r *Registry) HistSnapshot(h Hist) HistSnapshot {
+	s := HistSnapshot{Counts: make([]int64, histBuckets)}
+	if r == nil {
+		return s
+	}
+	for i := range r.lanes {
+		for b := 0; b < histBuckets; b++ {
+			s.Counts[b] += r.lanes[i].hists[h][b].Load()
+		}
+	}
+	return s
+}
+
+// Trace appends a structural event to the trace ring. ts is the
+// emitting worker's virtual clock (ns). Nil-safe.
+func (r *Registry) Trace(kind EventKind, ts int64, a, b int64) {
+	if r == nil {
+		return
+	}
+	r.ring.add(kind, ts, a, b)
+}
+
+// TraceRing returns the registry's event ring (nil for a disabled
+// registry).
+func (r *Registry) TraceRing() *Ring {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"spash/internal/alloc"
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// Snapshot unifies every subsystem's counters into one diffable,
+// machine-readable document: pmem media traffic (what the paper
+// measures with ipmctl), HTM outcomes, allocator occupancy, the
+// registry's structural counters and histograms, and — once Finalize
+// is called with an operation count — derived per-op rates.
+type Snapshot struct {
+	// Mem is the simulated device's memory-event counters.
+	Mem pmem.Stats `json:"mem"`
+	// HTM is the transactional-memory domain's outcome counters.
+	HTM htm.Stats `json:"htm"`
+	// Alloc is the allocator's occupancy counters.
+	Alloc alloc.Stats `json:"alloc"`
+	// Counters are the registry totals keyed by export name (zero
+	// counters omitted).
+	Counters map[string]int64 `json:"counters"`
+	// Hists are the registry histograms keyed by export name.
+	Hists map[string]HistSnapshot `json:"hists"`
+	// Ops is the operation count of the measured phase (set by the
+	// caller, used for derived rates).
+	Ops int64 `json:"ops,omitempty"`
+	// Derived holds per-op rates; populated by Finalize.
+	Derived *Derived `json:"derived,omitempty"`
+}
+
+// Derived are the rates the paper reasons in.
+type Derived struct {
+	// MediaReadBytesPerOp / MediaWriteBytesPerOp are the ipmctl-style
+	// per-operation media traffic (Fig 8's y-axis).
+	MediaReadBytesPerOp  float64 `json:"media_read_bytes_per_op"`
+	MediaWriteBytesPerOp float64 `json:"media_write_bytes_per_op"`
+	// FlushesPerOp counts clwb per operation.
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	// AbortsPerCommit is (conflicts+capacity+explicit)/commits.
+	AbortsPerCommit float64 `json:"aborts_per_commit"`
+	// ProbeLenP50 / ProbeLenP99 summarise the lookup probe-length
+	// histogram.
+	ProbeLenP50 int `json:"probe_len_p50"`
+	ProbeLenP99 int `json:"probe_len_p99"`
+}
+
+// Capture assembles a snapshot from the subsystem counters and the
+// registry (which may be nil — its sections stay empty).
+func Capture(mem pmem.Stats, tm htm.Stats, al alloc.Stats, r *Registry) Snapshot {
+	s := Snapshot{
+		Mem:      mem,
+		HTM:      tm,
+		Alloc:    al,
+		Counters: r.Counters(),
+		Hists:    make(map[string]HistSnapshot, int(numHists)),
+	}
+	for h := Hist(0); h < numHists; h++ {
+		s.Hists[HistNames[h]] = r.HistSnapshot(h)
+	}
+	return s
+}
+
+// Sub returns s - o, counter-wise: the events of the phase between the
+// two snapshots. Ops and Derived are cleared (set Ops and call
+// Finalize on the result).
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	out := Snapshot{
+		Mem:      s.Mem.Sub(o.Mem),
+		HTM:      subHTM(s.HTM, o.HTM),
+		Alloc:    subAlloc(s.Alloc, o.Alloc),
+		Counters: make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	for k, v := range s.Counters {
+		if d := v - o.Counters[k]; d != 0 {
+			out.Counters[k] = d
+		}
+	}
+	for k, v := range o.Counters {
+		if _, ok := s.Counters[k]; !ok && v != 0 {
+			out.Counters[k] = -v
+		}
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = v.Sub(o.Hists[k])
+	}
+	for k, v := range o.Hists {
+		if _, ok := s.Hists[k]; !ok {
+			out.Hists[k] = HistSnapshot{}.Sub(v)
+		}
+	}
+	return out
+}
+
+// Add returns s + o, counter-wise. Ops accumulate; Derived is cleared.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := Snapshot{
+		Mem:      s.Mem.Add(o.Mem),
+		HTM:      addHTM(s.HTM, o.HTM),
+		Alloc:    addAlloc(s.Alloc, o.Alloc),
+		Counters: make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+		Ops:      s.Ops + o.Ops,
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		if n := out.Counters[k] + v; n != 0 {
+			out.Counters[k] = n
+		} else {
+			delete(out.Counters, k)
+		}
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = v.Add(o.Hists[k])
+	}
+	for k, v := range o.Hists {
+		if _, ok := s.Hists[k]; !ok {
+			out.Hists[k] = v.Add(HistSnapshot{})
+		}
+	}
+	return out
+}
+
+// Finalize computes the derived rates from the current counters and
+// s.Ops (which the caller sets to the phase's operation count) and
+// returns s for chaining.
+func (s *Snapshot) Finalize() *Snapshot {
+	d := &Derived{}
+	if s.Ops > 0 {
+		ops := float64(s.Ops)
+		d.MediaReadBytesPerOp = float64(s.Mem.MediaReadBytes()) / ops
+		d.MediaWriteBytesPerOp = float64(s.Mem.MediaWriteBytes()) / ops
+		d.FlushesPerOp = float64(s.Mem.Flushes) / ops
+	}
+	if s.HTM.Commits > 0 {
+		d.AbortsPerCommit = float64(s.HTM.Conflicts+s.HTM.Capacities+s.HTM.Explicits) /
+			float64(s.HTM.Commits)
+	}
+	if h, ok := s.Hists[HistNames[HProbeLen]]; ok && h.Count() > 0 {
+		d.ProbeLenP50 = h.Percentile(50)
+		d.ProbeLenP99 = h.Percentile(99)
+	}
+	s.Derived = d
+	return s
+}
+
+func subHTM(a, b htm.Stats) htm.Stats {
+	return htm.Stats{
+		Commits:     a.Commits - b.Commits,
+		Conflicts:   a.Conflicts - b.Conflicts,
+		Capacities:  a.Capacities - b.Capacities,
+		Explicits:   a.Explicits - b.Explicits,
+		Irrevocable: a.Irrevocable - b.Irrevocable,
+	}
+}
+
+func addHTM(a, b htm.Stats) htm.Stats {
+	return htm.Stats{
+		Commits:     a.Commits + b.Commits,
+		Conflicts:   a.Conflicts + b.Conflicts,
+		Capacities:  a.Capacities + b.Capacities,
+		Explicits:   a.Explicits + b.Explicits,
+		Irrevocable: a.Irrevocable + b.Irrevocable,
+	}
+}
+
+func subAlloc(a, b alloc.Stats) alloc.Stats {
+	return alloc.Stats{
+		WatermarkBytes: a.WatermarkBytes - b.WatermarkBytes,
+		Arenas:         a.Arenas - b.Arenas,
+		FreeBlocks:     a.FreeBlocks - b.FreeBlocks,
+	}
+}
+
+func addAlloc(a, b alloc.Stats) alloc.Stats {
+	return alloc.Stats{
+		WatermarkBytes: a.WatermarkBytes + b.WatermarkBytes,
+		Arenas:         a.Arenas + b.Arenas,
+		FreeBlocks:     a.FreeBlocks + b.FreeBlocks,
+	}
+}
