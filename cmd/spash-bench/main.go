@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spash-bench [-fig all|1|7|8|9|10|11|12a|12b|12c|12d|table1|ext-doubling|ext-hotspot|ext-eadr] [-scale small|medium|large]
+//	spash-bench [-fig all|1|7|8|9|10|11|12a|12b|12c|12d|table1|ext-doubling|ext-hotspot|ext-eadr|ext-integrity] [-scale small|medium|large]
 //	            [-json DIR] [-metrics-addr HOST:PORT]
 //
 // Output is a sequence of labelled tables (one per figure panel); see
@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spash"
 	"spash/internal/harness"
 	"spash/internal/obs"
 )
@@ -51,6 +52,7 @@ var figures = []figure{
 	{"ext-doubling", "staged vs monolithic doubling tail latency (extension)", harness.ExtDoublingTail},
 	{"ext-hotspot", "hotspot detector sizing sweep (extension)", harness.ExtHotspotSweep},
 	{"ext-eadr", "eADR+HTM vs legacy-ADR discipline (extension)", harness.ExtEADRBenefit},
+	{"ext-integrity", "checksum-seal overhead, off vs on (extension)", harness.ExtIntegrity},
 }
 
 // curRec is the recorder of the figure currently running; the
@@ -58,7 +60,7 @@ var figures = []figure{
 var curRec atomic.Pointer[harness.Recorder]
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate (all, 1, 7-11, 12a-12d, table1, ext-doubling, ext-hotspot, ext-eadr)")
+	figFlag := flag.String("fig", "all", "figure to regenerate (all, 1, 7-11, 12a-12d, table1, ext-doubling, ext-hotspot, ext-eadr, ext-integrity)")
 	scaleFlag := flag.String("scale", "medium", "workload scale (small, medium, large)")
 	jsonDir := flag.String("json", "", "write one BENCH_<fig>.json artifact per figure into this directory")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/obs/trace and /debug/pprof on this address (off when empty)")
@@ -115,7 +117,7 @@ func main() {
 		err := f.run(os.Stdout, scale)
 		harness.SetRecorder(nil)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
+			fmt.Fprintf(os.Stderr, "figure %s: %s\n", f.name, spash.DescribeError(err))
 			os.Exit(1)
 		}
 		if *jsonDir != "" {

@@ -51,6 +51,7 @@ func main() {
   lf                    load factor
   stats                 index + PM memory counters
   crash                 simulate power failure, then recover
+  fsck [repair]         verify every segment; with 'repair', rebuild damaged ones
   shrink                try to halve the directory
   quit
 `)
@@ -60,7 +61,7 @@ func main() {
 				continue
 			}
 			if err := s.Insert([]byte(fields[1]), []byte(fields[2])); err != nil {
-				fmt.Println("error:", err)
+				fmt.Println("error:", spash.DescribeError(err))
 			} else {
 				fmt.Println("ok")
 			}
@@ -72,7 +73,7 @@ func main() {
 			v, ok, err := s.Get([]byte(fields[1]), nil)
 			switch {
 			case err != nil:
-				fmt.Println("error:", err)
+				fmt.Println("error:", spash.DescribeError(err))
 			case !ok:
 				fmt.Println("(not found)")
 			default:
@@ -86,7 +87,7 @@ func main() {
 			found, err := s.Update([]byte(fields[1]), []byte(fields[2]))
 			switch {
 			case err != nil:
-				fmt.Println("error:", err)
+				fmt.Println("error:", spash.DescribeError(err))
 			case !found:
 				fmt.Println("(not found)")
 			default:
@@ -100,7 +101,7 @@ func main() {
 			found, err := s.Delete([]byte(fields[1]))
 			switch {
 			case err != nil:
-				fmt.Println("error:", err)
+				fmt.Println("error:", spash.DescribeError(err))
 			case !found:
 				fmt.Println("(not found)")
 			default:
@@ -124,13 +125,30 @@ func main() {
 			lost := db.Crash()
 			db2, err := spash.Recover(platform, spash.Options{})
 			if err != nil {
-				fmt.Println("recovery failed:", err)
+				fmt.Println("recovery failed:", spash.DescribeError(err))
 				os.Exit(1)
 			}
 			db = db2
 			s = db.Session()
 			fmt.Printf("power failure: %d cachelines lost (eADR keeps everything); recovered %d entries\n",
 				lost, db.Len())
+		case "fsck":
+			repair := len(fields) > 1 && fields[1] == "repair"
+			rep, err := s.Fsck(repair)
+			if err != nil {
+				fmt.Println("error:", spash.DescribeError(err))
+				continue
+			}
+			switch {
+			case rep.Clean():
+				fmt.Printf("clean (%d segments)\n", rep.Segments)
+			case repair:
+				fmt.Printf("%d damaged of %d segments: %d repaired, %d unrecoverable, %d keys lost\n",
+					len(rep.Faults), rep.Segments, len(rep.Repairs), len(rep.Failed), len(rep.LostKeys()))
+			default:
+				fmt.Printf("%d damaged of %d segments (rerun as 'fsck repair' to rebuild)\n",
+					len(rep.Faults), rep.Segments)
+			}
 		case "shrink":
 			if db.TryShrink() {
 				fmt.Println("directory halved")

@@ -50,7 +50,7 @@ func main() {
 			val = vb
 		}
 		if err := s.Insert(key, val); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, spash.DescribeError(err))
 			os.Exit(1)
 		}
 	}
@@ -82,6 +82,9 @@ func main() {
 	fmt.Fprintf(tw, "out-of-line keys / values\t%d / %d\n", dump.KeyRecords, dump.ValueRecords)
 	fmt.Fprintf(tw, "PM media traffic\t%d XPLine reads, %d XPLine writes\n",
 		st.Memory.XPLineReads, st.Memory.XPLineWrites)
+	if dump.PoisonedSegments > 0 {
+		fmt.Fprintf(tw, "POISONED segments (unreadable, excluded above)\t%d\n", dump.PoisonedSegments)
+	}
 	tw.Flush()
 
 	fmt.Println("\nlocal-depth histogram (segments per depth):")

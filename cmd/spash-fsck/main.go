@@ -1,23 +1,35 @@
-// Command spash-fsck is the offline consistency checker: it builds an
-// index, optionally crashes the device — either at a quiescent point
-// (-crash) or mid-operation at an exact persistence-primitive step
-// (-crashstep N, via the deterministic fault injector) — recovers, and
-// runs the full structural invariant scan (directory well-formedness,
-// registry agreement, slot routing, fingerprints, hint hygiene,
-// counters) plus an allocator occupancy report — the check an operator
-// would run on a suspect pool.
+// Command spash-fsck is the offline consistency checker and repair
+// tool. It builds an index from a seeded workload, optionally crashes
+// the device — at a quiescent point (-crash) or mid-operation at an
+// exact persistence-primitive step (-crashstep N) — optionally injects
+// seeded media damage at the crash (-bitflips, -torn, -poison), then
+// recovers and verifies: segment seals and record CRCs (-checksums),
+// the full structural invariant scan, and an entry-count cross-check.
+// With -repair, damaged segments are quarantined and rebuilt from
+// their salvageable entries, and the report lists every key lost.
 //
-// The run is reproducible: all randomness comes from -seed. The final
-// line of output is machine-readable — "spash-fsck: PASS" or
-// "spash-fsck: FAIL: <reason>" — and the exit status matches (0/1).
+// The run is reproducible: workload randomness comes from -seed and
+// media damage from -faultseed. With -report the full repair report is
+// written as one JSON document.
+//
+// Exit status:
+//
+//	0  clean — no damage found
+//	1  damage found and fully repaired (-repair)
+//	2  damage remains (repair disabled or impossible), or the check
+//	   itself failed
 //
 // Usage:
 //
-//	spash-fsck [-records 100000] [-churn 3] [-seed 1] [-crash] [-crashstep N]
+//	spash-fsck [-records 100000] [-churn 3] [-seed 1] [-mode eadr|adr]
+//	           [-crash] [-crashstep N]
+//	           [-checksums] [-bitflips N] [-torn N] [-poison N] [-faultseed 1]
+//	           [-repair] [-report FILE.json]
 package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,18 +39,63 @@ import (
 	"spash/internal/pmem"
 )
 
+// report is the -report JSON document.
+type report struct {
+	Schema    string `json:"schema"`
+	Mode      string `json:"mode"`
+	Seed      int64  `json:"seed"`
+	FaultSeed uint64 `json:"faultseed"`
+	Checksums bool   `json:"checksums"`
+	Injected  struct {
+		BitFlips    uint64 `json:"bitflips"`
+		TornLines   uint64 `json:"torn_lines"`
+		PoisonLines uint64 `json:"poison_lines"`
+	} `json:"injected"`
+	Fsck      *spash.FsckReport `json:"fsck"`
+	Invariant string            `json:"invariant_error,omitempty"`
+	Misplaced int               `json:"misplaced"`
+	Entries   int               `json:"entries"`
+	Exit      int               `json:"exit"`
+}
+
 func main() {
 	records := flag.Int("records", 100000, "records inserted")
 	churn := flag.Int("churn", 3, "delete/reinsert rounds before checking")
-	crash := flag.Bool("crash", true, "power-cycle the device (quiescent) before checking")
 	seed := flag.Int64("seed", 1, "seed for the workload's randomness (reproducible torture runs)")
+	mode := flag.String("mode", "eadr", "persistence domain of the simulated device (eadr, adr)")
+	poolMB := flag.Int("poolmb", 1024, "simulated PM pool size in MB")
+	cacheKB := flag.Int("cachekb", 8192, "simulated CPU cache size in KB (small values force evictions, making ADR torture bite)")
+	crash := flag.Bool("crash", true, "power-cycle the device (quiescent) before checking")
 	crashStep := flag.Int64("crashstep", 0,
 		"inject a power failure before the N-th persistence-primitive step of the workload (0 = disabled)")
+	checksums := flag.Bool("checksums", true, "maintain + verify per-segment checksum seals")
+	bitFlips := flag.Int("bitflips", 0, "single-bit flips injected into live segment frames at the crash")
+	torn := flag.Int("torn", 0, "max dirty cachelines torn (old/new words interleaved) at an ADR crash")
+	poison := flag.Int("poison", 0, "XPLines poisoned (reads become machine checks) at the crash")
+	faultSeed := flag.Uint64("faultseed", 1, "seed for media-fault placement")
+	repair := flag.Bool("repair", false, "quarantine and rebuild damaged segments")
+	reportPath := flag.String("report", "", "write the repair report as JSON to this file")
 	flag.Parse()
 
+	var pmode pmem.Mode
+	switch *mode {
+	case "eadr":
+		pmode = spash.EADR
+	case "adr":
+		pmode = spash.ADR
+	default:
+		fmt.Fprintf(os.Stderr, "spash-fsck: unknown -mode %q (want eadr or adr)\n", *mode)
+		os.Exit(2)
+	}
+	wantMedia := *bitFlips > 0 || *torn > 0 || *poison > 0
+
 	platform := spash.DefaultPlatform()
-	platform.PoolSize = 1 << 30
-	db, err := spash.Open(spash.Options{Platform: platform})
+	platform.PoolSize = uint64(*poolMB) << 20
+	platform.CacheSize = uint64(*cacheKB) << 10
+	platform.Mode = pmode
+	opts := spash.Options{Platform: platform}
+	opts.Index.Checksums = *checksums
+	db, err := spash.Open(opts)
 	if err != nil {
 		fail(err)
 	}
@@ -52,7 +109,8 @@ func main() {
 		db.Platform().ArmFault(plan)
 	}
 
-	fmt.Printf("building: %d records, %d churn rounds (seed %d)...\n", *records, *churn, *seed)
+	fmt.Printf("building: %d records, %d churn rounds (seed %d, %s, checksums %v)...\n",
+		*records, *churn, *seed, *mode, *checksums)
 	werr := pmem.CatchCrash(func() error {
 		for i := uint64(0); i < uint64(*records); i++ {
 			binary.LittleEndian.PutUint64(kb, i)
@@ -77,6 +135,26 @@ func main() {
 		return nil
 	})
 
+	// Media damage is injected when the power actually cuts — that is
+	// when real bit rot and torn write-backs become visible. Bit flips
+	// and poison aim at live segment frames; torn consumes whatever is
+	// dirty in the cache, so targeting (which would scan — and thereby
+	// clean — the cache) is skipped when only torn damage is asked for.
+	var mp *pmem.MediaFaultPlan
+	if wantMedia {
+		mp = &pmem.MediaFaultPlan{
+			Seed:        *faultSeed,
+			BitFlips:    *bitFlips,
+			TornLines:   *torn,
+			PoisonLines: *poison,
+		}
+		if *bitFlips > 0 || *poison > 0 {
+			mp.Frames = db.Index().SegmentAddrs(s.Ctx())
+		}
+		db.Platform().ArmMediaFault(mp)
+	}
+
+	crashed := false
 	switch {
 	case plan != nil:
 		db.Platform().DisarmFault()
@@ -89,51 +167,129 @@ func main() {
 		} else {
 			fmt.Printf("fault injection: power cut at step %d (mid-operation, %d cachelines lost)\n",
 				*crashStep, plan.LinesLost())
-			db, err = spash.Recover(db.Platform(), spash.Options{})
-			if err != nil {
-				fail(fmt.Errorf("recovery after injected crash: %w", err))
-			}
-			s = db.Session()
+			crashed = true
 		}
 	case werr != nil:
 		fail(werr)
 	case *crash:
-		platformPool := db.Platform()
 		lost := db.Crash()
 		fmt.Printf("power cycle: %d cachelines lost\n", lost)
-		db, err = spash.Recover(platformPool, spash.Options{})
+		crashed = true
+	}
+	if crashed {
+		db, err = spash.Recover(db.Platform(), opts)
 		if err != nil {
 			fail(fmt.Errorf("recovery: %w", err))
 		}
 		s = db.Session()
 	}
 
-	fmt.Print("checking structural invariants... ")
-	if err := db.Index().CheckInvariants(s.Ctx()); err != nil {
+	rep := report{Schema: "spash-fsck/v1", Mode: *mode, Seed: *seed,
+		FaultSeed: *faultSeed, Checksums: *checksums}
+	if mp != nil {
+		db.Platform().DisarmMediaFault()
+		inj := mp.Injected()
+		rep.Injected.BitFlips = inj.MediaBitFlips
+		rep.Injected.TornLines = inj.MediaTornLines
+		rep.Injected.PoisonLines = inj.MediaPoisonedLines
+		if !mp.Applied() {
+			fmt.Println("warning: media faults requested but no crash fired; nothing was injected")
+		} else {
+			fmt.Printf("media faults injected: %d bit flips, %d torn lines, %d poisoned XPLines (faultseed %d)\n",
+				inj.MediaBitFlips, inj.MediaTornLines, inj.MediaPoisonedLines, *faultSeed)
+		}
+	}
+
+	fmt.Print("verifying segments... ")
+	fsck, err := s.Fsck(*repair)
+	if err != nil {
 		fmt.Println("FAIL")
 		fail(err)
 	}
-	fmt.Println("ok")
+	rep.Fsck = fsck
+	switch {
+	case fsck.Clean():
+		fmt.Printf("ok (%d segments)\n", fsck.Segments)
+	case *repair:
+		fmt.Printf("%d damaged of %d segments; %d repaired, %d unrecoverable\n",
+			len(fsck.Faults), fsck.Segments, len(fsck.Repairs), len(fsck.Failed))
+		salvaged, dropped := 0, 0
+		for i := range fsck.Repairs {
+			salvaged += fsck.Repairs[i].Salvaged
+			dropped += fsck.Repairs[i].Dropped
+		}
+		fmt.Printf("repair: %d entries salvaged, %d dropped (%d lost keys identified)\n",
+			salvaged, dropped, len(fsck.LostKeys()))
+	default:
+		fmt.Printf("%d damaged of %d segments (run with -repair to rebuild)\n",
+			len(fsck.Faults), fsck.Segments)
+	}
+	for i := range fsck.Faults {
+		f := &fsck.Faults[i]
+		fmt.Printf("  fault: segment %#x (prefix %#x depth %d): %s\n", f.Seg, f.Prefix, f.Depth, f.Cause)
+	}
 
-	// Cross-check the entry counter against a full iteration.
-	n := 0
-	if err := s.ForEach(func(k, v []byte) bool { n++; return true }); err != nil {
-		fail(err)
+	fmt.Print("checking structural invariants... ")
+	iErr := db.Index().CheckInvariants(s.Ctx())
+	if iErr != nil {
+		fmt.Println("FAIL")
+		rep.Invariant = iErr.Error()
+	} else {
+		fmt.Println("ok")
 	}
-	if n != db.Len() {
-		fail(fmt.Errorf("iteration found %d entries, counter says %d", n, db.Len()))
+	rep.Misplaced = db.Index().CheckPlacement(s.Ctx())
+	if rep.Misplaced > 0 {
+		fmt.Printf("silent misplacement: %d records route to the wrong segment\n", rep.Misplaced)
 	}
-	fmt.Printf("entry count cross-check: %d entries ok\n", n)
+
+	// Cross-check the entry counter against a full iteration (only
+	// meaningful once the pool is readable, i.e. clean or repaired).
+	if iErr == nil {
+		n := 0
+		if err := s.ForEach(func(k, v []byte) bool { n++; return true }); err != nil {
+			fmt.Printf("iteration: %s\n", spash.DescribeError(err))
+			rep.Invariant = err.Error()
+			iErr = err
+		} else if n != db.Len() {
+			iErr = fmt.Errorf("iteration found %d entries, counter says %d", n, db.Len())
+			rep.Invariant = iErr.Error()
+		} else {
+			fmt.Printf("entry count cross-check: %d entries ok\n", n)
+			rep.Entries = n
+		}
+	}
+
+	exit := fsck.ExitCode()
+	if iErr != nil || rep.Misplaced > 0 {
+		exit = 2
+	}
+	rep.Exit = exit
+	if *reportPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*reportPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fail(fmt.Errorf("writing report: %w", err))
+		}
+		fmt.Printf("report: %s\n", *reportPath)
+	}
 
 	st := db.Stats()
 	fmt.Printf("\nsummary: %d entries in %d segments (load factor %.3f)\n",
 		st.Index.Entries, st.Index.Segments, db.LoadFactor())
-	fmt.Printf("since last open: %d splits, %d merges, %d doublings, %d fallbacks\n",
-		st.Index.Splits, st.Index.Merges, st.Index.Doubles, st.Index.Fallbacks)
-	fmt.Println("\nspash-fsck: PASS")
+	switch exit {
+	case 0:
+		fmt.Println("\nspash-fsck: PASS (clean)")
+	case 1:
+		fmt.Println("\nspash-fsck: REPAIRED")
+	default:
+		fmt.Println("\nspash-fsck: FAIL: damage remains")
+	}
+	os.Exit(exit)
 }
 
 func fail(err error) {
-	fmt.Printf("spash-fsck: FAIL: %v\n", err)
-	os.Exit(1)
+	fmt.Printf("spash-fsck: FAIL: %s\n", spash.DescribeError(err))
+	os.Exit(2)
 }

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"spash"
 	"spash/internal/harness"
 	"spash/internal/ixapi"
 	"spash/internal/obs"
@@ -121,7 +122,7 @@ func main() {
 	for _, e := range entries {
 		ix, err := e.New(scale.Platform())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, spash.DescribeError(err))
 			os.Exit(1)
 		}
 		if !exported {

@@ -145,6 +145,15 @@ type Config struct {
 	// 2^bits per-segment-group locks.
 	LockStripeBits uint
 
+	// Checksums enables self-verifying layout maintenance: a
+	// per-segment seal word (four per-bucket CRC32Cs) kept up to date on
+	// every write path and validated on every operation, so media
+	// corruption (bit rot, torn lines, poison) surfaces as a typed
+	// *CorruptionError instead of a wrong answer. Off by default; the
+	// write-path overhead is measured by the ext_integrity benchmark.
+	// The setting is persistent: Recover adopts it from the pool.
+	Checksums bool
+
 	// Obs supplies an externally owned observability registry (shared
 	// across indexes, exported over HTTP). Nil with DisableObs false
 	// (the default) creates a private registry; see internal/obs.

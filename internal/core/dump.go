@@ -26,6 +26,10 @@ type DumpInfo struct {
 	// MaxDepthCount / MaxOccupancyCount are the histogram maxima
 	// (rendering convenience).
 	MaxDepthCount, MaxOccupancyCount int
+	// PoisonedSegments counts segments that could not be scanned
+	// because their media is poisoned (uncorrectable); their entries
+	// are missing from every other statistic.
+	PoisonedSegments int
 }
 
 // Dump collects a DumpInfo.
@@ -48,28 +52,8 @@ func (ix *Index) Dump(c *pmem.Ctx) DumpInfo {
 		if int(depth) < len(info.DepthHistogram) {
 			info.DepthHistogram[depth]++
 		}
-		occ := 0
-		for s := 0; s < SlotsPerSegment; s++ {
-			kw := m.load(slotAddr(seg, s))
-			if !keyOccupied(kw) {
-				continue
-			}
-			occ++
-			if !keyIsInline(kw) {
-				info.KeyRecords++
-			}
-			vw := m.load(slotAddr(seg, s) + 8)
-			if !valueIsInline(vw) {
-				info.ValueRecords++
-			}
-		}
-		info.OccupancyHistogram[occ]++
-		// Overflow entries: occupied slots referenced by a hint.
-		for s := 0; s < SlotsPerSegment; s++ {
-			hv := m.load(slotAddr(seg, s) + 8)
-			if hintValid(hv) && keyOccupied(m.load(slotAddr(seg, hintIdx(hv)))) {
-				info.OverflowEntries++
-			}
+		if !dumpSegment(m, seg, &info) {
+			info.PoisonedSegments++
 		}
 	}
 	for _, n := range info.DepthHistogram {
@@ -85,13 +69,60 @@ func (ix *Index) Dump(c *pmem.Ctx) DumpInfo {
 	return info
 }
 
+// dumpSegment accumulates one segment's statistics, reporting false
+// (and counting nothing) when its media is poisoned.
+func dumpSegment(m mem, seg uint64, info *DumpInfo) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, pok := r.(pmem.AccessError); pok && ae.Poisoned {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	occ := 0
+	for s := 0; s < SlotsPerSegment; s++ {
+		kw := m.load(slotAddr(seg, s))
+		if !keyOccupied(kw) {
+			continue
+		}
+		occ++
+		if !keyIsInline(kw) {
+			info.KeyRecords++
+		}
+		vw := m.load(slotAddr(seg, s) + 8)
+		if !valueIsInline(vw) {
+			info.ValueRecords++
+		}
+	}
+	info.OccupancyHistogram[occ]++
+	// Overflow entries: occupied slots referenced by a hint.
+	for s := 0; s < SlotsPerSegment; s++ {
+		hv := m.load(slotAddr(seg, s) + 8)
+		if hintValid(hv) && keyOccupied(m.load(slotAddr(seg, hintIdx(hv)))) {
+			info.OverflowEntries++
+		}
+	}
+	return true
+}
+
 // ForEach visits every live entry once, calling fn with the key and
 // value bytes (valid only during the call). Each segment is read in
 // its own transaction, so the visit of one segment is atomic, but the
 // iteration as a whole is not a snapshot — concurrent writers may be
 // seen or missed, like iterating any live hash table. Returns early if
 // fn returns false.
-func (ix *Index) ForEach(h *Handle, fn func(key, val []byte) bool) error {
+func (ix *Index) ForEach(h *Handle, fn func(key, val []byte) bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(pmem.AccessError); ok && ae.Poisoned {
+				err = &CorruptionError{Seg: ae.Addr &^ (SegmentSize - 1), Bucket: -1, Cause: ae}
+				return
+			}
+			panic(r)
+		}
+	}()
 	d := ix.dir.Load()
 	seen := make(map[uint64]bool)
 	var kb [8]byte

@@ -41,7 +41,20 @@ func (ix *Index) keyMatches(c *pmem.Ctx, kw uint64, r *req) bool {
 	if keyIsInline(kw) {
 		return r.kInline && wordPayload(kw) == r.kpay
 	}
-	return keyRecordEquals(c, ix.pool, wordPayload(kw), r.key)
+	if keyRecordEquals(c, ix.pool, wordPayload(kw), r.key) {
+		return true
+	}
+	if ix.sealAddr != 0 && !recordCRCOK(rawMem{ix.pool, c}, wordPayload(kw)) {
+		// The fingerprint matched but the key record neither equals the
+		// probe key nor passes its own CRC: the record is rotten, and a
+		// plain "no match" could silently turn a present key into
+		// not-found. The operation guard converts this to a typed
+		// *CorruptionError. (A doomed optimistic reader can also land
+		// here via a freed-and-reused record; exec retries conflicts
+		// before surfacing errors, so only real corruption persists.)
+		panic(recordFault{addr: wordPayload(kw)})
+	}
+	return false
 }
 
 // locate finds r's slot in the segment: the main bucket first, then

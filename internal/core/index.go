@@ -39,8 +39,13 @@ func regDepth(e uint64) uint    { return uint(e >> regDepthShift & 0xFF) }
 const (
 	rootMagic    = 0
 	rootRegistry = 1
-	indexMagic   = 0x5350415348494458 // "SPASHIDX"
-	maxDepth     = 44
+	// rootSeal holds the base address of the per-segment seal table
+	// when checksum maintenance (Config.Checksums) is enabled, 0
+	// otherwise. The setting is thereby persistent: Recover adopts it
+	// from this word regardless of the passed Config.
+	rootSeal   = 2
+	indexMagic = 0x5350415348494458 // "SPASHIDX"
+	maxDepth   = 44
 )
 
 // Stats are the index's operational counters (all cumulative).
@@ -85,6 +90,11 @@ type Index struct {
 
 	registryAddr uint64
 	registryCap  uint64 // entries
+	// sealAddr is the base of the per-segment seal table (one word per
+	// pool XPLine, like the registry); 0 when checksums are off. Each
+	// seal word packs the four per-bucket CRC32Cs of its segment
+	// (integrity.go).
+	sealAddr uint64
 
 	hot *hotspot
 
@@ -105,7 +115,13 @@ type Index struct {
 	lastResizeCost atomic.Int64
 	resizeEpoch    atomic.Int64
 
-	entries      atomic.Int64
+	entries atomic.Int64
+	// entriesApprox is set when a quarantine dropped an unreadable
+	// (poisoned) segment: its pre-loss occupancy was undiscoverable, so
+	// entries is an estimate until the next quiescent full scan
+	// (CheckInvariants or Fsck) recomputes the truth.
+	entriesApprox atomic.Bool
+
 	segments     atomic.Int64
 	splits       atomic.Int64
 	merges       atomic.Int64
@@ -131,10 +147,19 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 		return nil, fmt.Errorf("core: allocating segment registry: %w", err)
 	}
 	ix.registryAddr = regAddr
+	if cfg.Checksums {
+		sa, err := al.AllocRaw(c, ix.registryCap*8)
+		if err != nil {
+			return nil, fmt.Errorf("core: allocating seal table: %w", err)
+		}
+		ix.sealAddr = sa
+	}
 
 	// Initial directory: one fresh segment per entry. The initial
 	// structure is flushed so even an ADR-mode pool starts from a
 	// durable skeleton.
+	var zeroImg [SegmentSize / 8]uint64
+	zeroSeal := sealOfImage(&zeroImg)
 	d := newDirectory(cfg.InitialDepth)
 	h := al.NewHandle()
 	for i := range d.entries {
@@ -146,6 +171,10 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 		ix.regStoreRaw(c, seg, uint64(i), cfg.InitialDepth, true)
 		pool.Flush(c, seg, SegmentSize)
 		pool.Flush(c, ix.regAddrOf(seg), 8)
+		if ix.sealAddr != 0 {
+			pool.Store64(c, ix.sealAddrOf(seg), zeroSeal)
+			pool.Flush(c, ix.sealAddrOf(seg), 8)
+		}
 		ix.segments.Add(1)
 	}
 	pool.Fence(c)
@@ -154,6 +183,7 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 	ix.dir.Store(d)
 
 	pool.Store64(c, alloc.RootAddr(rootRegistry), regAddr)
+	pool.Store64(c, alloc.RootAddr(rootSeal), ix.sealAddr)
 	pool.Store64(c, alloc.RootAddr(rootMagic), indexMagic)
 	pool.Flush(c, alloc.RootAddr(0), alloc.RootWords*8)
 	pool.Fence(c)
@@ -221,6 +251,25 @@ func (ix *Index) newSegment(c *pmem.Ctx, h *alloc.Handle) (uint64, error) {
 // regAddrOf returns the registry word for a segment address.
 func (ix *Index) regAddrOf(seg uint64) uint64 {
 	return ix.registryAddr + seg/SegmentSize*8
+}
+
+// sealAddrOf returns the seal word for a segment address. Only valid
+// when sealAddr != 0 (checksums on).
+func (ix *Index) sealAddrOf(seg uint64) uint64 {
+	return ix.sealAddr + seg/SegmentSize*8
+}
+
+// SegmentAddrs returns the PM address of every live segment, read from
+// the persistent registry. The index must be quiescent. Used by fault-
+// injection harnesses (to aim media damage at index frames) and tests.
+func (ix *Index) SegmentAddrs(c *pmem.Ctx) []uint64 {
+	var out []uint64
+	for i := uint64(0); i < ix.registryCap; i++ {
+		if ix.pool.Load64(c, ix.registryAddr+i*8)&regValid != 0 {
+			out = append(out, i*SegmentSize)
+		}
+	}
+	return out
 }
 
 // regStoreRaw writes a registry entry outside any transaction (index

@@ -1,0 +1,733 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"runtime"
+	"sync/atomic"
+
+	"spash/internal/hash"
+	"spash/internal/htm"
+	"spash/internal/obs"
+	"spash/internal/pmem"
+)
+
+// This file makes the layout self-verifying and repairable. The
+// mechanism is a seal table parallel to the registry: one word per
+// pool XPLine, packing the four per-bucket CRC32Cs of the segment in
+// that frame (16 bits per 64-byte bucket). Seals are maintained inside
+// the same atomic sections that mutate segments, validated on every
+// operation when Config.Checksums is on, and checked offline by Fsck
+// and online by the scrubber. A segment that fails validation is
+// quarantined: its directory range is repointed at a freshly rebuilt
+// segment holding the entries that survive salvage, and the keys that
+// did not are reported — wrong answers are never returned.
+
+// ErrCorrupted matches (via errors.Is) every *CorruptionError.
+var ErrCorrupted = errors.New("core: data corruption detected")
+
+// ErrChecksum is the cause of a seal (per-bucket CRC) mismatch.
+var ErrChecksum = errors.New("core: segment checksum mismatch")
+
+// ErrRecordChecksum is the cause of an out-of-line record whose
+// payload does not match its header CRC.
+var ErrRecordChecksum = errors.New("core: record checksum mismatch")
+
+// CorruptionError is returned (never panicked) by operations that hit
+// damaged media: a poisoned XPLine, a segment whose seal does not
+// match its contents, or a record failing its CRC. Bucket is -1 when
+// the damage cannot be attributed to one bucket.
+type CorruptionError struct {
+	Seg    uint64
+	Bucket int
+	Cause  error
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Bucket >= 0 {
+		return fmt.Sprintf("core: corruption in segment %#x bucket %d: %v", e.Seg, e.Bucket, e.Cause)
+	}
+	return fmt.Sprintf("core: corruption in segment %#x: %v", e.Seg, e.Cause)
+}
+
+func (e *CorruptionError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrCorrupted) match any CorruptionError.
+func (e *CorruptionError) Is(target error) bool { return target == ErrCorrupted }
+
+// recordFault is the panic value raised deep in the probe path
+// (keyMatches) when a key record fails its CRC; the operation guard
+// converts it to a *CorruptionError return. It never escapes exec.
+type recordFault struct{ addr uint64 }
+
+// Seal encoding: bucket b's CRC32C (truncated to 16 bits) occupies
+// bits [16b, 16b+16) of the seal word.
+
+// bucketCRC computes the 16-bit CRC lane of one bucket's 8 words.
+func bucketCRC(ws []uint64) uint64 {
+	var b [pmem.CachelineSize]byte
+	for i := 0; i < SlotsPerBucket*2; i++ {
+		binary.LittleEndian.PutUint64(b[i*8:], ws[i])
+	}
+	return uint64(crc32.Checksum(b[:], crcTable) & 0xFFFF)
+}
+
+// sealOfImage computes the seal word of an in-memory segment image.
+func sealOfImage(img *[SegmentSize / 8]uint64) uint64 {
+	var s uint64
+	for b := 0; b < BucketsPerSegment; b++ {
+		s |= bucketCRC(img[b*SlotsPerBucket*2:(b+1)*SlotsPerBucket*2]) << (16 * b)
+	}
+	return s
+}
+
+// sealOfMem computes the seal word of a segment read through m (32
+// loads; inside a transaction they join the read set, so the seal is
+// consistent with the image the transaction commits against).
+func sealOfMem(m mem, seg uint64) uint64 {
+	var img [SegmentSize / 8]uint64
+	for i := range img {
+		img[i] = m.load(seg + uint64(i)*8)
+	}
+	return sealOfImage(&img)
+}
+
+// reseal recomputes and stores the segment's seal through m. Called
+// after a mutating operation body succeeds, inside the same atomic
+// section, so seal and segment can never be observed out of step
+// (except by an ADR power cut, which fsck repairs).
+func (ix *Index) reseal(m mem, seg uint64) {
+	m.store(ix.sealAddrOf(seg), sealOfMem(m, seg))
+}
+
+// verifySeal compares the segment's stored seal with its contents and
+// returns the mismatching buckets as a 4-bit mask (0 = clean).
+func (ix *Index) verifySeal(m mem, seg uint64) (badMask int) {
+	want := m.load(ix.sealAddrOf(seg))
+	got := sealOfMem(m, seg)
+	for b := 0; b < BucketsPerSegment; b++ {
+		if (want^got)>>(16*b)&0xFFFF != 0 {
+			badMask |= 1 << b
+		}
+	}
+	return badMask
+}
+
+func firstBadBucket(badMask int) int {
+	for b := 0; b < BucketsPerSegment; b++ {
+		if badMask>>b&1 == 1 {
+			return b
+		}
+	}
+	return -1
+}
+
+// guardBody wraps an operation body with the corruption boundary:
+//
+//   - a poisoned-media machine check (pmem.AccessError panic) or a
+//     key-record CRC failure (recordFault panic) raised by any access
+//     inside the body becomes a *CorruptionError return value, so it
+//     unwinds through the protocol paths — which must run their
+//     unlock/release code — instead of through the stack;
+//   - when checksums are on, the segment's seal is validated before
+//     the body runs (damaged segments fail fast instead of answering)
+//     and recomputed after a mutating body succeeds.
+//
+// The wrapper preserves the body contract: it is idempotent and
+// resets nothing the body does not reset itself.
+func (h *Handle) guardBody(readonly bool, body func(m mem, seg uint64) error) func(m mem, seg uint64) error {
+	ix := h.ix
+	return func(m mem, seg uint64) (err error) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if ae, ok := r.(pmem.AccessError); ok {
+				// Poisoned media, or — on a checksum-off pool where no
+				// seal guards the pointers — a corrupted slot pointing
+				// at a misaligned/out-of-range record. Either way the
+				// operation fails typed instead of panicking.
+				err = &CorruptionError{Seg: seg, Bucket: -1, Cause: ae}
+				return
+			}
+			if rf, ok := r.(recordFault); ok {
+				// A doomed optimistic reader can catch a freed-and-reused
+				// record mid-rewrite and fail its CRC transiently. Give
+				// the writer a moment and re-check raw: a record that
+				// heals was a race (retry the operation via the protocol's
+				// segment-moved path); one that stays rotten is corrupt.
+				raw := rawMem{ix.pool, h.c}
+				for i := 0; i < 3; i++ {
+					if recordCRCOK(raw, rf.addr) {
+						err = errSegMoved
+						return
+					}
+					runtime.Gosched()
+				}
+				err = &CorruptionError{Seg: seg, Bucket: -1,
+					Cause: fmt.Errorf("key record %#x: %w", rf.addr, ErrRecordChecksum)}
+				return
+			}
+			panic(r)
+		}()
+		if ix.sealAddr != 0 {
+			if bad := ix.verifySeal(m, seg); bad != 0 {
+				return &CorruptionError{Seg: seg, Bucket: firstBadBucket(bad), Cause: ErrChecksum}
+			}
+		}
+		if err := body(m, seg); err != nil {
+			return err
+		}
+		if ix.sealAddr != 0 && !readonly {
+			ix.reseal(m, seg)
+		}
+		return nil
+	}
+}
+
+// poisonAsCorruption is a defer helper for paths that read PM outside
+// a guarded operation body (split preparation): a poisoned-media panic
+// becomes a *CorruptionError assigned to *err; other panics propagate.
+func poisonAsCorruption(seg *uint64, err *error) {
+	if r := recover(); r != nil {
+		if ae, ok := r.(pmem.AccessError); ok && ae.Poisoned {
+			*err = &CorruptionError{Seg: *seg, Bucket: -1, Cause: ae}
+			return
+		}
+		panic(r)
+	}
+}
+
+// SegmentFault describes one damaged segment found by verification.
+type SegmentFault struct {
+	Seg    uint64 `json:"seg"`
+	Prefix uint64 `json:"prefix"`
+	Depth  uint   `json:"depth"`
+	// Poisoned marks an uncorrectable-media segment (or registry/seal
+	// frame); BadBuckets is the seal-mismatch mask; BadSlots counts
+	// slots failing semantic validation (routing, fingerprint, record
+	// CRC, missing overflow hint).
+	Poisoned   bool   `json:"poisoned,omitempty"`
+	BadBuckets int    `json:"bad_buckets,omitempty"`
+	BadSlots   int    `json:"bad_slots,omitempty"`
+	Cause      string `json:"cause"`
+}
+
+// verifySegment checks one segment against its registry claim and
+// returns a fault description, or nil when clean. It never panics:
+// poison is reported as a fault. Read-only; usable on a live index
+// only when the segment is quiesced (Fsck) — the online path is the
+// scrubber, which verifies transactionally.
+func (ix *Index) verifySegment(c *pmem.Ctx, seg, prefix uint64, depth uint) (f *SegmentFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(pmem.AccessError); ok {
+				f = &SegmentFault{Seg: seg, Prefix: prefix, Depth: depth,
+					Poisoned: ae.Poisoned, Cause: ae.Error()}
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := rawMem{ix.pool, c}
+	var snap [SegmentSize / 8]uint64
+	for i := range snap {
+		snap[i] = m.load(seg + uint64(i)*8)
+	}
+	fault := SegmentFault{Seg: seg, Prefix: prefix, Depth: depth}
+	if ix.sealAddr != 0 {
+		want := m.load(ix.sealAddrOf(seg))
+		got := sealOfImage(&snap)
+		for b := 0; b < BucketsPerSegment; b++ {
+			if (want^got)>>(16*b)&0xFFFF != 0 {
+				fault.BadBuckets |= 1 << b
+			}
+		}
+	}
+	for s := 0; s < SlotsPerSegment; s++ {
+		if !slotValid(m, &snap, seg, s, prefix, depth) {
+			fault.BadSlots++
+		}
+	}
+	if fault.BadBuckets == 0 && fault.BadSlots == 0 {
+		return nil
+	}
+	fault.Cause = fmt.Sprintf("seal mask %#x, %d invalid slots", fault.BadBuckets, fault.BadSlots)
+	return &fault
+}
+
+// slotValid performs the semantic validation of one occupied slot
+// against its segment's hash range: decodable key (record CRC for
+// out-of-line keys), correct routing prefix, matching fingerprint, a
+// CRC-clean out-of-line value, and — for overflow entries — a hint in
+// the main bucket. Free slots are trivially valid. Panics on poison
+// (callers guard).
+func slotValid(m mem, snap *[SegmentSize / 8]uint64, seg uint64, s int, prefix uint64, depth uint) bool {
+	kw := snap[s*2]
+	if !keyOccupied(kw) {
+		return true
+	}
+	key, ok := decodeSlotKeyTolerant(m, kw)
+	if !ok {
+		return false
+	}
+	h := hashKey(key)
+	if hash.Prefix(h, depth) != prefix || keyFP(kw) != hash.KeyFingerprint(h) {
+		return false
+	}
+	vw := snap[s*2+1]
+	if !valueIsInline(vw) && !recordCRCOKTolerant(m, wordPayload(vw)) {
+		return false
+	}
+	if b := mainBucket(h); bucketOf(s) != b {
+		found := false
+		for hs := b * SlotsPerBucket; hs < (b+1)*SlotsPerBucket; hs++ {
+			hv := snap[hs*2+1]
+			if hintValid(hv) && hintIdx(hv) == s && hintFP(hv) == hash.OverflowFingerprint(h) {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeSlotKey extracts the key bytes of an occupied key word: the
+// inline payload, or the out-of-line record if its CRC matches.
+func decodeSlotKey(m mem, kw uint64) ([]byte, bool) {
+	if keyIsInline(kw) {
+		var kb [8]byte
+		binary.LittleEndian.PutUint64(kb[:], wordPayload(kw))
+		return kb[:], true
+	}
+	addr := wordPayload(kw)
+	if !recordCRCOK(m, addr) {
+		return nil, false
+	}
+	return readRecord(m, addr, nil), true
+}
+
+// QuarantineReport records one segment rebuild: which frame was
+// dropped, where its survivors went, and which keys were lost. Keys
+// whose bytes could not be recovered from the damaged image are not
+// listed; they are covered by the segment's hash range (Prefix/Depth),
+// which oracles use to excuse unattributable misses.
+type QuarantineReport struct {
+	Seg    uint64 `json:"seg"`
+	NewSeg uint64 `json:"new_seg"`
+	Prefix uint64 `json:"prefix"`
+	Depth  uint   `json:"depth"`
+	// Salvaged entries moved to the new segment; Dropped were
+	// discarded (LostKeys lists the ones whose key bytes survived).
+	Salvaged int      `json:"salvaged"`
+	Dropped  int      `json:"dropped"`
+	LostKeys [][]byte `json:"lost_keys,omitempty"`
+}
+
+// Covers reports whether a key's hash falls in the quarantined range.
+func (q *QuarantineReport) Covers(h uint64) bool {
+	return hash.Prefix(h, q.Depth) == q.Prefix
+}
+
+// Quarantine drops the damaged segment owning hash hh and rebuilds its
+// directory range from the survivors of salvage. expectSeg, when
+// non-zero, aborts the quarantine (nil report, nil error) if the range
+// is no longer served by that segment — a concurrent split, merge or
+// earlier repair already replaced the damaged frame.
+//
+// Locking follows splitFallback: every covering directory entry is
+// fallback-locked, excluding transactions and fallbacks on the whole
+// segment, then the rebuild runs irrevocably.
+func (h *Handle) Quarantine(hh uint64, expectSeg uint64) (*QuarantineReport, error) {
+	ix := h.ix
+	c := h.c
+	for {
+		if atomic.LoadUint64(&ix.dirGen)&1 == 1 {
+			ix.waitResize()
+			continue
+		}
+		d := ix.dir.Load()
+		_, e := ix.resolveRaw(hh)
+		if entryLocked(e) {
+			runtime.Gosched()
+			continue
+		}
+		seg, depth := entrySeg(e), entryDepth(e)
+		if expectSeg != 0 && seg != expectSeg {
+			return nil, nil
+		}
+		prefix := hash.Prefix(hh, depth)
+		base := prefix << (d.depth - depth)
+		n := uint64(1) << (d.depth - depth)
+
+		locked := uint64(0)
+		ok := true
+		for j := uint64(0); j < n; j++ {
+			ptr := &d.entries[base+j]
+			cur := atomic.LoadUint64(ptr)
+			if entryLocked(cur) || entrySeg(cur) != seg || entryDepth(cur) != depth ||
+				!ix.tm.BumpCASVol(c, ptr, cur, cur|entryLock) {
+				ok = false
+				break
+			}
+			locked++
+		}
+		if !ok || ix.dir.Load() != d {
+			for j := uint64(0); j < locked; j++ {
+				ptr := &d.entries[base+j]
+				ix.tm.BumpStoreVol(c, ptr, entryUnlock(atomic.LoadUint64(ptr)))
+			}
+			runtime.Gosched()
+			continue
+		}
+
+		var report *QuarantineReport
+		err := ix.tm.Irrevocable(c, ix.pool, func(it *htm.ITxn) error {
+			m := iMem{it}
+			snap, poisoned := readSegmentTolerant(m, seg)
+			occupied := 0
+			if !poisoned {
+				for s := 0; s < SlotsPerSegment; s++ {
+					if keyOccupied(snap[s*2]) {
+						occupied++
+					}
+				}
+			}
+			keep, lost, dropped := ix.salvageSegment(m, &snap, seg, poisoned, prefix, depth)
+			img, lok := layoutSegment(keep)
+			if !lok {
+				// Salvage produced an unlayoutable set (corrupt hints
+				// skewed the decode); drop everything, report what we can.
+				for _, en := range keep {
+					if k, ok := decodeSlotKey(m, en.kw); ok {
+						lost = append(lost, append([]byte(nil), k...))
+					}
+					dropped++
+				}
+				keep = nil
+				img = [SegmentSize / 8]uint64{}
+			}
+			newSeg, _, aerr := h.ah.Alloc(c, SegmentSize)
+			if aerr != nil {
+				return aerr
+			}
+			// Raw stores: the frame is fresh (or healing a poisoned
+			// reuse); nothing reads it until the directory repoints.
+			for i, w := range img {
+				ix.pool.Store64(c, newSeg+uint64(i)*8, w)
+			}
+			m.store(ix.regAddrOf(seg), 0)
+			m.store(ix.regAddrOf(newSeg), makeRegEntry(prefix, depth))
+			if ix.sealAddr != 0 {
+				m.store(ix.sealAddrOf(newSeg), sealOfImage(&img))
+				m.store(ix.sealAddrOf(seg), 0)
+			}
+			// Heal the damaged frame before it returns to the free pool
+			// (stores clear poison): a freed frame must never machine-
+			// check a later reader. Through the irrevocable txn, so
+			// optimistic readers still scanning it conflict and retry.
+			for i := uint64(0); i < SegmentSize/8; i++ {
+				m.store(seg+i*8, 0)
+			}
+			for j := uint64(0); j < n; j++ {
+				it.StoreVol(&d.entries[base+j], makeEntry(newSeg, depth))
+			}
+			ix.entries.Add(int64(len(keep)) - int64(occupied))
+			if poisoned {
+				// The frame was unreadable: its occupancy (and with it
+				// the exact counter delta) is lost. Flag the counter as
+				// approximate; the next quiescent scan resyncs it.
+				ix.entriesApprox.Store(true)
+			}
+			report = &QuarantineReport{
+				Seg: seg, NewSeg: newSeg, Prefix: prefix, Depth: depth,
+				Salvaged: len(keep), Dropped: dropped, LostKeys: lost,
+			}
+			return nil
+		})
+		if err != nil {
+			for j := uint64(0); j < n; j++ {
+				ptr := &d.entries[base+j]
+				ix.tm.BumpStoreVol(c, ptr, entryUnlock(atomic.LoadUint64(ptr)))
+			}
+			return nil, err
+		}
+		ix.pool.Flush(c, report.NewSeg, SegmentSize)
+		h.ah.Free(c, seg, SegmentSize)
+		ix.reg.Inc(obs.CQuarantines)
+		ix.reg.Trace(obs.EvQuarantine, c.Clock(), int64(seg), int64(report.Salvaged))
+		return report, nil
+	}
+}
+
+// readSegmentTolerant snapshots a segment through m, reporting (zero
+// image, true) when the frame is poisoned.
+func readSegmentTolerant(m mem, seg uint64) (snap [SegmentSize / 8]uint64, poisoned bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.AccessError); ok {
+				snap = [SegmentSize / 8]uint64{}
+				poisoned = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	for i := range snap {
+		snap[i] = m.load(seg + uint64(i)*8)
+	}
+	return snap, false
+}
+
+// salvageSegment decides, slot by slot, what survives a quarantine.
+// The trust rule is strict — wrong values must be impossible:
+//
+//   - a poisoned frame salvages nothing (its keys are covered by the
+//     range excusal);
+//   - with checksums on, a bucket whose seal lane mismatches is
+//     dropped whole: the damaged word cannot be attributed, so neither
+//     key words nor value words (inline values included) of that
+//     bucket can be trusted. Decodable keys are reported lost;
+//   - everything else passes the full semantic validation (key CRC,
+//     routing, fingerprint, value-record CRC) or is dropped and — when
+//     the key bytes survive — reported.
+func (ix *Index) salvageSegment(m mem, snap *[SegmentSize / 8]uint64, seg uint64, poisoned bool, prefix uint64, depth uint) (keep []segEntry, lost [][]byte, dropped int) {
+	if poisoned {
+		return nil, nil, 0
+	}
+	badMask := 0
+	if ix.sealAddr != 0 {
+		want := m.load(ix.sealAddrOf(seg))
+		got := sealOfImage(snap)
+		for b := 0; b < BucketsPerSegment; b++ {
+			if (want^got)>>(16*b)&0xFFFF != 0 {
+				badMask |= 1 << b
+			}
+		}
+	}
+	for s := 0; s < SlotsPerSegment; s++ {
+		kw := snap[s*2]
+		if !keyOccupied(kw) {
+			continue
+		}
+		key, keyOK := decodeSlotKeyTolerant(m, kw)
+		var hh uint64
+		routeOK := false
+		if keyOK {
+			hh = hashKey(key)
+			routeOK = hash.Prefix(hh, depth) == prefix && keyFP(kw) == hash.KeyFingerprint(hh)
+		}
+		vw := snap[s*2+1]
+		valueOK := valueIsInline(vw) || recordCRCOKTolerant(m, wordPayload(vw))
+		if badMask>>bucketOf(s)&1 == 1 || !keyOK || !routeOK || !valueOK {
+			dropped++
+			if keyOK && routeOK {
+				lost = append(lost, append([]byte(nil), key...))
+			}
+			continue
+		}
+		keep = append(keep, segEntry{kw: kw, vw: vw &^ hintMask, h: hh})
+	}
+	return keep, lost, dropped
+}
+
+// decodeSlotKeyTolerant is decodeSlotKey with any access fault —
+// poison, or the misaligned/out-of-range pointers a corrupted key
+// word produces — treated as an undecodable key instead of a panic.
+func decodeSlotKeyTolerant(m mem, kw uint64) (key []byte, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, pok := r.(pmem.AccessError); pok {
+				key, ok = nil, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return decodeSlotKey(m, kw)
+}
+
+// recordCRCOKTolerant is recordCRCOK with any access fault (poison,
+// or a garbage pointer from a corrupted value word) treated as a
+// failed check instead of a panic.
+func recordCRCOKTolerant(m mem, addr uint64) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, pok := r.(pmem.AccessError); pok {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return recordCRCOK(m, addr)
+}
+
+// FsckReport is the result of one verification (and optional repair)
+// pass over the whole pool.
+type FsckReport struct {
+	// Segments is the number of live segments walked; Faults the
+	// damaged ones found. Repairs records successful quarantines;
+	// Failed the faults that could not be repaired (repair disabled,
+	// or the rebuild itself failed).
+	Segments int                `json:"segments"`
+	Faults   []SegmentFault     `json:"faults,omitempty"`
+	Repairs  []QuarantineReport `json:"repairs,omitempty"`
+	Failed   []SegmentFault     `json:"failed,omitempty"`
+}
+
+// Clean reports whether no damage was found.
+func (r *FsckReport) Clean() bool { return len(r.Faults) == 0 }
+
+// ExitCode maps the report to the documented spash-fsck exit codes:
+// 0 = clean, 1 = damage found and fully repaired, 2 = damage remains
+// (repair disabled or failed).
+func (r *FsckReport) ExitCode() int {
+	switch {
+	case len(r.Faults) == 0:
+		return 0
+	case len(r.Failed) == 0 && len(r.Repairs) == len(r.Faults):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// LostKeys flattens every repair's lost-key list.
+func (r *FsckReport) LostKeys() [][]byte {
+	var out [][]byte
+	for i := range r.Repairs {
+		out = append(out, r.Repairs[i].LostKeys...)
+	}
+	return out
+}
+
+// Fsck walks the persistent registry, verifies every live segment and
+// — when repair is set — quarantines and rebuilds the damaged ones.
+// The index should be quiescent (it is the offline spash-fsck path;
+// online re-verification is StartScrub's job).
+func (h *Handle) Fsck(repair bool) (*FsckReport, error) {
+	ix := h.ix
+	c := h.c
+	rep := &FsckReport{}
+	for i := uint64(0); i < ix.registryCap; i++ {
+		e, rok := loadTolerant(ix, c, ix.registryAddr+i*8)
+		if !rok {
+			rep.Faults = append(rep.Faults, SegmentFault{Seg: i * SegmentSize,
+				Poisoned: true, Cause: "registry frame unreadable (poisoned)"})
+			rep.Failed = append(rep.Failed, rep.Faults[len(rep.Faults)-1])
+			continue
+		}
+		if e&regValid == 0 {
+			continue
+		}
+		rep.Segments++
+		seg, prefix, depth := i*SegmentSize, regPrefix(e), regDepth(e)
+		f := ix.verifySegment(c, seg, prefix, depth)
+		if f == nil {
+			continue
+		}
+		rep.Faults = append(rep.Faults, *f)
+		if !repair {
+			continue
+		}
+		hh := prefix << (64 - depth)
+		qr, err := h.Quarantine(hh, seg)
+		if err != nil || qr == nil {
+			f2 := *f
+			if err != nil {
+				f2.Cause = fmt.Sprintf("repair failed: %v", err)
+			} else {
+				f2.Cause = "repair skipped: segment restructured concurrently"
+			}
+			rep.Failed = append(rep.Failed, f2)
+			continue
+		}
+		rep.Repairs = append(rep.Repairs, *qr)
+	}
+	if len(rep.Repairs) > 0 {
+		// Corruption can destroy occupancy information (a flipped
+		// occupied bit), so the live-entry counter delta applied by
+		// Quarantine is only an estimate. Fsck runs quiescent: resync
+		// the counter against the post-repair truth.
+		ix.entries.Store(ix.countOccupied(c))
+		ix.entriesApprox.Store(false)
+	}
+	return rep, nil
+}
+
+// countOccupied walks every live segment and counts occupied slots,
+// skipping unreadable frames.
+func (ix *Index) countOccupied(c *pmem.Ctx) int64 {
+	total := int64(0)
+	for i := uint64(0); i < ix.registryCap; i++ {
+		e, rok := loadTolerant(ix, c, ix.registryAddr+i*8)
+		if !rok || e&regValid == 0 {
+			continue
+		}
+		seg := i * SegmentSize
+		for s := 0; s < SlotsPerSegment; s++ {
+			if kw, kok := loadTolerant(ix, c, slotAddr(seg, s)); kok && keyOccupied(kw) {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// loadTolerant reads one PM word, reporting ok=false on poison.
+func loadTolerant(ix *Index, c *pmem.Ctx, addr uint64) (v uint64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, pok := r.(pmem.AccessError); pok {
+				v, ok = 0, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return ix.pool.Load64(c, addr), true
+}
+
+// KeyHash exposes the index's key-hash function so external oracles
+// (internal/crashtest) can match keys against QuarantineReport.Covers
+// and repair-report prefix ranges.
+func KeyHash(key []byte) uint64 { return hashKey(key) }
+
+// CheckPlacement scans every live segment and counts occupied slots
+// whose key decodes cleanly (inline, or an out-of-line record with a
+// matching CRC) but routes to a different segment. This is the silent-
+// misplacement shape a value-comparison oracle cannot see: the record
+// looks intact, yet lookups for its key go elsewhere and miss it.
+// Undecodable or poisoned slots are not counted — they are corruption,
+// reported through the verification paths. The index must be
+// quiescent.
+func (ix *Index) CheckPlacement(c *pmem.Ctx) (misplaced int) {
+	m := rawMem{ix.pool, c}
+	for i := uint64(0); i < ix.registryCap; i++ {
+		e, rok := loadTolerant(ix, c, ix.registryAddr+i*8)
+		if !rok || e&regValid == 0 {
+			continue
+		}
+		seg, prefix, depth := i*SegmentSize, regPrefix(e), regDepth(e)
+		for s := 0; s < SlotsPerSegment; s++ {
+			kw, kok := loadTolerant(ix, c, slotAddr(seg, s))
+			if !kok || !keyOccupied(kw) {
+				continue
+			}
+			key, ok := decodeSlotKeyTolerant(m, kw)
+			if !ok {
+				continue
+			}
+			if hash.Prefix(hashKey(key), depth) != prefix {
+				misplaced++
+			}
+		}
+	}
+	return misplaced
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spash/internal/alloc"
+	"spash/internal/pmem"
+)
+
+// integrityKey returns a deterministic key: even i inline (8 bytes),
+// odd i out-of-line (longer than a slot payload).
+func integrityKey(i int) []byte {
+	if i%2 == 0 {
+		return k64(uint64(i) | 1<<40)
+	}
+	return []byte(fmt.Sprintf("integrity-key-%06d-out-of-line", i))
+}
+
+func integrityVal(i int) []byte {
+	if i%3 == 0 {
+		return k64(uint64(i) ^ 0xABCD)
+	}
+	return bytes.Repeat([]byte{byte(i)}, 40+i%50)
+}
+
+func fillIntegrity(t *testing.T, h *Handle, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := h.Insert(integrityKey(i), integrityVal(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+}
+
+// checkSurvivors verifies the post-repair oracle: every key is either
+// intact (right value), reported lost, or hash-covered by a repair
+// range. Silent wrong values and unexcused misses fail.
+func checkSurvivors(t *testing.T, h *Handle, n int, rep *FsckReport) (lostSeen int) {
+	t.Helper()
+	lost := map[string]bool{}
+	for _, k := range rep.LostKeys() {
+		lost[string(k)] = true
+	}
+	covered := func(hh uint64) bool {
+		for i := range rep.Repairs {
+			if rep.Repairs[i].Covers(hh) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		key := integrityKey(i)
+		got, found, err := h.Search(key, nil)
+		if err != nil {
+			t.Fatalf("post-repair Search(%d): %v", i, err)
+		}
+		if found {
+			if !bytes.Equal(got, integrityVal(i)) {
+				t.Fatalf("key %d: silent wrong value after repair", i)
+			}
+			continue
+		}
+		lostSeen++
+		if !lost[string(key)] && !covered(hashKey(key)) {
+			t.Fatalf("key %d: missing but neither reported lost nor in a repaired range", i)
+		}
+	}
+	return lostSeen
+}
+
+func TestChecksumsRoundTripAndRecoverAdoption(t *testing.T) {
+	pool := pmem.New(pmem.Config{PoolSize: 32 << 20, CacheSize: 1 << 20})
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(c, pool, al, Config{InitialDepth: 2, Checksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ix.NewHandle(c)
+	const n = 3000
+	fillIntegrity(t, h, n)
+	for i := 0; i < n; i += 7 {
+		if _, err := h.Update(integrityKey(i), integrityVal(i)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i += 11 {
+		if _, err := h.Delete(integrityKey(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if err := h.Insert(integrityKey(i), integrityVal(i)); err != nil {
+			t.Fatalf("reinsert %d: %v", i, err)
+		}
+	}
+	if err := ix.CheckInvariants(c); err != nil {
+		t.Fatalf("invariants with checksums on: %v", err)
+	}
+	if rep, err := h.Fsck(false); err != nil || rep.ExitCode() != 0 {
+		t.Fatalf("fsck of healthy pool: err=%v report=%+v", err, rep)
+	}
+
+	// Recover must adopt the persistent checksum setting even when the
+	// passed Config says off.
+	pool.Crash()
+	c2 := pool.NewCtx()
+	ix2, _, err := Recover(c2, pool, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix2.cfg.Checksums || ix2.sealAddr == 0 {
+		t.Fatal("Recover did not adopt persistent checksum setting")
+	}
+	h2 := ix2.NewHandle(c2)
+	for i := 0; i < n; i++ {
+		got, found, err := h2.Search(integrityKey(i), nil)
+		if err != nil || !found || !bytes.Equal(got, integrityVal(i)) {
+			t.Fatalf("key %d after recover: found=%v err=%v", i, found, err)
+		}
+	}
+	if err := ix2.CheckInvariants(c2); err != nil {
+		t.Fatalf("invariants after recover: %v", err)
+	}
+}
+
+func TestSealDetectsBitFlipAndFsckRepairs(t *testing.T) {
+	ix, h := newTestIndex(t, Config{InitialDepth: 2, Checksums: true})
+	c := h.c
+	const n = 2000
+	fillIntegrity(t, h, n)
+
+	// Flip one bit in a word of the segment owning key 42.
+	victim := integrityKey(42)
+	r := makeReq(victim)
+	_, e := ix.resolveRaw(r.h)
+	seg := entrySeg(e)
+	rng := rand.New(rand.NewSource(7))
+	addr := seg + uint64(rng.Intn(SegmentSize/8))*8
+	ix.pool.Store64(c, addr, ix.pool.Load64(c, addr)^(1<<uint(rng.Intn(64))))
+
+	if err := ix.CheckInvariants(c); err == nil {
+		t.Fatal("CheckInvariants missed the flipped segment")
+	}
+
+	// Every operation touching the segment must fail typed, not lie.
+	_, _, err := h.Search(victim, nil)
+	if err == nil {
+		t.Fatal("Search on corrupt segment returned no error")
+	}
+	if !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("Search error %v does not match ErrCorrupted", err)
+	}
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || ce.Seg != seg {
+		t.Fatalf("errors.As gave %+v, want seg %#x", ce, seg)
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("cause of %v is not ErrChecksum", err)
+	}
+	if err := h.Insert(victim, []byte("x")); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("Insert on corrupt segment: %v", err)
+	}
+
+	rep, err := h.Fsck(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode() != 1 {
+		t.Fatalf("fsck exit code %d, want 1 (repaired); report %+v", rep.ExitCode(), rep)
+	}
+	if len(rep.Repairs) == 0 || rep.Repairs[0].Seg != seg {
+		t.Fatalf("fsck repaired %+v, want seg %#x", rep.Repairs, seg)
+	}
+	if err := ix.CheckInvariants(c); err != nil {
+		t.Fatalf("invariants after repair: %v", err)
+	}
+	lost := checkSurvivors(t, h, n, rep)
+	if lost > SlotsPerSegment {
+		t.Fatalf("%d keys lost from a single-segment flip", lost)
+	}
+	// The index must be fully writable again.
+	for i := 0; i < n; i += 13 {
+		if err := h.Insert(integrityKey(i), integrityVal(i)); err != nil {
+			t.Fatalf("post-repair insert: %v", err)
+		}
+	}
+}
+
+func TestPoisonedSegmentQuarantine(t *testing.T) {
+	ix, h := newTestIndex(t, Config{InitialDepth: 2, Checksums: true})
+	c := h.c
+	const n = 1500
+	fillIntegrity(t, h, n)
+
+	victim := integrityKey(99)
+	r := makeReq(victim)
+	_, e := ix.resolveRaw(r.h)
+	seg := entrySeg(e)
+	ix.pool.PoisonLine(seg)
+
+	_, _, err := h.Search(victim, nil)
+	if !errors.Is(err, ErrCorrupted) || !errors.Is(err, pmem.ErrPoisoned) {
+		t.Fatalf("Search on poisoned segment: %v", err)
+	}
+
+	rep, ferr := h.Fsck(true)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if rep.ExitCode() != 1 {
+		t.Fatalf("fsck exit %d, report %+v", rep.ExitCode(), rep)
+	}
+	if len(rep.Faults) != 1 || !rep.Faults[0].Poisoned {
+		t.Fatalf("faults: %+v", rep.Faults)
+	}
+	if len(rep.Repairs) != 1 || rep.Repairs[0].Salvaged != 0 {
+		t.Fatalf("poisoned frame must salvage nothing: %+v", rep.Repairs)
+	}
+	if ix.pool.PoisonedLines() != 0 {
+		t.Fatalf("%d poisoned lines survive repair (rebuild must heal)", ix.pool.PoisonedLines())
+	}
+	if err := ix.CheckInvariants(c); err != nil {
+		t.Fatalf("invariants after poison repair: %v", err)
+	}
+	checkSurvivors(t, h, n, rep)
+}
+
+func TestFsckWithoutRepairReportsExit2(t *testing.T) {
+	ix, h := newTestIndex(t, Config{InitialDepth: 2, Checksums: true})
+	fillIntegrity(t, h, 800)
+	segs := ix.SegmentAddrs(h.c)
+	ix.pool.PoisonLine(segs[len(segs)/2])
+	rep, err := h.Fsck(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode() != 2 || rep.Clean() {
+		t.Fatalf("verify-only fsck of damaged pool: exit %d", rep.ExitCode())
+	}
+}
+
+func TestCheckPlacementFlagsMisroutedKey(t *testing.T) {
+	ix, h := newTestIndex(t, Config{InitialDepth: 4})
+	c := h.c
+	fillIntegrity(t, h, 500)
+	if got := ix.CheckPlacement(c); got != 0 {
+		t.Fatalf("healthy pool reports %d misplaced", got)
+	}
+	// Plant an occupied inline key in a free slot of a segment that
+	// does not own it: checksum-clean, CheckInvariants-visible, and —
+	// crucially — invisible to any value-comparison oracle.
+	key := k64(0xDEAD_BEEF)
+	r := makeReq(key)
+	_, e := ix.resolveRaw(r.h)
+	home := entrySeg(e)
+	var alien uint64
+	for _, s := range ix.SegmentAddrs(c) {
+		if s != home {
+			alien = s
+			break
+		}
+	}
+	planted := false
+	for s := 0; s < SlotsPerSegment && !planted; s++ {
+		if !keyOccupied(ix.pool.Load64(c, slotAddr(alien, s))) {
+			ix.pool.Store64(c, slotAddr(alien, s), makeKeyWord(true, r.fp, r.kpay))
+			planted = true
+		}
+	}
+	if !planted {
+		t.Skip("no free slot in alien segment")
+	}
+	if got := ix.CheckPlacement(c); got != 1 {
+		t.Fatalf("CheckPlacement = %d, want 1", got)
+	}
+}
+
+func TestCorruptionErrorMatching(t *testing.T) {
+	ce := &CorruptionError{Seg: 0x100, Bucket: 2, Cause: ErrChecksum}
+	if !errors.Is(ce, ErrCorrupted) || !errors.Is(ce, ErrChecksum) {
+		t.Fatal("CorruptionError Is-chain broken")
+	}
+	var out *CorruptionError
+	if !errors.As(fmt.Errorf("wrapped: %w", ce), &out) || out.Bucket != 2 {
+		t.Fatal("CorruptionError As-chain broken")
+	}
+	ae := pmem.AccessError{Addr: 0x40, Size: 256, Poisoned: true}
+	if !errors.Is(error(ae), pmem.ErrPoisoned) {
+		t.Fatal("poisoned AccessError must match ErrPoisoned")
+	}
+	if errors.Is(error(pmem.AccessError{Addr: 1}), pmem.ErrPoisoned) {
+		t.Fatal("plain AccessError must not match ErrPoisoned")
+	}
+}
+
+func TestSealMaintainedAcrossSplitsAndMerges(t *testing.T) {
+	ix, h := newTestIndex(t, Config{InitialDepth: 1, Checksums: true})
+	c := h.c
+	const n = 4000
+	fillIntegrity(t, h, n) // forces many splits
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			if _, err := h.Delete(integrityKey(i)); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		h.TryMerge(integrityKey(i)) // exercise merge seal stores
+	}
+	if err := ix.CheckInvariants(c); err != nil {
+		t.Fatalf("seals out of step after splits/merges: %v", err)
+	}
+	if rep, err := h.Fsck(false); err != nil || !rep.Clean() {
+		t.Fatalf("fsck after churn: err=%v faults=%+v", err, rep.Faults)
+	}
+}

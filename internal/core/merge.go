@@ -6,6 +6,7 @@ import (
 	"spash/internal/hash"
 	"spash/internal/htm"
 	"spash/internal/obs"
+	"spash/internal/pmem"
 )
 
 // mergeAttempts bounds transactional merge retries; merging is
@@ -22,9 +23,20 @@ const mergeThreshold = SlotsPerSegment / 2
 // reverse process of segment splitting"). It is called automatically
 // on a sample of deletions and may be called explicitly after bulk
 // deletes. Returns whether a merge happened.
-func (h *Handle) TryMerge(key []byte) bool {
+func (h *Handle) TryMerge(key []byte) (merged bool) {
 	h.c.BeginOp()
 	defer h.c.EndOp()
+	// Merging decodes both buddies' key records; on poisoned media the
+	// merge is simply abandoned (the scrubber/fsck will quarantine).
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(pmem.AccessError); ok && ae.Poisoned {
+				merged = false
+				return
+			}
+			panic(r)
+		}
+	}()
 	r := makeReq(key)
 	if h.ix.cfg.Concurrency != ModeHTM {
 		return h.ix.mergeLocked(h, &r)
@@ -71,6 +83,11 @@ func (h *Handle) TryMerge(key []byte) bool {
 			// Merge carries data: both segments' live entries must fit
 			// comfortably in one (the reverse of a split, §III-A).
 			m := txMem{tx}
+			if ix.sealAddr != 0 && (ix.verifySeal(m, seg) != 0 || ix.verifySeal(m, buddySeg) != 0) {
+				// Relayouting a damaged buddy would launder corrupt
+				// words under a fresh seal; leave it for scrub/fsck.
+				return nil
+			}
 			entsA := ix.decodeSegment(h.c, m, seg)
 			entsB := ix.decodeSegment(h.c, m, buddySeg)
 			if len(entsA)+len(entsB) > mergeThreshold {
@@ -92,6 +109,10 @@ func (h *Handle) TryMerge(key []byte) bool {
 			}
 			tx.Store(ix.regAddrOf(seg), 0)
 			tx.Store(ix.regAddrOf(buddySeg), makeRegEntry(p>>1, depth-1))
+			if ix.sealAddr != 0 {
+				tx.Store(ix.sealAddrOf(buddySeg), sealOfImage(&img))
+				tx.Store(ix.sealAddrOf(seg), 0)
+			}
 			freedSeg = seg
 			return nil
 		})
@@ -144,6 +165,9 @@ func (ix *Index) mergeLocked(h *Handle, r *req) bool {
 		return false
 	}
 	buddySeg := entrySeg(be)
+	if ix.sealAddr != 0 && (ix.verifySeal(m, seg) != 0 || ix.verifySeal(m, buddySeg) != 0) {
+		return false
+	}
 	entsA := ix.decodeSegment(h.c, m, seg)
 	entsB := ix.decodeSegment(h.c, m, buddySeg)
 	if len(entsA)+len(entsB) > mergeThreshold {
@@ -163,6 +187,10 @@ func (ix *Index) mergeLocked(h *Handle, r *req) bool {
 	}
 	m.store(ix.regAddrOf(seg), 0)
 	m.store(ix.regAddrOf(buddySeg), makeRegEntry(p>>1, depth-1))
+	if ix.sealAddr != 0 {
+		m.store(ix.sealAddrOf(buddySeg), sealOfImage(&img))
+		m.store(ix.sealAddrOf(seg), 0)
+	}
 	h.ah.Free(h.c, seg, SegmentSize)
 	ix.segments.Add(-1)
 	ix.merges.Add(1)

@@ -59,6 +59,11 @@ func (h *Handle) Close() {
 // performs all shared-memory access through m. readonly enables the
 // lock-free/read-lock read paths of the lock modes.
 func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error) error {
+	// The corruption boundary wraps every mode's body: poisoned-media
+	// and record-CRC panics become *CorruptionError returns, and (with
+	// checksums on) the segment seal is verified before / recomputed
+	// after the body (integrity.go).
+	body = h.guardBody(readonly, body)
 	if h.ix.cfg.Concurrency != ModeHTM {
 		return h.execLocked(r, readonly, body)
 	}
@@ -184,6 +189,12 @@ func (h *Handle) Search(key, dst []byte) ([]byte, bool, error) {
 			return nil
 		}
 		found = true
+		if h.ix.sealAddr != 0 && !valueIsInline(vw) && !recordCRCOK(m, wordPayload(vw)) {
+			// The slot is sealed but the out-of-line record it points
+			// at is rotten: fail typed rather than return wrong bytes.
+			return &CorruptionError{Seg: seg, Bucket: bucketOf(idx),
+				Cause: ErrRecordChecksum}
+		}
 		out = loadValue(m, vw, dst)
 		return nil
 	})

@@ -142,6 +142,10 @@ func (ix *Index) splitLocked(h *Handle, hh uint64) error {
 	}
 	m.store(ix.regAddrOf(seg), makeRegEntry(prefix<<1, depth+1))
 	m.store(ix.regAddrOf(newSeg), makeRegEntry(prefix<<1|1, depth+1))
+	if ix.sealAddr != 0 {
+		m.store(ix.sealAddrOf(seg), sealOfImage(&imgA))
+		m.store(ix.sealAddrOf(newSeg), sealOfImage(&imgB))
+	}
 	base := prefix << (d.depth - depth)
 	n := uint64(1) << (d.depth - depth)
 	for j := uint64(0); j < n/2; j++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 
 	"spash/internal/htm"
 	"spash/internal/pmem"
@@ -39,20 +40,36 @@ type iMem struct{ it *htm.ITxn }
 func (m iMem) load(addr uint64) uint64     { return m.it.Load(addr) }
 func (m iMem) store(addr uint64, v uint64) { m.it.Store(addr, v) }
 
-// Out-of-line record layout: one header word holding the byte length,
-// followed by the payload padded to whole words. Key records are
-// immutable once a slot referencing them is published; value records
-// may be updated in place (transactionally), so readers that need
-// linearizable values must read them through txMem or under the
-// lock-mode protocols.
+// Out-of-line record layout: one header word — CRC32C of the payload
+// in the high 32 bits, the byte length in the low 32 — followed by the
+// payload padded to whole words. The CRC is always written (it rides in
+// bits the length never uses), so any pool can later be verified by
+// fsck or the scrubber; it is *validated* on the hot read path only
+// when Config.Checksums is on. Key records are immutable once a slot
+// referencing them is published; value records may be updated in place
+// (transactionally), so readers that need linearizable values must
+// read them through txMem or under the lock-mode protocols.
 const recordHeader = 8
+
+// recordLenMask extracts the byte length from a header word.
+const recordLenMask = 0xFFFFFFFF
+
+// crcTable is the Castagnoli polynomial used for every on-media CRC
+// (records and segment seals): CRC32C has hardware support on the
+// platforms Spash targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordHeaderWord builds a record header for data.
+func recordHeaderWord(data []byte) uint64 {
+	return uint64(crc32.Checksum(data, crcTable))<<32 | uint64(len(data))
+}
 
 // recordSpace returns the allocation request size for n payload bytes.
 func recordSpace(n int) int { return recordHeader + n }
 
 // writeRecordRaw writes a fresh (still private) record.
 func writeRecordRaw(c *pmem.Ctx, pool *pmem.Pool, addr uint64, data []byte) {
-	pool.Store64(c, addr, uint64(len(data)))
+	pool.Store64(c, addr, recordHeaderWord(data))
 	pool.Write(c, addr+recordHeader, data)
 }
 
@@ -67,7 +84,7 @@ const MaxKVLen = 64 << 10
 // have been freed and rewritten, and the bogus bytes are discarded by
 // the transaction's validation anyway.
 func readRecord(m mem, addr uint64, dst []byte) []byte {
-	n := int(m.load(addr))
+	n := int(m.load(addr) & recordLenMask)
 	if n < 0 || n > MaxKVLen {
 		n = 0
 	}
@@ -85,13 +102,25 @@ func readRecord(m mem, addr uint64, dst []byte) []byte {
 }
 
 // recordLen returns the record's payload length through m.
-func recordLen(m mem, addr uint64) int { return int(m.load(addr)) }
+func recordLen(m mem, addr uint64) int { return int(m.load(addr) & recordLenMask) }
+
+// recordCRCOK re-reads the record through m and reports whether its
+// payload matches the header CRC. Used by the checksummed read path,
+// the scrubber, fsck and segment salvage.
+func recordCRCOK(m mem, addr uint64) bool {
+	hdr := m.load(addr)
+	if n := hdr & recordLenMask; n > MaxKVLen {
+		return false
+	}
+	buf := readRecord(m, addr, nil)
+	return uint32(hdr>>32) == crc32.Checksum(buf, crcTable)
+}
 
 // writeRecordValue updates a record in place through m (the in-place
 // update of §III-B; in HTM mode m is transactional, making the
 // multi-word update atomic and durable).
 func writeRecordValue(m mem, addr uint64, data []byte) {
-	m.store(addr, uint64(len(data)))
+	m.store(addr, recordHeaderWord(data))
 	for off := 0; off < len(data); off += 8 {
 		var b [8]byte
 		copy(b[:], data[off:])
@@ -104,7 +133,7 @@ func writeRecordValue(m mem, addr uint64, data []byte) {
 // regardless of mode; the enclosing transaction's validation of the
 // slot's key word makes the result trustworthy at commit time.
 func keyRecordEquals(c *pmem.Ctx, pool *pmem.Pool, addr uint64, key []byte) bool {
-	if int(pool.Load64(c, addr)) != len(key) {
+	if int(pool.Load64(c, addr)&recordLenMask) != len(key) {
 		return false
 	}
 	for off := 0; off < len(key); off += 8 {

@@ -61,6 +61,22 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Alloc
 			ix.registryAddr, ix.registryAddr+ix.registryCap*8, dataBase, pool.Size())
 	}
 
+	// Checksum maintenance is a persistent property of the pool: adopt
+	// it from the seal-table root pointer, whatever the passed Config
+	// says (a recovery that silently stopped maintaining seals would
+	// make every later verification fail).
+	ix.sealAddr = pool.Load64(c, alloc.RootAddr(rootSeal))
+	ix.cfg.Checksums = ix.sealAddr != 0
+	if ix.sealAddr != 0 {
+		switch {
+		case ix.sealAddr&7 != 0:
+			return nil, nil, fmt.Errorf("core: seal table pointer %#x misaligned", ix.sealAddr)
+		case ix.sealAddr < dataBase || ix.sealAddr+ix.registryCap*8 > pool.Size():
+			return nil, nil, fmt.Errorf("core: seal table [%#x,%#x) outside pool data region [%#x,%#x)",
+				ix.sealAddr, ix.sealAddr+ix.registryCap*8, dataBase, pool.Size())
+		}
+	}
+
 	type segInfo struct {
 		addr, prefix uint64
 		depth        uint
@@ -125,24 +141,43 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Alloc
 	live := int64(0)
 	for _, s := range segs {
 		al.MarkLive(s.addr)
-		for slot := 0; slot < SlotsPerSegment; slot++ {
-			kw := m.load(slotAddr(s.addr, slot))
-			if !keyOccupied(kw) {
-				continue
-			}
-			live++
-			if !keyIsInline(kw) {
-				al.MarkLive(wordPayload(kw))
-			}
-			vw := m.load(slotAddr(s.addr, slot) + 8)
-			if !valueIsInline(vw) {
-				al.MarkLive(wordPayload(vw))
-			}
-		}
+		live += markSegment(al, m, s.addr)
 	}
 	ix.entries.Store(live)
 	if err := al.FinishRecovery(c); err != nil {
 		return nil, nil, err
 	}
 	return ix, al, nil
+}
+
+// markSegment scans one segment's slots during the mark phase,
+// returning its occupied count. A poisoned segment (uncorrectable
+// media) is skipped whole — its records stay unmarked and are freed,
+// exactly what the later quarantine/repair of that segment assumes —
+// so a single bad XPLine cannot fail the entire recovery.
+func markSegment(al *alloc.Allocator, m mem, seg uint64) (live int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(pmem.AccessError); ok && ae.Poisoned {
+				live = 0
+				return
+			}
+			panic(r)
+		}
+	}()
+	for slot := 0; slot < SlotsPerSegment; slot++ {
+		kw := m.load(slotAddr(seg, slot))
+		if !keyOccupied(kw) {
+			continue
+		}
+		live++
+		if !keyIsInline(kw) {
+			al.MarkLive(wordPayload(kw))
+		}
+		vw := m.load(slotAddr(seg, slot) + 8)
+		if !valueIsInline(vw) {
+			al.MarkLive(wordPayload(vw))
+		}
+	}
+	return live
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"time"
+
+	"spash/internal/hash"
+	"spash/internal/htm"
+	"spash/internal/obs"
+	"spash/internal/pmem"
+)
+
+// The online scrubber re-verifies segment seals in the background
+// while the index serves traffic, so media rot is found and repaired
+// proactively instead of on first access. Each segment is verified in
+// its own optimistic transaction through the two-phase protocol: the
+// verify joins the HTM read set, so it never blocks writers — a
+// concurrent mutation simply aborts the verify, which skips the
+// segment until the next pass. A failed verify (seal mismatch or
+// poisoned media) triggers the same quarantine-and-rebuild path fsck
+// uses.
+
+// ScrubOptions parameterises StartScrub.
+type ScrubOptions struct {
+	// Rate caps verification at this many segments per second
+	// (0 = unthrottled). The cap bounds the scrubber's read bandwidth,
+	// the knob a production deployment would tune against foreground
+	// interference.
+	Rate int
+	// Passes stops the scrubber after this many full pool walks
+	// (0 = run until Stop).
+	Passes int
+	// Pause is the idle time between passes (default 10ms).
+	Pause time.Duration
+	// Repair enables quarantine of corrupt segments; when false the
+	// scrubber only counts and traces what it finds.
+	Repair bool
+}
+
+// ScrubStats summarises a scrubber's lifetime work.
+type ScrubStats struct {
+	Passes      int64 `json:"passes"`
+	Segments    int64 `json:"segments"`
+	Corruptions int64 `json:"corruptions"`
+	Quarantines int64 `json:"quarantines"`
+	// Skipped counts verifies abandoned because of concurrent writer
+	// activity (retried on the next pass); Errors counts failed
+	// quarantine attempts.
+	Skipped int64 `json:"skipped"`
+	Errors  int64 `json:"errors"`
+}
+
+// Scrubber is a running background scrub; see Index.StartScrub.
+type Scrubber struct {
+	ix   *Index
+	h    *Handle
+	opt  ScrubOptions
+	stop chan struct{}
+	done chan struct{}
+	// stats is owned by the scrub goroutine until done is closed.
+	stats ScrubStats
+}
+
+// StartScrub launches a background scrubber over the index. The
+// scrubber owns a private Handle, so it is safe alongside any number
+// of worker handles. Stop must be called before closing the index.
+func (ix *Index) StartScrub(opt ScrubOptions) *Scrubber {
+	if opt.Pause == 0 {
+		opt.Pause = 10 * time.Millisecond
+	}
+	s := &Scrubber{
+		ix:   ix,
+		h:    ix.NewHandle(nil),
+		opt:  opt,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Stop terminates the scrubber and returns its lifetime stats.
+func (s *Scrubber) Stop() ScrubStats {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	return s.stats
+}
+
+func (s *Scrubber) run() {
+	defer close(s.done)
+	defer s.h.Close()
+	var gap time.Duration
+	if s.opt.Rate > 0 {
+		gap = time.Second / time.Duration(s.opt.Rate)
+	}
+	for pass := 0; s.opt.Passes == 0 || pass < s.opt.Passes; pass++ {
+		segs, corr := s.scanPass(gap)
+		s.stats.Passes++
+		s.ix.reg.Trace(obs.EvScrubPass, s.h.c.Clock(), segs, corr)
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(s.opt.Pause):
+		}
+	}
+}
+
+// scanPass walks the registry once, verifying every live segment.
+func (s *Scrubber) scanPass(gap time.Duration) (segs, corr int64) {
+	ix := s.ix
+	c := s.h.c
+	var next time.Time
+	for i := uint64(0); i < ix.registryCap; i++ {
+		select {
+		case <-s.stop:
+			return segs, corr
+		default:
+		}
+		e, rok := loadTolerant(ix, c, ix.registryAddr+i*8)
+		if !rok || e&regValid == 0 {
+			continue
+		}
+		if gap > 0 {
+			if now := time.Now(); now.Before(next) {
+				select {
+				case <-s.stop:
+					return segs, corr
+				case <-time.After(next.Sub(now)):
+				}
+				next = next.Add(gap)
+			} else {
+				next = now.Add(gap)
+			}
+		}
+		seg, prefix, depth := i*SegmentSize, regPrefix(e), regDepth(e)
+		corrupt, skipped := s.verifyOnline(seg, prefix, depth)
+		if skipped {
+			s.stats.Skipped++
+			continue
+		}
+		segs++
+		s.stats.Segments++
+		ix.reg.Inc(obs.CScrubSegments)
+		if !corrupt {
+			continue
+		}
+		corr++
+		s.stats.Corruptions++
+		ix.reg.Inc(obs.CScrubCorruptions)
+		if !s.opt.Repair {
+			continue
+		}
+		hh := prefix << (64 - depth)
+		qr, err := s.h.Quarantine(hh, seg)
+		switch {
+		case err != nil:
+			s.stats.Errors++
+		case qr != nil:
+			s.stats.Quarantines++
+		}
+	}
+	return segs, corr
+}
+
+// verifyOnline checks one segment's seal inside an optimistic
+// transaction. The transaction re-resolves the directory entry, so a
+// segment that split, merged or moved since the registry read is
+// skipped; a conflicting writer aborts the verify (skipped, not
+// blocked — the scrubber never takes locks). With checksums off the
+// transaction still touches every word, so poisoned media is detected
+// even without seals.
+func (s *Scrubber) verifyOnline(seg, prefix uint64, depth uint) (corrupt, skipped bool) {
+	ix := s.ix
+	c := s.h.c
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(pmem.AccessError); ok && ae.Poisoned {
+				corrupt, skipped = true, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	hh := prefix << (64 - depth)
+	code, _ := ix.tm.Run(c, ix.pool, func(tx *htm.Txn) error {
+		corrupt = false
+		if tx.LoadVol(&ix.dirGen)&1 == 1 {
+			return errResizing
+		}
+		d := ix.dir.Load()
+		e := tx.LoadVol(&d.entries[d.index(hh)])
+		if entryLocked(e) {
+			return errLocked
+		}
+		if entrySeg(e) != seg || entryDepth(e) != depth ||
+			hash.Prefix(hh, entryDepth(e)) != prefix {
+			return errSegMoved
+		}
+		m := txMem{tx}
+		if ix.sealAddr != 0 {
+			corrupt = ix.verifySeal(m, seg) != 0
+		} else {
+			for i := uint64(0); i < SegmentSize/8; i++ {
+				m.load(seg + i*8) // poison probe
+			}
+		}
+		return nil
+	})
+	if code != htm.Committed {
+		return false, true
+	}
+	return corrupt, false
+}

@@ -40,9 +40,14 @@ const splitOccSalt = 0x9E3779B97F4A7C15
 // transaction. Returns nil when the split succeeded or when another
 // thread changed the segment first (the caller re-runs its operation
 // either way).
-func (ix *Index) split(h *Handle, hh uint64) error {
+func (ix *Index) split(h *Handle, hh uint64) (err error) {
 	c := h.c
 	conflicts := 0
+	// Split reads the segment and its key records raw during
+	// preparation; a poisoned XPLine must surface as a typed error, not
+	// a panic (the caller is outside the guarded operation body).
+	var curSeg uint64
+	defer poisonAsCorruption(&curSeg, &err)
 	for {
 		_, e := ix.resolveRaw(hh)
 		if entryLocked(e) {
@@ -50,6 +55,7 @@ func (ix *Index) split(h *Handle, hh uint64) error {
 			continue
 		}
 		seg, depth := entrySeg(e), entryDepth(e)
+		curSeg = seg
 		if depth >= maxDepth {
 			return errMaxDepth
 		}
@@ -143,6 +149,10 @@ func (ix *Index) split(h *Handle, hh uint64) error {
 			}
 			tx.Store(ix.regAddrOf(seg), makeRegEntry(prefix<<1, depth+1))
 			tx.Store(ix.regAddrOf(newSeg), makeRegEntry(prefix<<1|1, depth+1))
+			if ix.sealAddr != 0 {
+				tx.Store(ix.sealAddrOf(seg), sealOfImage(&imgA))
+				tx.Store(ix.sealAddrOf(newSeg), sealOfImage(&imgB))
+			}
 			return nil
 		})
 		switch code {
@@ -336,6 +346,10 @@ func (ix *Index) splitFallback(h *Handle, hh uint64) error {
 			}
 			m.store(ix.regAddrOf(seg), makeRegEntry(prefix<<1, depth+1))
 			m.store(ix.regAddrOf(newSeg), makeRegEntry(prefix<<1|1, depth+1))
+			if ix.sealAddr != 0 {
+				m.store(ix.sealAddrOf(seg), sealOfImage(&imgA))
+				m.store(ix.sealAddrOf(newSeg), sealOfImage(&imgB))
+			}
 			for j := uint64(0); j < n/2; j++ {
 				it.StoreVol(&d.entries[base+j], makeEntry(seg, depth+1))
 				it.StoreVol(&d.entries[base+n/2+j], makeEntry(newSeg, depth+1))

@@ -1,0 +1,159 @@
+// Multi-writer crash smoke: the single-threaded sweep (crashtest.go)
+// proves per-operation atomicity, but recovery after a *concurrent*
+// crash is a different path — several workers mid-operation through
+// separate Ctxs when the power cuts, so the image holds interleaved
+// in-flight damage from all of them. The oracle here is necessarily
+// schedule-independent: values are a pure function of the key, so
+// after recovery every present key must carry exactly its function
+// value (torn or mixed values are the failure), every key a writer
+// acknowledged before the cut must be present under eADR, and
+// CheckInvariants must hold.
+package crashtest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spash/internal/alloc"
+	"spash/internal/core"
+	"spash/internal/pmem"
+)
+
+// concKey returns writer w's i-th key (disjoint across writers).
+func concKey(w, i int) []byte {
+	return []byte(fmt.Sprintf("w%02d-%06d", w, i))
+}
+
+// concVal is the deterministic value of a key: recovery can recompute
+// it without any shared acknowledgment log.
+func concVal(w, i int) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(w)*0x9E3779B97F4A7C15+uint64(i))
+	binary.LittleEndian.PutUint64(b[8:], uint64(i)*2654435761)
+	return b[:]
+}
+
+// ConcurrentTrial is the outcome of one multi-writer crash trial.
+type ConcurrentTrial struct {
+	Fired        bool
+	Steps        int64
+	RecoverErr   error
+	InvariantErr error
+	// LostAcked counts keys acknowledged strictly before the cut that
+	// are missing after recovery (must be 0 under eADR).
+	LostAcked int
+	// Torn counts present keys whose value is not the key's function
+	// value — a torn or interleaved write leaking through recovery.
+	Torn int
+	// Present is the total recovered key count (diagnostics).
+	Present int
+}
+
+// Failed reports whether the trial violated the concurrent-crash
+// contract for mode.
+func (tr *ConcurrentTrial) Failed(mode pmem.Mode) bool {
+	if tr.RecoverErr != nil || tr.InvariantErr != nil || tr.Torn > 0 {
+		return true
+	}
+	return mode == pmem.EADR && tr.LostAcked > 0
+}
+
+// Err formats the trial's violation for mode, or nil.
+func (tr *ConcurrentTrial) Err(mode pmem.Mode) error {
+	switch {
+	case tr.RecoverErr != nil:
+		return fmt.Errorf("concurrent crash at step %d: recovery failed: %w", tr.Steps, tr.RecoverErr)
+	case tr.InvariantErr != nil:
+		return fmt.Errorf("concurrent crash at step %d: invariants violated: %w", tr.Steps, tr.InvariantErr)
+	case tr.Torn > 0:
+		return fmt.Errorf("concurrent crash at step %d: %d torn values recovered", tr.Steps, tr.Torn)
+	case mode == pmem.EADR && tr.LostAcked > 0:
+		return fmt.Errorf("concurrent crash at step %d: %d acknowledged inserts lost", tr.Steps, tr.LostAcked)
+	}
+	return nil
+}
+
+// RunConcurrentTrial starts writers goroutines inserting disjoint key
+// ranges through separate Ctxs, fires one armed FaultPlan at
+// crashStep (a global persistence-primitive step, so the victim and
+// the interleaving vary with the schedule), then recovers and checks
+// the oracle. Each writer publishes its acknowledged high-water mark
+// through an atomic counter *after* each successful insert, so a key
+// counted acked was fully acknowledged strictly before the cut.
+func RunConcurrentTrial(mode pmem.Mode, writers, perWriter int, crashStep int64) (ConcurrentTrial, error) {
+	tr := ConcurrentTrial{}
+	pool := poolFor(mode)
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		return tr, err
+	}
+	cfg := core.Config{InitialDepth: 2, Concurrency: core.ModeHTM}
+	ix, err := core.Open(c, pool, al, cfg)
+	if err != nil {
+		return tr, err
+	}
+
+	fp := &pmem.FaultPlan{CrashAtStep: crashStep}
+	pool.ArmFault(fp)
+
+	ackedHW := make([]atomic.Int64, writers)
+	werrs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			werrs[w] = pmem.CatchCrash(func() error {
+				h := ix.NewHandle(nil)
+				defer h.Close()
+				for i := 0; i < perWriter; i++ {
+					if err := h.Insert(concKey(w, i), concVal(w, i)); err != nil {
+						return fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					}
+					ackedHW[w].Store(int64(i + 1))
+				}
+				return nil
+			})
+		}(w)
+	}
+	wg.Wait()
+	pool.DisarmFault()
+	tr.Fired = fp.Fired()
+	tr.Steps = fp.Steps()
+	for _, werr := range werrs {
+		if werr != nil && werr != pmem.ErrInjectedCrash {
+			return tr, werr
+		}
+	}
+
+	c2 := pool.NewCtx()
+	ix2, _, rerr := core.Recover(c2, pool, cfg)
+	if rerr != nil {
+		tr.RecoverErr = rerr
+		return tr, nil
+	}
+	tr.InvariantErr = ix2.CheckInvariants(c2)
+	h2 := ix2.NewHandle(c2)
+	for w := 0; w < writers; w++ {
+		hw := int(ackedHW[w].Load())
+		for i := 0; i < perWriter; i++ {
+			got, found, serr := h2.Search(concKey(w, i), nil)
+			if serr != nil {
+				return tr, fmt.Errorf("writer %d key %d: %w", w, i, serr)
+			}
+			if found {
+				tr.Present++
+				if !bytes.Equal(got, concVal(w, i)) {
+					tr.Torn++
+				}
+			} else if i < hw {
+				tr.LostAcked++
+			}
+		}
+	}
+	return tr, nil
+}

@@ -166,11 +166,17 @@ type Trial struct {
 	// InFlightTorn reports that the in-flight operation was neither
 	// fully applied nor fully absent.
 	InFlightTorn bool
+	// Misplaced counts records that decode cleanly but whose key
+	// routes to a different segment — silent misplacement a value
+	// comparison alone cannot see (the lookup simply misses the key,
+	// which under ADR is indistinguishable from legal rollback).
+	Misplaced int
 }
 
 // Failed reports whether the trial violated the durability contract.
 func (tr *Trial) Failed() bool {
-	return tr.RecoverErr != nil || tr.InvariantErr != nil || tr.LostAcked > 0 || tr.InFlightTorn
+	return tr.RecoverErr != nil || tr.InvariantErr != nil || tr.LostAcked > 0 ||
+		tr.InFlightTorn || tr.Misplaced > 0
 }
 
 // Err formats the trial's violation, or nil.
@@ -182,6 +188,8 @@ func (tr *Trial) Err() error {
 		return fmt.Errorf("crash at step %d: invariants violated: %w", tr.Step, tr.InvariantErr)
 	case tr.InFlightTorn:
 		return fmt.Errorf("crash at step %d: in-flight operation torn", tr.Step)
+	case tr.Misplaced > 0:
+		return fmt.Errorf("crash at step %d: %d records silently misplaced", tr.Step, tr.Misplaced)
 	case tr.LostAcked > 0:
 		return fmt.Errorf("crash at step %d: %d acknowledged operations lost", tr.Step, tr.LostAcked)
 	}
@@ -292,6 +300,7 @@ func RunTrial(arm Arm, script Script, crashStep int64) (Trial, error) {
 		// must satisfy the oracle too.
 		tr.LostAcked, tr.InFlightTorn = checkOracle(ix, c, script, acked, -1)
 		tr.InvariantErr = ix.CheckInvariants(c)
+		tr.Misplaced = ix.CheckPlacement(c)
 		return tr, nil
 	}
 
@@ -303,6 +312,7 @@ func RunTrial(arm Arm, script Script, crashStep int64) (Trial, error) {
 		return tr, nil
 	}
 	tr.InvariantErr = ix2.CheckInvariants(c2)
+	tr.Misplaced = ix2.CheckPlacement(c2)
 	tr.LostAcked, tr.InFlightTorn = checkOracle(ix2, c2, script, acked, inFlight)
 	if n := ix2.Len(); n != len(acked) && (inFlight < 0 || !lenExplainedByInFlight(n, script, acked, inFlight)) {
 		tr.LostAcked++

@@ -1,0 +1,367 @@
+// Media-fault torture: where crashtest.go enumerates crash *points*
+// under perfect media, this file sweeps seeded media *damage* injected
+// at a crash — single-bit rot, torn ADR write-backs, poisoned XPLines —
+// and checks the corruption-tolerance contract end to end: workload,
+// crash + injection, recovery, read-path detection, fsck repair.
+//
+// The oracle is deliberately narrow. After recovery every Get over the
+// script's key universe must return the committed value, a typed
+// core.CorruptionError (or poisoned pmem.AccessError), or not-found
+// for a key the repair report either lists as lost or whose hash falls
+// in a quarantined range. A silently wrong value — and, under eADR, an
+// acknowledged key that vanishes without being excused by the repair
+// report — is the only failure. Under ADR the crash itself legally
+// rolls back unflushed acknowledged writes, so absence is always
+// acceptable there and a found value may be any value the key ever
+// held; what stays forbidden is a value the key never had.
+package crashtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"spash/internal/alloc"
+	"spash/internal/core"
+	"spash/internal/pmem"
+)
+
+// FaultKind selects which media failure a sweep injects.
+type FaultKind int
+
+const (
+	FaultBitFlip FaultKind = iota
+	FaultTorn
+	FaultPoison
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBitFlip:
+		return "bitflip"
+	case FaultTorn:
+		return "torn"
+	case FaultPoison:
+		return "poison"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// ParseFaultKind maps the CI matrix spelling to a FaultKind.
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch s {
+	case "bitflip":
+		return FaultBitFlip, nil
+	case "torn":
+		return FaultTorn, nil
+	case "poison":
+		return FaultPoison, nil
+	}
+	return 0, fmt.Errorf("crashtest: unknown fault kind %q (want bitflip|torn|poison)", s)
+}
+
+// MediaArm is one cell of the media-fault matrix: a persistence domain
+// crossed with a fault kind. Checksums are always on — the oracle
+// tests detection, and without seals bit rot is undetectable by
+// construction.
+type MediaArm struct {
+	Name  string
+	Mode  pmem.Mode
+	Fault FaultKind
+}
+
+// MediaArms returns the full {eADR, ADR} × {bitflip, torn, poison}
+// matrix. The eADR torn arm is the paper's persistence claim made
+// executable: reserve energy completes every write-back, so the torn
+// budget must inject nothing and the trial must come back clean.
+func MediaArms() []MediaArm {
+	var arms []MediaArm
+	for _, m := range []struct {
+		name string
+		mode pmem.Mode
+	}{{"eadr", pmem.EADR}, {"adr", pmem.ADR}} {
+		for _, f := range []FaultKind{FaultBitFlip, FaultTorn, FaultPoison} {
+			arms = append(arms, MediaArm{
+				Name:  m.name + "-" + f.String(),
+				Mode:  m.mode,
+				Fault: f,
+			})
+		}
+	}
+	return arms
+}
+
+// MediaTrialResult is the outcome of one seeded media-fault trial.
+type MediaTrialResult struct {
+	Arm      MediaArm
+	Seed     uint64
+	Injected pmem.Stats // per-kind counts actually applied at the crash
+
+	// RecoverErr is the typed error from core.Recover on the damaged
+	// image. Under eADR it is a contract violation: bit flips and
+	// poison are confined to segment frames, so the registry survives
+	// and recovery must succeed. Under ADR a torn or rolled-back
+	// metadata line can leave the registry itself inconsistent — the
+	// documented ADR gap — so a *typed* failure ends the trial
+	// tolerated (a panic would still abort the sweep).
+	RecoverErr error
+	// SilentWrong counts Gets (pre- or post-repair) returning a value
+	// the key never legitimately held — the one unforgivable failure.
+	SilentWrong int
+	// CorruptReads counts pre-repair Gets that surfaced typed
+	// corruption (the detection working as designed).
+	CorruptReads int
+	// FsckExit is the spash-fsck exit code (0 clean, 1 repaired,
+	// 2 unrecoverable) and Unrecoverable the segments repair gave up on.
+	FsckExit      int
+	Unrecoverable int
+	// Post-repair: structural invariants, silent misplacement, typed
+	// errors that survived repair, and acknowledged keys missing
+	// without an excuse from the repair report (eADR only).
+	InvariantErr  error
+	Misplaced     int
+	PostCorrupt   int
+	LostExcused   int
+	LostUnexcused int
+}
+
+// Failed reports whether the trial violated the tolerance contract.
+func (tr *MediaTrialResult) Failed() bool {
+	if tr.RecoverErr != nil {
+		return tr.Arm.Mode == pmem.EADR
+	}
+	return tr.SilentWrong > 0 || tr.InvariantErr != nil ||
+		tr.Misplaced > 0 || tr.PostCorrupt > 0 || tr.LostUnexcused > 0 ||
+		tr.Unrecoverable > 0
+}
+
+// Err formats the trial's violation, or nil.
+func (tr *MediaTrialResult) Err() error {
+	switch {
+	case tr.RecoverErr != nil && tr.Arm.Mode == pmem.EADR:
+		return fmt.Errorf("seed %d: recovery failed: %w", tr.Seed, tr.RecoverErr)
+	case tr.SilentWrong > 0:
+		return fmt.Errorf("seed %d: %d silently wrong values", tr.Seed, tr.SilentWrong)
+	case tr.Unrecoverable > 0:
+		return fmt.Errorf("seed %d: fsck left %d segments unrecoverable (exit %d)", tr.Seed, tr.Unrecoverable, tr.FsckExit)
+	case tr.InvariantErr != nil:
+		return fmt.Errorf("seed %d: invariants after repair: %w", tr.Seed, tr.InvariantErr)
+	case tr.Misplaced > 0:
+		return fmt.Errorf("seed %d: %d silently misplaced records after repair", tr.Seed, tr.Misplaced)
+	case tr.PostCorrupt > 0:
+		return fmt.Errorf("seed %d: %d reads still corrupt after repair", tr.Seed, tr.PostCorrupt)
+	case tr.LostUnexcused > 0:
+		return fmt.Errorf("seed %d: %d acknowledged keys lost without excuse in the repair report", tr.Seed, tr.LostUnexcused)
+	}
+	return nil
+}
+
+// mediaCfg is the index configuration for media trials: HTM mode with
+// checksum seals on.
+func mediaCfg() core.Config {
+	return core.Config{
+		InitialDepth: 1,
+		Concurrency:  core.ModeHTM,
+		Checksums:    true,
+	}
+}
+
+// mediaPlan builds the fault plan for one arm and seed, targeted at
+// the index's live segment frames (ISSUE: the *segment layout* is
+// self-verifying; registry and directory hardening is future work).
+// Budgets are deliberately multi-fault so one trial exercises several
+// quarantines.
+func mediaPlan(arm MediaArm, seed uint64, frames []uint64) *pmem.MediaFaultPlan {
+	mp := &pmem.MediaFaultPlan{Seed: seed, Frames: frames}
+	switch arm.Fault {
+	case FaultBitFlip:
+		mp.BitFlips = 4
+	case FaultTorn:
+		// Torn write-backs hit whatever cachelines are dirty at the
+		// cut, not chosen frames; the budget is an upper bound and
+		// honestly injects zero under eADR.
+		mp.TornLines = 6
+	case FaultPoison:
+		mp.PoisonLines = 2
+	}
+	return mp
+}
+
+// RunMediaTrial runs script to completion, crashes the pool with the
+// arm's media-fault plan armed, recovers, sweeps the key universe
+// against the tolerance oracle, repairs with Fsck, and re-sweeps.
+// The returned error is infrastructure failure only; contract
+// violations land in the result.
+func RunMediaTrial(arm MediaArm, script Script, seed uint64) (MediaTrialResult, error) {
+	tr := MediaTrialResult{Arm: arm, Seed: seed}
+	pool := poolFor(arm.Mode)
+	c := pool.NewCtx()
+	al, err := alloc.New(c, pool)
+	if err != nil {
+		return tr, err
+	}
+	cfg := mediaCfg()
+	ix, err := core.Open(c, pool, al, cfg)
+	if err != nil {
+		return tr, err
+	}
+	h := ix.NewHandle(c)
+
+	// acked is the last acknowledged value per key; history every value
+	// a key ever held (ADR rollback can resurface any of them).
+	acked := make(map[string]string, len(script))
+	history := make(map[string][]string, len(script))
+	for i := range script {
+		op := &script[i]
+		if err := applyOp(h, op); err != nil {
+			return tr, fmt.Errorf("op %d (%v %q): %w", i, op.Kind, op.Key, err)
+		}
+		applyModel(acked, op)
+		if v, ok := acked[op.Key]; ok {
+			history[op.Key] = append(history[op.Key], v)
+		}
+	}
+
+	// Crash with the media plan armed: damage is injected into the
+	// post-crash image, which is when real bit rot becomes visible.
+	// The torn arm must NOT scan the registry for frames first: torn
+	// injection consumes the dirty lines still in the cache at the
+	// cut, and a registry scan through the (small) cache would evict —
+	// and thereby write back — every one of them, leaving nothing to
+	// tear.
+	var frames []uint64
+	if arm.Fault != FaultTorn {
+		frames = ix.SegmentAddrs(c)
+	}
+	mp := mediaPlan(arm, seed, frames)
+	pool.ArmMediaFault(mp)
+	pool.Crash()
+	pool.DisarmMediaFault()
+	tr.Injected = mp.Injected()
+
+	c2 := pool.NewCtx()
+	ix2, _, rerr := core.Recover(c2, pool, cfg)
+	if rerr != nil {
+		tr.RecoverErr = rerr
+		return tr, nil
+	}
+	h2 := ix2.NewHandle(c2)
+
+	universe := make(map[string]struct{}, len(script))
+	for i := range script {
+		universe[script[i].Key] = struct{}{}
+	}
+	okValue := func(key string, got []byte) bool {
+		if arm.Mode == pmem.EADR {
+			want, present := acked[key]
+			return present && bytes.Equal(got, []byte(want))
+		}
+		for _, v := range history[key] {
+			if bytes.Equal(got, []byte(v)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pre-repair sweep: detection. Typed corruption is the contract
+	// working; a wrong value is the contract broken. Absence is judged
+	// after repair, when the report can excuse it.
+	for k := range universe {
+		got, found, serr := h2.Search([]byte(k), nil)
+		switch {
+		case serr != nil:
+			if !errors.Is(serr, core.ErrCorrupted) && !errors.Is(serr, pmem.ErrPoisoned) {
+				return tr, fmt.Errorf("seed %d: untyped Search error: %w", seed, serr)
+			}
+			tr.CorruptReads++
+		case found && !okValue(k, got):
+			tr.SilentWrong++
+		}
+	}
+
+	rep, ferr := h2.Fsck(true)
+	if ferr != nil {
+		return tr, fmt.Errorf("seed %d: fsck: %w", seed, ferr)
+	}
+	tr.FsckExit = rep.ExitCode()
+	tr.Unrecoverable = len(rep.Failed)
+
+	tr.InvariantErr = ix2.CheckInvariants(c2)
+	tr.Misplaced = ix2.CheckPlacement(c2)
+
+	excused := func(key string) bool {
+		for _, lk := range rep.LostKeys() {
+			if bytes.Equal(lk, []byte(key)) {
+				return true
+			}
+		}
+		// Undecodable dropped entries cannot be listed by key; any key
+		// hashing into a quarantined range is excusable.
+		hh := core.KeyHash([]byte(key))
+		for i := range rep.Repairs {
+			if rep.Repairs[i].Covers(hh) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Post-repair sweep: the pool must be fully readable again, with
+	// every loss accounted for.
+	for k := range universe {
+		got, found, serr := h2.Search([]byte(k), nil)
+		switch {
+		case serr != nil:
+			tr.PostCorrupt++
+		case found:
+			if !okValue(k, got) {
+				tr.SilentWrong++
+			}
+		default:
+			if _, present := acked[k]; !present {
+				continue // acknowledged deleted (or never inserted)
+			}
+			if arm.Mode != pmem.EADR || excused(k) {
+				tr.LostExcused++
+			} else {
+				tr.LostUnexcused++
+			}
+		}
+	}
+	return tr, nil
+}
+
+// MediaResult aggregates a seeded sweep of one arm.
+type MediaResult struct {
+	Arm          MediaArm
+	Trials       int
+	Injected     pmem.Stats
+	CorruptReads int
+	Repaired     int // trials where fsck performed repairs (exit 1)
+	LostExcused  int
+	Failures     []MediaTrialResult
+}
+
+// MediaSweep runs one trial per seed under arm. Infrastructure errors
+// abort the sweep; contract violations accumulate in Failures.
+func MediaSweep(arm MediaArm, script Script, seeds []uint64) (MediaResult, error) {
+	res := MediaResult{Arm: arm}
+	for _, seed := range seeds {
+		tr, err := RunMediaTrial(arm, script, seed)
+		if err != nil {
+			return res, fmt.Errorf("%s seed %d: %w", arm.Name, seed, err)
+		}
+		res.Trials++
+		res.Injected = res.Injected.Add(tr.Injected)
+		res.CorruptReads += tr.CorruptReads
+		res.LostExcused += tr.LostExcused
+		if tr.FsckExit == 1 {
+			res.Repaired++
+		}
+		if tr.Failed() {
+			res.Failures = append(res.Failures, tr)
+		}
+	}
+	return res, nil
+}

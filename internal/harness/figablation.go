@@ -336,3 +336,64 @@ func ExtEADRBenefit(w io.Writer, s Scale) error {
 	t.write(w)
 	return nil
 }
+
+// ExtIntegrity is an extension experiment pricing the self-verifying
+// segment layout (Config.Checksums, default off): per-segment CRC32C
+// seals are verified before every guarded segment access and resealed
+// after every mutation, so the insert path pays the full
+// read-verify/update/reseal cycle while lookups pay verification only.
+// The row pair measures the identical workload with seals off and on;
+// the closing row gives the measured relative cost per phase — the
+// number an operator trades against detection of silent media
+// corruption.
+func ExtIntegrity(w io.Writer, s Scale) error {
+	phases := []string{"Load(insert)", "read-int(90/10)", "balanced(50/50)", "write-int(10/90)"}
+	t := newTable(fmt.Sprintf("Extension: checksum-seal overhead (Mops/s, zipf 0.99, 64B values, %d workers)", s.MaxThreads),
+		append([]string{"configuration"}, phases...)...)
+	thr := make([][]float64, 2)
+	for vi, v := range []struct {
+		name string
+		tag  string
+		cfg  core.Config
+	}{
+		{"Spash (seals off, default)", "seals-off", core.Config{}},
+		{"Spash (seals on)", "seals-on", core.Config{Checksums: true}},
+	} {
+		ix, err := adapters.NewSpashFactory(v.name, v.cfg)(s.Platform())
+		if err != nil {
+			return err
+		}
+		per := s.YCSBLoad / s.MaxThreads
+		load := RunWorkload("load-"+v.tag, ix, s.MaxThreads, per, false,
+			func(id int) func(i int) Op {
+				kb := make([]byte, keyBytes16)
+				vb := make([]byte, 64)
+				start := uint64(id * per)
+				return func(i int) Op {
+					kid := start + uint64(i)
+					ycsb.FillValue(vb, kid)
+					return Op{Kind: ycsb.OpInsert, Key: ycsb.KeyBytes(kb, kid), Val: vb}
+				}
+			})
+		cells := []string{v.name, mops(load)}
+		thr[vi] = append(thr[vi], load.Throughput())
+		for mi, mix := range ycsbMixes {
+			r := RunWorkload(mix.Name()+"-"+v.tag, ix, s.MaxThreads, s.YCSBOps/s.MaxThreads, true,
+				mixSource(mix, uint64(s.YCSBLoad), ycsb.DefaultTheta, 64, int64(1300+mi)))
+			cells = append(cells, mops(r))
+			thr[vi] = append(thr[vi], r.Throughput())
+		}
+		t.row(cells...)
+	}
+	cells := []string{"seal overhead"}
+	for i := range phases {
+		over := 0.0
+		if thr[0][i] > 0 {
+			over = 100 * (thr[0][i] - thr[1][i]) / thr[0][i]
+		}
+		cells = append(cells, fmt.Sprintf("%.1f%%", over))
+	}
+	t.row(cells...)
+	t.write(w)
+	return nil
+}

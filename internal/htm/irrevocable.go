@@ -41,9 +41,11 @@ func (tm *TM) Irrevocable(c *pmem.Ctx, pool *pmem.Pool, body func(it *ITxn) erro
 	defer tm.irrevMu.Unlock()
 	tm.irrevocable.Add(1)
 	it := &ITxn{tm: tm, ctx: c, pool: pool}
-	err := body(it)
-	it.releaseAll()
-	return err
+	// Release on panic too: a body unwinding (e.g. a poisoned-media
+	// machine check) must not leave stripe locks held, or every later
+	// transaction touching those words would spin forever.
+	defer it.releaseAll()
+	return body(it)
 }
 
 // acquire locks the stripe for key if not already held and returns its

@@ -74,6 +74,12 @@ const (
 	CSegFree
 	// CPipelineBatches counts pipelined batch executions (§III-D).
 	CPipelineBatches
+	// CScrubSegments / CScrubCorruptions count segments verified by the
+	// online scrubber and the corruptions it found; CQuarantines counts
+	// damaged segments dropped and rebuilt (scrubber or fsck).
+	CScrubSegments
+	CScrubCorruptions
+	CQuarantines
 
 	numCounters
 )
@@ -100,6 +106,10 @@ var CounterNames = [...]string{
 	CSegAlloc:        "seg_alloc",
 	CSegFree:         "seg_free",
 	CPipelineBatches: "pipeline_batches",
+
+	CScrubSegments:    "scrub_segments",
+	CScrubCorruptions: "scrub_corruptions",
+	CQuarantines:      "quarantines",
 }
 
 // Hist identifies one bounded-value histogram.

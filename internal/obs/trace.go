@@ -35,6 +35,12 @@ const (
 	// EvHTMCapacity: a transaction exceeded the HTM capacity budget.
 	// A = top 16 bits of the key hash.
 	EvHTMCapacity
+	// EvQuarantine: a damaged segment was dropped and rebuilt from
+	// salvage. A = segment address, B = entries salvaged.
+	EvQuarantine
+	// EvScrubPass: the online scrubber completed one full pass.
+	// A = segments verified, B = corruptions found.
+	EvScrubPass
 
 	numEventKinds
 )
@@ -49,6 +55,8 @@ var EventKindNames = [...]string{
 	EvStopWorld:     "stop_world",
 	EvLockFallback:  "lock_fallback",
 	EvHTMCapacity:   "htm_capacity",
+	EvQuarantine:    "quarantine",
+	EvScrubPass:     "scrub_pass",
 }
 
 func (k EventKind) String() string {

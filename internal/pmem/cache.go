@@ -199,7 +199,12 @@ func (c *cache) invalidateLine(line uint64) {
 // to its pre-dirty media image; the number of lines lost is returned.
 // In eADR mode dirty lines are (conceptually) flushed by the reserve
 // energy, so nothing is lost.
-func (c *cache) crash(p *Pool, mode Mode) (lost int) {
+//
+// With an armed MediaFaultPlan (mp non-nil), up to mp.TornLines of the
+// ADR rollbacks are torn: a pseudorandom subset of the line's 8-byte
+// words keeps the new value while the rest roll back, modelling a
+// media write-back cut mid-line. eADR has no rollbacks to tear.
+func (c *cache) crash(p *Pool, mode Mode, mp *MediaFaultPlan) (lost int) {
 	for si := range c.sets {
 		set := &c.sets[si]
 		base := uint64(si) * uint64(c.ways)
@@ -211,7 +216,11 @@ func (c *cache) crash(p *Pool, mode Mode) (lost int) {
 				line := e.tag - 1
 				snap := c.snaps[(base+uint64(w))*CachelineSize:]
 				w0 := line / 8
+				keep := mp.tearMask()
 				for i := 0; i < CachelineSize/8; i++ {
+					if keep>>i&1 == 1 {
+						continue // torn: this word's new value reached media
+					}
 					atomic.StoreUint64(&p.words[w0+uint64(i)], le64At(snap, i*8))
 				}
 			}

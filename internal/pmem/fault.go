@@ -106,8 +106,10 @@ func (p *Pool) step(c *Ctx) {
 	}
 	if n := fp.count.Add(1); fp.CrashAtStep > 0 && n == fp.CrashAtStep {
 		fp.fired.Store(true)
-		fp.lost.Store(int64(p.cache.crash(p, p.cfg.Mode)))
+		mp := p.media.Load()
+		fp.lost.Store(int64(p.cache.crash(p, p.cfg.Mode, mp)))
 		p.xpb.reset()
+		p.applyMediaFaults(mp)
 		panic(crashSignal{})
 	}
 }
@@ -157,19 +159,34 @@ func IsInjectedCrash(r any) bool {
 	return ok
 }
 
+// ErrPoisoned matches (via errors.Is) any AccessError caused by a read
+// of a poisoned XPLine.
+var ErrPoisoned = errors.New("pmem: read of poisoned media")
+
 // AccessError is the panic value raised by the pool on an
-// out-of-bounds or misaligned access. It is a typed value (rather
-// than a bare string) so recovery code can convert stray accesses on
-// corrupted images into descriptive errors.
+// out-of-bounds or misaligned access, and on a read overlapping a
+// poisoned XPLine. It is a typed value (rather than a bare string) so
+// recovery code can convert stray accesses on corrupted images into
+// descriptive errors, and so read paths can distinguish uncorrectable
+// media (Poisoned) from program bugs.
 type AccessError struct {
 	Addr, Size uint64
 	PoolSize   uint64
 	Misaligned bool
+	Poisoned   bool
 }
 
 func (e AccessError) Error() string {
+	if e.Poisoned {
+		return fmt.Sprintf("pmem: uncorrectable media error (poisoned XPLine) at %#x", e.Addr)
+	}
 	if e.Misaligned {
 		return fmt.Sprintf("pmem: unaligned 64-bit access at %#x", e.Addr)
 	}
 	return fmt.Sprintf("pmem: access [%#x,%#x) out of pool bounds %#x", e.Addr, e.Addr+e.Size, e.PoolSize)
+}
+
+// Is makes errors.Is(err, ErrPoisoned) match poisoned AccessErrors.
+func (e AccessError) Is(target error) bool {
+	return target == ErrPoisoned && e.Poisoned
 }

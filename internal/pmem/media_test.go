@@ -1,0 +1,261 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+)
+
+func mediaTestPool(mode Mode) *Pool {
+	return New(Config{
+		PoolSize:  1 << 20,
+		Mode:      mode,
+		CacheSize: 1 << 16,
+	})
+}
+
+// snapshotWords copies the raw media image (no cache simulation).
+func snapshotWords(p *Pool) []uint64 {
+	out := make([]uint64, len(p.words))
+	copy(out, p.words)
+	return out
+}
+
+// TestMediaBitFlipsDeterministic checks that bit flips are applied at
+// the crash, damage exactly BitFlips single bits, stay inside the
+// requested frames, and replay identically from the same seed.
+func TestMediaBitFlipsDeterministic(t *testing.T) {
+	run := func(seed uint64) ([]uint64, Stats) {
+		p := mediaTestPool(EADR)
+		c := p.NewCtx()
+		for a := uint64(XPLineSize); a < 8*XPLineSize; a += 8 {
+			p.Store64(c, a, ^uint64(0))
+		}
+		frames := []uint64{1 * XPLineSize, 3 * XPLineSize, 5 * XPLineSize}
+		mp := &MediaFaultPlan{Seed: seed, BitFlips: 7, Frames: frames}
+		p.ArmMediaFault(mp)
+		before := snapshotWords(p)
+		p.Crash()
+		if !mp.Applied() {
+			t.Fatal("plan not applied at Crash")
+		}
+		after := snapshotWords(p)
+		flipped := 0
+		for i := range before {
+			if d := before[i] ^ after[i]; d != 0 {
+				if d&(d-1) != 0 {
+					t.Fatalf("word %d damaged by %d bits, want single-bit flips", i, popcount(d))
+				}
+				addr := uint64(i) * 8
+				inFrame := false
+				for _, f := range frames {
+					if addr >= f && addr < f+XPLineSize {
+						inFrame = true
+					}
+				}
+				if !inFrame {
+					t.Fatalf("flip at %#x outside requested frames", addr)
+				}
+				flipped++
+			}
+		}
+		// Flips can collide on the same bit (flip twice = no damage),
+		// but the injected count must be exact.
+		if got := mp.Injected().MediaBitFlips; got != 7 {
+			t.Fatalf("Injected().MediaBitFlips = %d, want 7", got)
+		}
+		if flipped == 0 {
+			t.Fatal("no media words damaged")
+		}
+		return after, p.Stats()
+	}
+	a1, s1 := run(42)
+	a2, _ := run(42)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed produced different damage at word %d", i)
+		}
+	}
+	a3, _ := run(43)
+	same := true
+	for i := range a1 {
+		if a1[i] != a3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical damage")
+	}
+	if s1.MediaBitFlips != 7 {
+		t.Fatalf("Stats().MediaBitFlips = %d, want 7", s1.MediaBitFlips)
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// TestMediaPoisonReadPanicsAndStoreHeals checks the poisoned-XPLine
+// life cycle: reads panic with a typed, errors.Is-able AccessError;
+// stores overwrite and heal; counters record both sides.
+func TestMediaPoisonReadPanicsAndStoreHeals(t *testing.T) {
+	p := mediaTestPool(EADR)
+	c := p.NewCtx()
+	p.Store64(c, 2*XPLineSize+8, 77)
+	p.PoisonLine(2*XPLineSize + 8)
+	if got := p.PoisonedLines(); got != 1 {
+		t.Fatalf("PoisonedLines = %d, want 1", got)
+	}
+
+	readPoisoned := func(fn func()) (ae AccessError, ok bool) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			ae, ok = r.(AccessError)
+			if !ok {
+				panic(r)
+			}
+		}()
+		fn()
+		return
+	}
+
+	ae, ok := readPoisoned(func() { _ = p.Load64(c, 2*XPLineSize) })
+	if !ok || !ae.Poisoned {
+		t.Fatalf("Load64 of poisoned line: got (%v, %v), want poisoned AccessError", ae, ok)
+	}
+	if !errors.Is(error(ae), ErrPoisoned) {
+		t.Fatal("errors.Is(AccessError{Poisoned}, ErrPoisoned) = false")
+	}
+	if _, ok := readPoisoned(func() { p.Read(c, 2*XPLineSize+100, make([]byte, 4)) }); !ok {
+		t.Fatal("Read overlapping poisoned line did not machine-check")
+	}
+	if _, ok := readPoisoned(func() { p.CAS64(c, 2*XPLineSize, 0, 1) }); !ok {
+		t.Fatal("CAS64 on poisoned line did not machine-check")
+	}
+	// Neighbouring lines are unaffected.
+	if _, ok := readPoisoned(func() { _ = p.Load64(c, 3*XPLineSize) }); ok {
+		t.Fatal("read of clean neighbouring line machine-checked")
+	}
+
+	// A store overwrites the uncorrectable data and clears the poison.
+	p.Store64(c, 2*XPLineSize+16, 5)
+	if got := p.PoisonedLines(); got != 0 {
+		t.Fatalf("PoisonedLines after healing store = %d, want 0", got)
+	}
+	if got := p.Load64(c, 2*XPLineSize+16); got != 5 {
+		t.Fatalf("healed line reads %d, want 5", got)
+	}
+
+	s := p.Stats()
+	if s.PoisonReads != 3 {
+		t.Fatalf("Stats().PoisonReads = %d, want 3", s.PoisonReads)
+	}
+}
+
+// TestMediaPoisonInjectedAtCrash checks that PoisonLines from an armed
+// plan land at the crash, within the requested frames.
+func TestMediaPoisonInjectedAtCrash(t *testing.T) {
+	p := mediaTestPool(EADR)
+	mp := &MediaFaultPlan{Seed: 7, PoisonLines: 2, Frames: []uint64{4 * XPLineSize, 6 * XPLineSize}}
+	p.ArmMediaFault(mp)
+	p.Crash()
+	if got := p.PoisonedLines(); got == 0 || got > 2 {
+		t.Fatalf("PoisonedLines = %d, want 1..2 (picks may collide)", got)
+	}
+	if got := mp.Injected().MediaPoisonedLines; got != 2 {
+		t.Fatalf("Injected().MediaPoisonedLines = %d, want 2", got)
+	}
+	if p.DisarmMediaFault() != mp {
+		t.Fatal("DisarmMediaFault returned wrong plan")
+	}
+	if p.MediaFaultArmed() {
+		t.Fatal("still armed after disarm")
+	}
+}
+
+// TestMediaTornLinesADR checks that under ADR a torn dirty line keeps a
+// strict mix of new and rolled-back words, and that eADR (which has no
+// rollback to tear) honestly injects nothing.
+func TestMediaTornLinesADR(t *testing.T) {
+	p := mediaTestPool(ADR)
+	c := p.NewCtx()
+	// Persist an old image of one cacheline, then dirty it without
+	// flushing so the crash must roll it back.
+	base := uint64(8 * CachelineSize)
+	for i := uint64(0); i < CachelineSize/8; i++ {
+		p.Store64(c, base+i*8, 100+i)
+	}
+	p.Flush(c, base, CachelineSize)
+	p.Fence(c)
+	for i := uint64(0); i < CachelineSize/8; i++ {
+		p.Store64(c, base+i*8, 200+i)
+	}
+
+	mp := &MediaFaultPlan{Seed: 9, TornLines: 1}
+	p.ArmMediaFault(mp)
+	p.Crash()
+	if got := mp.Injected().MediaTornLines; got != 1 {
+		t.Fatalf("Injected().MediaTornLines = %d, want 1", got)
+	}
+	oldW, newW := 0, 0
+	for i := uint64(0); i < CachelineSize/8; i++ {
+		switch got := p.Load64(c, base+i*8); got {
+		case 100 + i:
+			oldW++
+		case 200 + i:
+			newW++
+		default:
+			t.Fatalf("word %d reads %d, want old(%d) or new(%d)", i, got, 100+i, 200+i)
+		}
+	}
+	if oldW == 0 || newW == 0 {
+		t.Fatalf("torn line not mixed: %d old words, %d new words", oldW, newW)
+	}
+
+	// eADR: reserve energy completes every write-back; nothing tears.
+	pe := mediaTestPool(EADR)
+	ce := pe.NewCtx()
+	pe.Store64(ce, base, 1)
+	mpe := &MediaFaultPlan{Seed: 9, TornLines: 4}
+	pe.ArmMediaFault(mpe)
+	pe.Crash()
+	if got := mpe.Injected().MediaTornLines; got != 0 {
+		t.Fatalf("eADR tore %d lines, want 0", got)
+	}
+	if got := pe.Load64(ce, base); got != 1 {
+		t.Fatalf("eADR store lost: reads %d, want 1", got)
+	}
+}
+
+// TestMediaFaultsApplyWhenFaultPlanFires checks that media damage also
+// lands when the crash comes from an armed FaultPlan rather than a
+// quiescent Pool.Crash.
+func TestMediaFaultsApplyWhenFaultPlanFires(t *testing.T) {
+	p := mediaTestPool(EADR)
+	c := p.NewCtx()
+	mp := &MediaFaultPlan{Seed: 3, PoisonLines: 1, Frames: []uint64{2 * XPLineSize}}
+	p.ArmMediaFault(mp)
+	fp := &FaultPlan{CrashAtStep: 2}
+	p.ArmFault(fp)
+	err := CatchCrash(func() error {
+		p.Store64(c, 64, 1)
+		p.Store64(c, 72, 2)
+		return nil
+	})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("CatchCrash = %v, want ErrInjectedCrash", err)
+	}
+	if !mp.Applied() {
+		t.Fatal("media plan not applied when FaultPlan fired")
+	}
+	if got := p.PoisonedLines(); got != 1 {
+		t.Fatalf("PoisonedLines = %d, want 1", got)
+	}
+}

@@ -20,6 +20,9 @@ type Pool struct {
 	mu      sync.Mutex
 	ctxs    map[*Ctx]struct{}
 	retired Stats
+	// injected accumulates the media-fault counters of applied
+	// MediaFaultPlans (guarded by mu).
+	injected Stats
 
 	// fault is the armed crash-injection plan (fault.go); inFlight
 	// counts operations currently executing between Ctx.BeginOp and
@@ -27,6 +30,14 @@ type Pool struct {
 	// not go through a FaultPlan.
 	fault    atomic.Pointer[FaultPlan]
 	inFlight atomic.Int64
+
+	// media is the armed media-fault plan (media.go); poison is the
+	// set of poisoned XPLine bases, with poisonN as its lock-free
+	// emptiness check on the read fast path.
+	media    atomic.Pointer[MediaFaultPlan]
+	poisonMu sync.Mutex
+	poison   map[uint64]struct{}
+	poisonN  atomic.Int64
 }
 
 // New creates a simulated PM pool. The pool's content starts zeroed
@@ -70,7 +81,7 @@ func (p *Pool) retire(c *Ctx) {
 // quiescent while Stats is called for an exact snapshot.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	s := p.retired
+	s := p.retired.Add(p.injected)
 	for c := range p.ctxs {
 		s = s.Add(c.stats)
 	}
@@ -149,9 +160,12 @@ func (p *Pool) touch(c *Ctx, line uint64, store bool) {
 	}
 }
 
-// Load64 atomically loads the 64-bit word at addr.
+// Load64 atomically loads the 64-bit word at addr. Reading a poisoned
+// XPLine panics with a typed AccessError (the simulated machine
+// check); see media.go.
 func (p *Pool) Load64(c *Ctx, addr uint64) uint64 {
 	p.checkAligned(addr)
+	p.checkPoison(c, addr, 8)
 	p.touch(c, addr&^uint64(CachelineSize-1), false)
 	return atomic.LoadUint64(&p.words[addr/8])
 }
@@ -159,16 +173,20 @@ func (p *Pool) Load64(c *Ctx, addr uint64) uint64 {
 // Store64 atomically stores v to the 64-bit word at addr. The line
 // becomes dirty in the simulated cache; under eADR it is already
 // durable, under ADR it is durable only once flushed or evicted.
+// Storing into a poisoned XPLine clears its poison (write-to-heal).
 func (p *Pool) Store64(c *Ctx, addr uint64, v uint64) {
 	p.checkAligned(addr)
+	p.clearPoison(addr, 8)
 	p.step(c)
 	p.touch(c, addr&^uint64(CachelineSize-1), true)
 	atomic.StoreUint64(&p.words[addr/8], v)
 }
 
-// CAS64 performs a compare-and-swap on the word at addr.
+// CAS64 performs a compare-and-swap on the word at addr. The embedded
+// read machine-checks on a poisoned XPLine like Load64.
 func (p *Pool) CAS64(c *Ctx, addr uint64, old, new uint64) bool {
 	p.checkAligned(addr)
+	p.checkPoison(c, addr, 8)
 	p.step(c)
 	p.touch(c, addr&^uint64(CachelineSize-1), true)
 	return atomic.CompareAndSwapUint64(&p.words[addr/8], old, new)
@@ -197,6 +215,7 @@ func (p *Pool) touchRange(c *Ctx, addr, n uint64, store bool) {
 func (p *Pool) Read(c *Ctx, addr uint64, dst []byte) {
 	n := uint64(len(dst))
 	p.check(addr, n)
+	p.checkPoison(c, addr, n)
 	p.touchRange(c, addr, n, false)
 	p.copyOut(addr, dst)
 }
@@ -209,6 +228,7 @@ func (p *Pool) Read(c *Ctx, addr uint64, dst []byte) {
 func (p *Pool) Write(c *Ctx, addr uint64, src []byte) {
 	n := uint64(len(src))
 	p.check(addr, n)
+	p.clearPoison(addr, n)
 	p.step(c)
 	p.touchRange(c, addr, n, true)
 	p.copyIn(addr, src)
@@ -224,6 +244,7 @@ func (p *Pool) NTStore(c *Ctx, addr uint64, src []byte) {
 	if n == 0 {
 		return
 	}
+	p.clearPoison(addr, n)
 	p.step(c)
 	t := &p.cfg.Timing
 	first := addr &^ uint64(CachelineSize-1)
@@ -308,8 +329,10 @@ func (p *Pool) Crash() int {
 		panic(fmt.Sprintf("pmem: Crash with %d operations in flight and no armed FaultPlan; "+
 			"mid-operation power cuts must use fault injection (Pool.ArmFault)", n))
 	}
-	lost := p.cache.crash(p, p.cfg.Mode)
+	mp := p.media.Load()
+	lost := p.cache.crash(p, p.cfg.Mode, mp)
 	p.xpb.reset()
+	p.applyMediaFaults(mp)
 	return lost
 }
 

@@ -28,6 +28,16 @@ type Stats struct {
 	Evictions uint64
 	// NTStores counts cachelines moved by non-temporal stores.
 	NTStores uint64
+	// MediaBitFlips, MediaTornLines and MediaPoisonedLines count faults
+	// injected by an armed MediaFaultPlan (media.go): single-bit flips
+	// applied to media words, dirty cachelines torn (partially retained)
+	// during an ADR crash rollback, and XPLines marked poisoned.
+	MediaBitFlips      uint64
+	MediaTornLines     uint64
+	MediaPoisonedLines uint64
+	// PoisonReads counts reads that hit a poisoned XPLine and surfaced
+	// an AccessError instead of data (the simulated machine checks).
+	PoisonReads uint64
 }
 
 // MediaReadBytes returns the bytes read from PM media, at XPLine
@@ -53,6 +63,11 @@ func (s Stats) Sub(o Stats) Stats {
 		Fences:          s.Fences - o.Fences,
 		Evictions:       s.Evictions - o.Evictions,
 		NTStores:        s.NTStores - o.NTStores,
+
+		MediaBitFlips:      s.MediaBitFlips - o.MediaBitFlips,
+		MediaTornLines:     s.MediaTornLines - o.MediaTornLines,
+		MediaPoisonedLines: s.MediaPoisonedLines - o.MediaPoisonedLines,
+		PoisonReads:        s.PoisonReads - o.PoisonReads,
 	}
 }
 
@@ -69,5 +84,10 @@ func (s Stats) Add(o Stats) Stats {
 		Fences:          s.Fences + o.Fences,
 		Evictions:       s.Evictions + o.Evictions,
 		NTStores:        s.NTStores + o.NTStores,
+
+		MediaBitFlips:      s.MediaBitFlips + o.MediaBitFlips,
+		MediaTornLines:     s.MediaTornLines + o.MediaTornLines,
+		MediaPoisonedLines: s.MediaPoisonedLines + o.MediaPoisonedLines,
+		PoisonReads:        s.PoisonReads + o.PoisonReads,
 	}
 }

@@ -96,6 +96,49 @@ const (
 // (256 MB pool, 8 MB cache, eADR).
 func DefaultPlatform() PlatformOptions { return pmem.DefaultConfig() }
 
+// Corruption-tolerance re-exports: typed errors the read path returns
+// on damaged media, the offline repair report, and the online scrubber
+// knobs. Callers match with errors.Is/As and never import internal
+// packages.
+var (
+	// ErrCorrupted matches (errors.Is) every CorruptionError.
+	ErrCorrupted = core.ErrCorrupted
+	// ErrPoisoned matches (errors.Is) reads of poisoned XPLines.
+	ErrPoisoned = pmem.ErrPoisoned
+)
+
+type (
+	// CorruptionError is the typed error returned when a read touches
+	// a damaged segment (checksum mismatch, CRC-failing record, or
+	// poisoned media). Extract with errors.As.
+	CorruptionError = core.CorruptionError
+	// FsckReport is the result of Session.Fsck.
+	FsckReport = core.FsckReport
+	// ScrubOptions configures DB.StartScrub.
+	ScrubOptions = core.ScrubOptions
+	// ScrubStats is the scrubber's final tally.
+	ScrubStats = core.ScrubStats
+)
+
+// DescribeError renders err for operator-facing diagnostics: typed
+// media corruption is expanded with the damaged location and the
+// repair action; anything else formats as-is.
+func DescribeError(err error) string {
+	var ce *core.CorruptionError
+	if errors.As(err, &ce) {
+		loc := fmt.Sprintf("segment %#x", ce.Seg)
+		if ce.Bucket >= 0 {
+			loc = fmt.Sprintf("%s bucket %d", loc, ce.Bucket)
+		}
+		return fmt.Sprintf("media corruption in %s: %v (repair: spash-fsck -repair, or online via StartScrub)", loc, ce.Cause)
+	}
+	var ae pmem.AccessError
+	if errors.As(err, &ae) && ae.Poisoned {
+		return fmt.Sprintf("uncorrectable media error: poisoned XPLine at %#x (repair: spash-fsck -repair)", ae.Addr)
+	}
+	return err.Error()
+}
+
 // Options configures a DB.
 type Options struct {
 	// Platform configures the simulated PM device; the zero value is
@@ -189,6 +232,13 @@ func (db *DB) Stats() Stats {
 // Group exposes the virtual-time serialisation group (benchmarking).
 func (db *DB) Group() *vsync.Group { return db.ix.Group() }
 
+// StartScrub launches the online background scrubber: it re-verifies
+// segments incrementally through the optimistic read protocol (never
+// blocking writers) and, with ScrubOptions.Repair, quarantines damaged
+// ones as it finds them. Stop the returned scrubber before Crash or
+// process exit.
+func (db *DB) StartScrub(opt ScrubOptions) *core.Scrubber { return db.ix.StartScrub(opt) }
+
 // TryShrink halves the directory if every segment's local depth allows
 // it (maintenance; see core.Index.TryShrink).
 func (db *DB) TryShrink() bool { return db.ix.TryShrink(db.ctx) }
@@ -259,3 +309,10 @@ func (s *Session) TryMerge(key []byte) bool { return s.h.TryMerge(key) }
 func (s *Session) ForEach(fn func(key, value []byte) bool) error {
 	return s.h.Index().ForEach(s.h, fn)
 }
+
+// Fsck walks the persistent registry, verifies every live segment
+// (checksum seals, per-record CRCs, routing, poison) and — with repair
+// — quarantines and rebuilds the damaged ones, reporting salvaged and
+// lost keys. The DB should be quiescent; FsckReport.ExitCode gives the
+// spash-fsck exit convention (0 clean / 1 repaired / 2 unrecoverable).
+func (s *Session) Fsck(repair bool) (*FsckReport, error) { return s.h.Fsck(repair) }
