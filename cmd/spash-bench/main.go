@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,7 @@ var figures = []figure{
 	{"ext-hotspot", "hotspot detector sizing sweep (extension)", harness.ExtHotspotSweep},
 	{"ext-eadr", "eADR+HTM vs legacy-ADR discipline (extension)", harness.ExtEADRBenefit},
 	{"ext-integrity", "checksum-seal overhead, off vs on (extension)", harness.ExtIntegrity},
+	{"shards", "shard scaling: throughput vs shards × threads (extension)", harness.FigShards},
 }
 
 // curRec is the recorder of the figure currently running; the
@@ -60,16 +62,29 @@ var figures = []figure{
 var curRec atomic.Pointer[harness.Recorder]
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate (all, 1, 7-11, 12a-12d, table1, ext-doubling, ext-hotspot, ext-eadr, ext-integrity)")
+	figFlag := flag.String("fig", "all", "figure to regenerate (all, 1, 7-11, 12a-12d, table1, ext-doubling, ext-hotspot, ext-eadr, ext-integrity, shards)")
 	scaleFlag := flag.String("scale", "medium", "workload scale (small, medium, large)")
 	jsonDir := flag.String("json", "", "write one BENCH_<fig>.json artifact per figure into this directory")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/obs/trace and /debug/pprof on this address (off when empty)")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the shards figure (default 1,2,4,8)")
 	flag.Parse()
 
 	scale, err := harness.ScaleByName(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *shardsFlag != "" {
+		var counts []int
+		for _, f := range strings.Split(*shardsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -shards value %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		harness.SetShardCounts(counts)
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spash-cli
+//	spash-cli [-shards N]
 //	> put user1 hello
 //	> get user1
 //	> stats
@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -22,7 +23,10 @@ import (
 )
 
 func main() {
-	db, err := spash.Open(spash.Options{})
+	shards := flag.Int("shards", 1, "shard count (independent devices + HTM domains)")
+	flag.Parse()
+	opts := spash.Options{Shards: *shards}
+	db, err := spash.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -113,6 +117,11 @@ func main() {
 			fmt.Printf("%.3f\n", db.LoadFactor())
 		case "stats":
 			st := db.Stats()
+			if db.Shards() > 1 {
+				for i, sh := range st.Shards {
+					fmt.Printf("shard %d: entries=%d segments=%d\n", i, sh.Index.Entries, sh.Index.Segments)
+				}
+			}
 			fmt.Printf("entries=%d segments=%d depth-splits=%d merges=%d doublings=%d\n",
 				st.Index.Entries, st.Index.Segments, st.Index.Splits, st.Index.Merges, st.Index.Doubles)
 			fmt.Printf("htm: conflicts=%d capacity=%d fallbacks=%d collab-stages=%d hot-hits=%d\n",
@@ -121,17 +130,17 @@ func main() {
 				st.Memory.CacheHits, st.Memory.CacheMisses, st.Memory.XPLineReads, st.Memory.XPLineWrites, st.Memory.Flushes)
 		case "crash":
 			s.Close()
-			platform := db.Platform()
+			platforms := db.Platforms()
 			lost := db.Crash()
-			db2, err := spash.Recover(platform, spash.Options{})
+			db2, err := spash.RecoverAll(platforms, opts)
 			if err != nil {
 				fmt.Println("recovery failed:", spash.DescribeError(err))
 				os.Exit(1)
 			}
 			db = db2
 			s = db.Session()
-			fmt.Printf("power failure: %d cachelines lost (eADR keeps everything); recovered %d entries\n",
-				lost, db.Len())
+			fmt.Printf("power failure: %d cachelines lost across %d device(s) (eADR keeps everything); recovered %d entries\n",
+				lost, db.Shards(), db.Len())
 		case "fsck":
 			repair := len(fields) > 1 && fields[1] == "repair"
 			rep, err := s.Fsck(repair)

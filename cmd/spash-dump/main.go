@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	spash-dump [-records 100000] [-valuesize 8] [-deletes 0.2]
+//	spash-dump [-records 100000] [-valuesize 8] [-deletes 0.2] [-shards N]
+//
+// With -shards N the database is partitioned; the report shows one
+// summary line per shard and histograms merged across all of them.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"spash"
+	"spash/internal/core"
 	"spash/internal/ycsb"
 )
 
@@ -24,11 +28,12 @@ func main() {
 	records := flag.Int("records", 100000, "records to insert")
 	valSize := flag.Int("valuesize", 8, "value size in bytes")
 	deletes := flag.Float64("deletes", 0.2, "fraction of records deleted afterwards")
+	shards := flag.Int("shards", 1, "shard count (independent devices + HTM domains)")
 	flag.Parse()
 
 	platform := spash.DefaultPlatform()
 	platform.PoolSize = 1 << 30
-	db, err := spash.Open(spash.Options{Platform: platform})
+	db, err := spash.Open(spash.Options{Platform: platform, Shards: *shards})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -64,14 +69,29 @@ func main() {
 		}
 	}
 
-	dump := db.Index().Dump(s.Ctx())
+	ixs := db.Indexes()
+	dumps := make([]core.DumpInfo, len(ixs))
+	for i, ix := range ixs {
+		dumps[i] = ix.Dump(s.ShardCtx(i))
+	}
+	dump := mergeDumps(dumps)
 	st := db.Stats()
 
-	fmt.Printf("spash-dump: %d inserts, %d deletes, %dB values\n\n", *records, del, *valSize)
+	fmt.Printf("spash-dump: %d inserts, %d deletes, %dB values, %d shard(s)\n\n", *records, del, *valSize, db.Shards())
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if db.Shards() > 1 {
+		for i := range dumps {
+			fmt.Fprintf(tw, "shard %d\tentries %d, segments %d, global depth %d\n",
+				i, st.Shards[i].Index.Entries, st.Shards[i].Index.Segments, dumps[i].GlobalDepth)
+		}
+	}
 	fmt.Fprintf(tw, "entries\t%d\n", st.Index.Entries)
 	fmt.Fprintf(tw, "segments\t%d\n", st.Index.Segments)
-	fmt.Fprintf(tw, "global depth\t%d (directory %d entries)\n", dump.GlobalDepth, 1<<dump.GlobalDepth)
+	dirEntries := 0
+	for i := range dumps {
+		dirEntries += 1 << dumps[i].GlobalDepth
+	}
+	fmt.Fprintf(tw, "global depth\t%d (directories %d entries total)\n", dump.GlobalDepth, dirEntries)
 	fmt.Fprintf(tw, "load factor\t%.3f\n", db.LoadFactor())
 	fmt.Fprintf(tw, "splits / merges / doublings\t%d / %d / %d\n",
 		st.Index.Splits, st.Index.Merges, st.Index.Doubles)
@@ -97,6 +117,44 @@ func main() {
 	for o, n := range dump.OccupancyHistogram {
 		fmt.Printf("  %2d/16: %6d %s\n", o, n, bar(n, dump.MaxOccupancyCount))
 	}
+}
+
+// mergeDumps folds per-shard structure reports into one: histograms
+// are summed slot-wise, counters added, and the reported global depth
+// is the deepest shard's (each shard owns its own directory).
+func mergeDumps(dumps []core.DumpInfo) core.DumpInfo {
+	out := dumps[0]
+	for _, d := range dumps[1:] {
+		if d.GlobalDepth > out.GlobalDepth {
+			out.GlobalDepth = d.GlobalDepth
+		}
+		if len(d.DepthHistogram) > len(out.DepthHistogram) {
+			out.DepthHistogram = append(out.DepthHistogram,
+				make([]int, len(d.DepthHistogram)-len(out.DepthHistogram))...)
+		}
+		for i, n := range d.DepthHistogram {
+			out.DepthHistogram[i] += n
+		}
+		for i, n := range d.OccupancyHistogram {
+			out.OccupancyHistogram[i] += n
+		}
+		out.OverflowEntries += d.OverflowEntries
+		out.KeyRecords += d.KeyRecords
+		out.ValueRecords += d.ValueRecords
+		out.PoisonedSegments += d.PoisonedSegments
+	}
+	out.MaxDepthCount, out.MaxOccupancyCount = 0, 0
+	for _, n := range out.DepthHistogram {
+		if n > out.MaxDepthCount {
+			out.MaxDepthCount = n
+		}
+	}
+	for _, n := range out.OccupancyHistogram {
+		if n > out.MaxOccupancyCount {
+			out.MaxOccupancyCount = n
+		}
+	}
+	return out
 }
 
 func bar(n, max int) string {

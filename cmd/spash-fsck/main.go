@@ -22,9 +22,16 @@
 // Usage:
 //
 //	spash-fsck [-records 100000] [-churn 3] [-seed 1] [-mode eadr|adr]
-//	           [-crash] [-crashstep N]
+//	           [-crash] [-crashstep N] [-shards N]
 //	           [-checksums] [-bitflips N] [-torn N] [-poison N] [-faultseed 1]
 //	           [-repair] [-report FILE.json]
+//
+// With -shards N the database is partitioned onto N devices. Injected
+// faults (crashstep, media damage) target shard 0's device — the
+// remaining shards see a plain power cut — and the check then covers
+// every shard: parallel recovery, a merged segment-verification
+// report, per-shard structural invariants and the global entry-count
+// cross-check.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 type report struct {
 	Schema    string `json:"schema"`
 	Mode      string `json:"mode"`
+	Shards    int    `json:"shards"`
 	Seed      int64  `json:"seed"`
 	FaultSeed uint64 `json:"faultseed"`
 	Checksums bool   `json:"checksums"`
@@ -75,6 +83,7 @@ func main() {
 	faultSeed := flag.Uint64("faultseed", 1, "seed for media-fault placement")
 	repair := flag.Bool("repair", false, "quarantine and rebuild damaged segments")
 	reportPath := flag.String("report", "", "write the repair report as JSON to this file")
+	shards := flag.Int("shards", 1, "shard count (faults target shard 0; checks cover every shard)")
 	flag.Parse()
 
 	var pmode pmem.Mode
@@ -93,24 +102,27 @@ func main() {
 	platform.PoolSize = uint64(*poolMB) << 20
 	platform.CacheSize = uint64(*cacheKB) << 10
 	platform.Mode = pmode
-	opts := spash.Options{Platform: platform}
+	opts := spash.Options{Platform: platform, Shards: *shards}
 	opts.Index.Checksums = *checksums
 	db, err := spash.Open(opts)
 	if err != nil {
 		fail(err)
 	}
 	s := db.Session()
+	// Injected faults aim at shard 0's device; a single-shard database
+	// makes that the whole pool.
+	target := db.Platforms()[0]
 	rng := rand.New(rand.NewSource(*seed))
 	kb := make([]byte, 8)
 
 	var plan *pmem.FaultPlan
 	if *crashStep > 0 {
 		plan = &pmem.FaultPlan{CrashAtStep: *crashStep}
-		db.Platform().ArmFault(plan)
+		target.ArmFault(plan)
 	}
 
-	fmt.Printf("building: %d records, %d churn rounds (seed %d, %s, checksums %v)...\n",
-		*records, *churn, *seed, *mode, *checksums)
+	fmt.Printf("building: %d records, %d churn rounds (seed %d, %s, checksums %v, %d shards)...\n",
+		*records, *churn, *seed, *mode, *checksums, db.Shards())
 	werr := pmem.CatchCrash(func() error {
 		for i := uint64(0); i < uint64(*records); i++ {
 			binary.LittleEndian.PutUint64(kb, i)
@@ -149,15 +161,15 @@ func main() {
 			PoisonLines: *poison,
 		}
 		if *bitFlips > 0 || *poison > 0 {
-			mp.Frames = db.Index().SegmentAddrs(s.Ctx())
+			mp.Frames = db.Indexes()[0].SegmentAddrs(s.ShardCtx(0))
 		}
-		db.Platform().ArmMediaFault(mp)
+		target.ArmMediaFault(mp)
 	}
 
 	crashed := false
 	switch {
 	case plan != nil:
-		db.Platform().DisarmFault()
+		target.DisarmFault()
 		if !plan.Fired() {
 			fmt.Printf("fault injection: step %d beyond workload's %d steps; no crash fired\n",
 				*crashStep, plan.Steps())
@@ -167,6 +179,11 @@ func main() {
 		} else {
 			fmt.Printf("fault injection: power cut at step %d (mid-operation, %d cachelines lost)\n",
 				*crashStep, plan.LinesLost())
+			// Power fails on every device at once: the sibling shards
+			// (quiescent at the cut) take a plain power cycle.
+			for _, p := range db.Platforms()[1:] {
+				p.Crash()
+			}
 			crashed = true
 		}
 	case werr != nil:
@@ -177,17 +194,18 @@ func main() {
 		crashed = true
 	}
 	if crashed {
-		db, err = spash.Recover(db.Platform(), opts)
+		db, err = spash.RecoverAll(db.Platforms(), opts)
 		if err != nil {
 			fail(fmt.Errorf("recovery: %w", err))
 		}
 		s = db.Session()
+		target = db.Platforms()[0]
 	}
 
-	rep := report{Schema: "spash-fsck/v1", Mode: *mode, Seed: *seed,
+	rep := report{Schema: "spash-fsck/v1", Mode: *mode, Shards: db.Shards(), Seed: *seed,
 		FaultSeed: *faultSeed, Checksums: *checksums}
 	if mp != nil {
-		db.Platform().DisarmMediaFault()
+		target.DisarmMediaFault()
 		inj := mp.Injected()
 		rep.Injected.BitFlips = inj.MediaBitFlips
 		rep.Injected.TornLines = inj.MediaTornLines
@@ -230,14 +248,22 @@ func main() {
 	}
 
 	fmt.Print("checking structural invariants... ")
-	iErr := db.Index().CheckInvariants(s.Ctx())
+	var iErr error
+	for i, ix := range db.Indexes() {
+		if err := ix.CheckInvariants(s.ShardCtx(i)); err != nil {
+			iErr = fmt.Errorf("shard %d: %w", i, err)
+			break
+		}
+	}
 	if iErr != nil {
 		fmt.Println("FAIL")
 		rep.Invariant = iErr.Error()
 	} else {
 		fmt.Println("ok")
 	}
-	rep.Misplaced = db.Index().CheckPlacement(s.Ctx())
+	for i, ix := range db.Indexes() {
+		rep.Misplaced += ix.CheckPlacement(s.ShardCtx(i))
+	}
 	if rep.Misplaced > 0 {
 		fmt.Printf("silent misplacement: %d records route to the wrong segment\n", rep.Misplaced)
 	}

@@ -8,6 +8,7 @@
 //	spash-ycsb -index spash -workload balanced -records 200000 -ops 200000
 //	spash-ycsb -index level -workload write-intensive -dist zipfian -threads 56
 //	spash-ycsb -index all -valuesize 256
+//	spash-ycsb -index spash -shards 4 -threads 224
 //	spash-ycsb -index spash -json BENCH_ycsb_a.json -metrics-addr 127.0.0.1:8080
 //
 // With -json the run phase executes sequentially (per worker) so
@@ -46,6 +47,7 @@ func main() {
 		theta       = flag.Float64("theta", ycsb.DefaultTheta, "zipfian skew")
 		jsonPath    = flag.String("json", "", "write a machine-readable artifact (results + latency + obs snapshot) to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/obs/trace and /debug/pprof on this address (off when empty)")
+		shards      = flag.Int("shards", 1, "partition Spash into N shards (independent devices + HTM domains; Spash only)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,21 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *shards > 1 {
+		// Only Spash has a sharded build; other roster entries keep
+		// their monolithic form for comparison.
+		replaced := false
+		for i, e := range entries {
+			if e.Name == "Spash" {
+				entries[i] = harness.NewShardedEntry(fmt.Sprintf("Spash-%dsh", *shards), *shards)
+				replaced = true
+			}
+		}
+		if !replaced {
+			fmt.Fprintf(os.Stderr, "-shards applies to the Spash entry only (selected %q)\n", *index)
+			os.Exit(2)
+		}
+	}
 
 	var rec *harness.Recorder
 	if *jsonPath != "" {
@@ -99,7 +116,7 @@ func main() {
 			"index": *index, "workload": *workload, "dist": *dist,
 			"records": strconv.Itoa(*records), "ops": strconv.Itoa(*ops),
 			"threads": strconv.Itoa(*threads), "valuesize": strconv.Itoa(*valSize),
-			"theta": fmt.Sprintf("%g", th),
+			"theta": fmt.Sprintf("%g", th), "shards": strconv.Itoa(*shards),
 		})
 		harness.SetRecorder(rec)
 		defer harness.SetRecorder(nil)

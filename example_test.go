@@ -10,7 +10,7 @@ import (
 // The basic lifecycle: open a simulated eADR device, store data,
 // survive a power failure.
 func Example() {
-	db, err := spash.Open(spash.Options{})
+	db, err := spash.Open(spash.Options{Shards: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,6 +50,7 @@ func ExampleSession_ExecBatch() {
 // The ablation knobs reproduce the paper's Fig 12 variants.
 func ExampleOptions() {
 	db, err := spash.Open(spash.Options{
+		Shards: 1, // single shard: db.Index() addresses the one index
 		Index: spash.IndexOptions{
 			Concurrency:   spash.ModeWriteLock,    // Fig 12(c) variant
 			Update:        spash.UpdateNeverFlush, // Fig 12(a) variant

@@ -56,12 +56,15 @@ func main() {
 	fmt.Printf("pipelined gets: %q, %q\n", batch[0].Result, batch[1].Result)
 
 	// Power failure. Under eADR the persistent CPU cache is flushed by
-	// the reserve energy: nothing that completed is lost.
-	platform := db.Platform()
+	// the reserve energy: nothing that completed is lost. The DB is
+	// partitioned over GOMAXPROCS shards by default, each on its own
+	// device, so the crash hits every device and recovery fans out in
+	// parallel.
+	platforms := db.Platforms()
 	lost := db.Crash()
 	fmt.Printf("power failure! cachelines lost: %d (eADR)\n", lost)
 
-	db2, err := spash.Recover(platform, spash.Options{})
+	db2, err := spash.RecoverAll(platforms, spash.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,11 +60,11 @@ func eadr() {
 	}
 	wg.Wait()
 
-	platform := db.Platform()
+	platforms := db.Platforms()
 	lost := db.Crash()
-	fmt.Printf("power failure: %d cachelines lost\n", lost)
+	fmt.Printf("power failure: %d cachelines lost across %d shard devices\n", lost, len(platforms))
 
-	db2, err := spash.Recover(platform, spash.Options{})
+	db2, err := spash.RecoverAll(platforms, spash.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,6 +93,7 @@ func adr() {
 	platformCfg.Mode = spash.ADR
 	db, err := spash.Open(spash.Options{
 		Platform: platformCfg,
+		Shards:   1, // one device keeps the lost-line count simple
 		Index: spash.IndexOptions{
 			Update: spash.UpdateNeverFlush,
 			Insert: spash.InsertCompactNoFlush,

@@ -1,0 +1,157 @@
+package adapters
+
+import (
+	"fmt"
+
+	"spash/internal/core"
+	"spash/internal/ixapi"
+	"spash/internal/obs"
+	"spash/internal/pmem"
+	"spash/internal/shard"
+	"spash/internal/vsync"
+)
+
+// Sharded adapts an N-way partitioned Spash (one device, allocator,
+// index, and HTM domain per shard; see internal/shard) to ixapi.Index.
+// It implements the harness's optional MultiPool/MultiGroup probes, so
+// media traffic is metered per device and serial time bounded by the
+// hottest shard's commit domain.
+type Sharded struct {
+	units []*shard.Unit
+	name  string
+}
+
+// NewShardedFactory returns a factory building an n-shard Spash with
+// the given per-shard configuration. The platform handed to the
+// factory describes the whole database; it is divided among the shards
+// (shard.SplitPlatform), so the n-shard index consumes the same total
+// pool and cache a monolithic one would.
+func NewShardedFactory(name string, n int, cfg core.Config) ixapi.Factory {
+	return func(platform pmem.Config) (ixapi.Index, error) {
+		units, err := shard.OpenAll(n, platform, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return &Sharded{units: units, name: name}, nil
+	}
+}
+
+// Name implements ixapi.Index.
+func (s *Sharded) Name() string { return s.name }
+
+// NewWorker implements ixapi.Index: the worker holds one handle per
+// shard and routes by the low bits of the key hash.
+func (s *Sharded) NewWorker() ixapi.Worker {
+	hs := make([]*core.Handle, len(s.units))
+	for i, u := range s.units {
+		hs[i] = u.Ix.NewHandle(nil)
+	}
+	return &shardedWorker{hs: hs}
+}
+
+// Len implements ixapi.Index.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, u := range s.units {
+		n += u.Ix.Len()
+	}
+	return n
+}
+
+// LoadFactor implements ixapi.Index (aggregate entries over aggregate
+// capacity).
+func (s *Sharded) LoadFactor() float64 {
+	var entries, segs int64
+	for _, u := range s.units {
+		st := u.Ix.Stats()
+		entries += st.Entries
+		segs += st.Segments
+	}
+	if segs == 0 {
+		return 0
+	}
+	return float64(entries) / float64(segs*core.SlotsPerSegment)
+}
+
+// Pool implements ixapi.Index with the representative shard-0 device;
+// the harness discovers the full set through Pools.
+func (s *Sharded) Pool() *pmem.Pool { return s.units[0].Pool }
+
+// Pools implements ixapi.MultiPool.
+func (s *Sharded) Pools() []*pmem.Pool {
+	out := make([]*pmem.Pool, len(s.units))
+	for i, u := range s.units {
+		out[i] = u.Pool
+	}
+	return out
+}
+
+// Group implements ixapi.Index with the shard-0 serialisation group;
+// the harness discovers the full set through Groups.
+func (s *Sharded) Group() *vsync.Group { return s.units[0].Ix.Group() }
+
+// Groups implements ixapi.MultiGroup.
+func (s *Sharded) Groups() []*vsync.Group {
+	out := make([]*vsync.Group, len(s.units))
+	for i, u := range s.units {
+		out[i] = u.Ix.Group()
+	}
+	return out
+}
+
+// ObsSnapshot aggregates the per-shard snapshots (the harness probes
+// this to fill bench artifacts).
+func (s *Sharded) ObsSnapshot() obs.Snapshot {
+	agg := s.units[0].Ix.ObsSnapshot()
+	for _, u := range s.units[1:] {
+		agg = agg.Add(u.Ix.ObsSnapshot())
+	}
+	return agg
+}
+
+type shardedWorker struct {
+	hs []*core.Handle
+}
+
+func (w *shardedWorker) route(key []byte) *core.Handle {
+	return w.hs[shard.Of(core.KeyHash(key), len(w.hs))]
+}
+
+func (w *shardedWorker) Insert(key, val []byte) error { return w.route(key).Insert(key, val) }
+func (w *shardedWorker) Search(key, dst []byte) ([]byte, bool, error) {
+	return w.route(key).Search(key, dst)
+}
+func (w *shardedWorker) Update(key, val []byte) (bool, error) { return w.route(key).Update(key, val) }
+func (w *shardedWorker) Delete(key []byte) (bool, error)      { return w.route(key).Delete(key) }
+
+// Ctx returns the shard-0 context; the harness totals virtual time
+// through the MultiCtxWorker probe.
+func (w *shardedWorker) Ctx() *pmem.Ctx { return w.hs[0].Ctx() }
+
+// ResetClocks implements ixapi.MultiCtxWorker.
+func (w *shardedWorker) ResetClocks() {
+	for _, h := range w.hs {
+		h.Ctx().ResetClock()
+	}
+}
+
+// TotalClock implements ixapi.MultiCtxWorker: one thread executes its
+// operations serially whichever shard they land on, so its virtual
+// time is the sum of the per-shard clocks.
+func (w *shardedWorker) TotalClock() int64 {
+	var total int64
+	for _, h := range w.hs {
+		total += h.Ctx().Clock()
+	}
+	return total
+}
+
+func (w *shardedWorker) Close() {
+	for _, h := range w.hs {
+		h.Close()
+	}
+}
+
+// ExecBatch implements BatchWorker: the batch is partitioned by key
+// and each shard's sub-batch runs through that shard's pipelined path.
+func (w *shardedWorker) ExecBatch(ops []core.BatchOp) { shard.SplitBatch(w.hs, ops) }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The geometry root word stamps the on-device layout parameters an
+// index image was built with, so Recover can reject a configuration
+// that disagrees with the device instead of misreading the pool: a
+// registry walk with the wrong segment size decodes garbage prefixes,
+// and a recovery that silently dropped checksum maintenance would make
+// every later seal verification fail.
+//
+// Layout: [63..32 segment size][31..16 slots per segment][15..0 format
+// version].
+const (
+	geomFormatV1 = 1
+)
+
+func geometryWord() uint64 {
+	return uint64(SegmentSize)<<32 | uint64(SlotsPerSegment)<<16 | geomFormatV1
+}
+
+// ErrGeometry matches (errors.Is) every GeometryError.
+var ErrGeometry = errors.New("core: on-device geometry mismatch")
+
+// GeometryError reports a mismatch between the recovering Config (or
+// this build's layout constants) and the geometry stamped on the
+// device. It is returned by Recover before any structural state is
+// trusted.
+type GeometryError struct {
+	// Field names the mismatching parameter: "segment-size",
+	// "slots-per-segment", "format", or "checksums".
+	Field string
+	// Device and Requested are the conflicting values (for
+	// "checksums": 0 = off, 1 = on).
+	Device    uint64
+	Requested uint64
+}
+
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("core: on-device geometry mismatch: %s is %d on the device, %d requested",
+		e.Field, e.Device, e.Requested)
+}
+
+// Is makes every GeometryError match ErrGeometry.
+func (e *GeometryError) Is(target error) bool { return target == ErrGeometry }
+
+// validateGeometry checks the device's geometry stamp against this
+// build's layout constants.
+func validateGeometry(geom uint64) error {
+	if geom == geometryWord() {
+		return nil
+	}
+	switch {
+	case geom&0xFFFF != geomFormatV1:
+		return &GeometryError{Field: "format", Device: geom & 0xFFFF, Requested: geomFormatV1}
+	case geom>>32 != SegmentSize:
+		return &GeometryError{Field: "segment-size", Device: geom >> 32, Requested: SegmentSize}
+	default:
+		return &GeometryError{Field: "slots-per-segment", Device: geom >> 16 & 0xFFFF, Requested: SlotsPerSegment}
+	}
+}

@@ -43,7 +43,11 @@ const (
 	// when checksum maintenance (Config.Checksums) is enabled, 0
 	// otherwise. The setting is thereby persistent: Recover adopts it
 	// from this word regardless of the passed Config.
-	rootSeal   = 2
+	rootSeal = 2
+	// rootGeom stamps the layout geometry the image was built with
+	// (geometry.go); Recover validates it before trusting anything
+	// else on the device.
+	rootGeom   = 3
 	indexMagic = 0x5350415348494458 // "SPASHIDX"
 	maxDepth   = 44
 )
@@ -184,6 +188,7 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 
 	pool.Store64(c, alloc.RootAddr(rootRegistry), regAddr)
 	pool.Store64(c, alloc.RootAddr(rootSeal), ix.sealAddr)
+	pool.Store64(c, alloc.RootAddr(rootGeom), geometryWord())
 	pool.Store64(c, alloc.RootAddr(rootMagic), indexMagic)
 	pool.Flush(c, alloc.RootAddr(0), alloc.RootWords*8)
 	pool.Fence(c)
@@ -311,6 +316,23 @@ func (ix *Index) Stats() Stats {
 		Fallbacks:    ix.fallbacks.Load(),
 		HotHits:      ix.hot.hits.Load(),
 		CollabStages: ix.collabStages.Load(),
+	}
+}
+
+// Add returns s + o counter-wise, aggregating the stats of sharded
+// indexes into one database-level view.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Entries:      s.Entries + o.Entries,
+		Segments:     s.Segments + o.Segments,
+		Splits:       s.Splits + o.Splits,
+		Merges:       s.Merges + o.Merges,
+		Doubles:      s.Doubles + o.Doubles,
+		TxConflicts:  s.TxConflicts + o.TxConflicts,
+		TxCapacity:   s.TxCapacity + o.TxCapacity,
+		Fallbacks:    s.Fallbacks + o.Fallbacks,
+		HotHits:      s.HotHits + o.HotHits,
+		CollabStages: s.CollabStages + o.CollabStages,
 	}
 }
 

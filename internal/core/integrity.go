@@ -584,6 +584,19 @@ type FsckReport struct {
 // Clean reports whether no damage was found.
 func (r *FsckReport) Clean() bool { return len(r.Faults) == 0 }
 
+// Merge folds another report into r, aggregating per-shard checks into
+// one database-level report. Clean/ExitCode/LostKeys on the merged
+// report behave as if a single walk had covered every shard.
+func (r *FsckReport) Merge(o *FsckReport) {
+	if o == nil {
+		return
+	}
+	r.Segments += o.Segments
+	r.Faults = append(r.Faults, o.Faults...)
+	r.Repairs = append(r.Repairs, o.Repairs...)
+	r.Failed = append(r.Failed, o.Failed...)
+}
+
 // ExitCode maps the report to the documented spash-fsck exit codes:
 // 0 = clean, 1 = damage found and fully repaired, 2 = damage remains
 // (repair disabled or failed).

@@ -45,6 +45,9 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Alloc
 	if pool.Load64(c, alloc.RootAddr(rootMagic)) != indexMagic {
 		return nil, nil, errors.New("core: pool does not contain an index")
 	}
+	if err := validateGeometry(pool.Load64(c, alloc.RootAddr(rootGeom))); err != nil {
+		return nil, nil, err
+	}
 	cfg = cfg.withDefaults()
 	ix := newIndex(pool, al, cfg)
 	ix.registryAddr = pool.Load64(c, alloc.RootAddr(rootRegistry))
@@ -66,6 +69,11 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Alloc
 	// says (a recovery that silently stopped maintaining seals would
 	// make every later verification fail).
 	ix.sealAddr = pool.Load64(c, alloc.RootAddr(rootSeal))
+	if cfg.Checksums && ix.sealAddr == 0 {
+		// The reverse direction (device sealed, Config off) is not an
+		// error: maintenance is adopted from the device below.
+		return nil, nil, &GeometryError{Field: "checksums", Device: 0, Requested: 1}
+	}
 	ix.cfg.Checksums = ix.sealAddr != 0
 	if ix.sealAddr != 0 {
 		switch {

@@ -49,6 +49,19 @@ type ScrubStats struct {
 	Errors  int64 `json:"errors"`
 }
 
+// Add returns s + o counter-wise, aggregating per-shard scrubbers into
+// one database-level view.
+func (s ScrubStats) Add(o ScrubStats) ScrubStats {
+	return ScrubStats{
+		Passes:      s.Passes + o.Passes,
+		Segments:    s.Segments + o.Segments,
+		Corruptions: s.Corruptions + o.Corruptions,
+		Quarantines: s.Quarantines + o.Quarantines,
+		Skipped:     s.Skipped + o.Skipped,
+		Errors:      s.Errors + o.Errors,
+	}
+}
+
 // Scrubber is a running background scrub; see Index.StartScrub.
 type Scrubber struct {
 	ix   *Index

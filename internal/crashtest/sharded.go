@@ -1,0 +1,242 @@
+// Sharded crash-point trials: the same durability oracle as the
+// single-index sweep, driven through the public spash API against an
+// N-shard database. The fault plan arms on shard 0's device — the
+// injected power cut fires mid-operation there while the sibling
+// shards are between operations — and recovery goes through
+// spash.RecoverAll, so the sweep exercises the parallel fan-out and
+// the per-shard geometry checks on every trial. The oracle then runs
+// over the full key universe, which routes across all shards: an
+// acknowledged operation must survive whichever device it landed on.
+package crashtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spash"
+	"spash/internal/core"
+	"spash/internal/pmem"
+)
+
+// SeededScript generates a reproducible random workload of ops
+// operations over a key universe sized to spread across shards:
+// inserts dominate early, then updates and deletes mix in. The same
+// seed always yields the same script (and therefore the same step
+// stream, which the sweep's termination depends on).
+func SeededScript(seed int64, ops int) Script {
+	rng := rand.New(rand.NewSource(seed))
+	var s Script
+	live := make(map[int]bool)
+	for len(s) < ops {
+		switch {
+		case len(live) < 16 || rng.Intn(10) < 5:
+			k := rng.Intn(1 << 12)
+			s = append(s, Op{OpInsert, key8(k), pad(k, 8+rng.Intn(80))})
+			live[k] = true
+		case rng.Intn(10) < 7:
+			k := anyKey(rng, live)
+			s = append(s, Op{OpUpdate, key8(k), pad(1000+k, 8+rng.Intn(120))})
+		default:
+			k := anyKey(rng, live)
+			s = append(s, Op{OpDelete, key8(k), ""})
+			delete(live, k)
+		}
+	}
+	return s
+}
+
+// anyKey picks a live key deterministically: map iteration order is
+// random, so the idx-th key in numeric order is selected instead.
+func anyKey(rng *rand.Rand, live map[int]bool) int {
+	idx := rng.Intn(len(live))
+	ord := 0
+	for k := 0; k < 1<<12; k++ {
+		if live[k] {
+			if ord == idx {
+				return k
+			}
+			ord++
+		}
+	}
+	panic("crashtest: empty live set")
+}
+
+// shardedOpts is the trial configuration: an eADR platform sized so
+// each of the n shards gets a small pool and cache (evictions keep the
+// media image honest), paper defaults plus a shallow initial directory
+// so structural growth happens inside the script.
+func shardedOpts(n int) spash.Options {
+	return spash.Options{
+		Shards: n,
+		Platform: pmem.Config{
+			PoolSize:  uint64(n) * (4 << 20),
+			CacheSize: 64 << 10,
+			Mode:      pmem.EADR,
+		},
+		Index: core.Config{InitialDepth: 1, Concurrency: core.ModeHTM},
+	}
+}
+
+// ShardedTrial executes one crash-point trial of script against an
+// n-shard database, injecting the power cut at crashStep (1-based,
+// counted on shard 0's device; a step beyond that device's total
+// completes without firing).
+func ShardedTrial(n int, script Script, crashStep int64) (Trial, error) {
+	tr := Trial{Step: crashStep}
+	opts := shardedOpts(n)
+	db, err := spash.Open(opts)
+	if err != nil {
+		return tr, err
+	}
+	s := db.Session()
+	target := db.Platforms()[0]
+
+	acked := make(map[string]string, len(script))
+	inFlight := -1
+	fp := &pmem.FaultPlan{CrashAtStep: crashStep}
+	target.ArmFault(fp)
+	werr := pmem.CatchCrash(func() error {
+		for i := range script {
+			inFlight = i
+			if err := applySessionOp(s, &script[i]); err != nil {
+				return fmt.Errorf("op %d (%v %q): %w", i, script[i].Kind, script[i].Key, err)
+			}
+			applyModel(acked, &script[i])
+			inFlight = -1
+		}
+		return nil
+	})
+	target.DisarmFault()
+	tr.Fired = fp.Fired()
+	tr.Steps = fp.Steps()
+	if werr != nil && !errors.Is(werr, pmem.ErrInjectedCrash) {
+		return tr, werr
+	}
+	if !tr.Fired {
+		tr.LostAcked, tr.InFlightTorn = checkSessionOracle(s, script, acked, -1)
+		tr.InvariantErr = checkShardInvariants(db, s)
+		tr.Misplaced = countMisplaced(db, s)
+		return tr, nil
+	}
+
+	// Power fails on every device at once: the siblings, quiescent at
+	// the cut, take a plain power cycle before the parallel recovery.
+	platforms := db.Platforms()
+	for _, p := range platforms[1:] {
+		p.Crash()
+	}
+	db2, rerr := spash.RecoverAll(platforms, opts)
+	if rerr != nil {
+		tr.RecoverErr = rerr
+		return tr, nil
+	}
+	s2 := db2.Session()
+	tr.InvariantErr = checkShardInvariants(db2, s2)
+	tr.Misplaced = countMisplaced(db2, s2)
+	tr.LostAcked, tr.InFlightTorn = checkSessionOracle(s2, script, acked, inFlight)
+	if n := db2.Len(); n != len(acked) && (inFlight < 0 || !lenExplainedByInFlight(n, script, acked, inFlight)) {
+		tr.LostAcked++
+	}
+	return tr, nil
+}
+
+// ShardedSweep enumerates crash steps 1, 1+stride, … against an
+// n-shard database until a trial completes without firing.
+func ShardedSweep(n int, script Script, stride int64) (Result, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	res := Result{Arm: Arm{Name: fmt.Sprintf("eadr-%dsh", n), Mode: pmem.EADR,
+		Insert: core.InsertCompactedFlush, Update: core.UpdateAdaptive}}
+	for step := int64(1); ; step += stride {
+		tr, err := ShardedTrial(n, script, step)
+		if err != nil {
+			return res, fmt.Errorf("%dsh step %d: %w", n, step, err)
+		}
+		res.Trials++
+		if tr.Failed() {
+			res.Failures = append(res.Failures, tr)
+		}
+		if !tr.Fired {
+			res.TotalSteps = tr.Steps
+			return res, nil
+		}
+	}
+}
+
+func applySessionOp(s *spash.Session, op *Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return s.Insert([]byte(op.Key), []byte(op.Val))
+	case OpUpdate:
+		_, err := s.Update([]byte(op.Key), []byte(op.Val))
+		return err
+	case OpDelete:
+		_, err := s.Delete([]byte(op.Key))
+		return err
+	}
+	return fmt.Errorf("crashtest: unknown op kind %d", op.Kind)
+}
+
+func checkShardInvariants(db *spash.DB, s *spash.Session) error {
+	for i, ix := range db.Indexes() {
+		if err := ix.CheckInvariants(s.ShardCtx(i)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func countMisplaced(db *spash.DB, s *spash.Session) int {
+	total := 0
+	for i, ix := range db.Indexes() {
+		total += ix.CheckPlacement(s.ShardCtx(i))
+	}
+	return total
+}
+
+// checkSessionOracle is checkOracle over the public session API.
+func checkSessionOracle(s *spash.Session, script Script, acked map[string]string, inFlight int) (lost int, torn bool) {
+	universe := make(map[string]struct{}, len(script))
+	for i := range script {
+		universe[script[i].Key] = struct{}{}
+	}
+	var inKey, postVal string
+	var postPresent bool
+	if inFlight >= 0 {
+		op := &script[inFlight]
+		inKey = op.Key
+		post := map[string]string{}
+		if v, ok := acked[inKey]; ok {
+			post[inKey] = v
+		}
+		applyModel(post, op)
+		postVal, postPresent = post[inKey]
+	}
+	for k := range universe {
+		got, found, err := s.Get([]byte(k), nil)
+		if err != nil {
+			lost++
+			continue
+		}
+		wantVal, wantPresent := acked[k]
+		matches := func(val string, present bool) bool {
+			if !present {
+				return !found
+			}
+			return found && bytes.Equal(got, []byte(val))
+		}
+		if inFlight >= 0 && k == inKey {
+			if !matches(wantVal, wantPresent) && !matches(postVal, postPresent) {
+				torn = true
+			}
+			continue
+		}
+		if !matches(wantVal, wantPresent) {
+			lost++
+		}
+	}
+	return lost, torn
+}

@@ -176,6 +176,50 @@ func TestLatencyHistogram(t *testing.T) {
 	}
 }
 
+// The sharded adapter must run through the multi-pool measure path:
+// media traffic is the sum over devices, worker time the sum of
+// per-shard clocks, and every op must land and be found again.
+func TestShardedAdapterWorkload(t *testing.T) {
+	s := tinyScale
+	ix, err := NewShardedEntry("Spash-2sh", 2).New(s.Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := s.YCSBOps / s.MaxThreads
+	r := RunWorkload("insert", ix, s.MaxThreads, per, false, insertSource(0, per))
+	if r.Ops != int64(s.MaxThreads*per) {
+		t.Fatalf("ops = %d, want %d", r.Ops, s.MaxThreads*per)
+	}
+	if ix.Len() != s.MaxThreads*per {
+		t.Fatalf("Len = %d, want %d", ix.Len(), s.MaxThreads*per)
+	}
+	if r.Mem.MediaWriteBytes() == 0 {
+		t.Fatal("no media writes metered across shard devices")
+	}
+	sr := RunWorkload("search", ix, s.MaxThreads, per, true,
+		uniformSource(ycsb.OpSearch, uint64(s.MaxThreads*per), 11))
+	if sr.Throughput() <= 0 {
+		t.Fatalf("search throughput %.2f", sr.Throughput())
+	}
+}
+
+// The shards figure must run end to end and emit every panel.
+func TestFigShardsProducesOutput(t *testing.T) {
+	old := shardCounts
+	defer func() { shardCounts = old }()
+	SetShardCounts([]int{1, 2})
+	var buf bytes.Buffer
+	if err := FigShards(&buf, tinyScale); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Shard scaling (a)", "Shard scaling (b)", "HTM aborts", "media writes", "1sh", "2sh"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestMixSourceForUniformAndZipf(t *testing.T) {
 	for _, theta := range []float64{0, ycsb.DefaultTheta} {
 		src := MixSourceFor(ycsb.Balanced, 1000, theta, 8, 7)

@@ -93,10 +93,7 @@ func (h *LatencyHist) String() string {
 // RunWithLatency is RunWorkload (sequential path only) that also
 // samples every operation's virtual latency.
 func RunWithLatency(name string, ix ixapi.Index, workers, opsPerWorker int, src OpSource) (Result, *LatencyHist) {
-	pool := ix.Pool()
-	mem0 := pool.Stats()
-	g := ix.Group()
-	serial0 := g.MaxSerialNS()
+	m := startMeasure(ix)
 	clocks := make([]int64, workers)
 	hist := &LatencyHist{}
 
@@ -107,7 +104,7 @@ func RunWithLatency(name string, ix ixapi.Index, workers, opsPerWorker int, src 
 			defer wg.Done()
 			w := ix.NewWorker()
 			defer w.Close()
-			w.Ctx().ResetClock()
+			resetWorkerClock(w)
 			next := src(id)
 			local := make([]int64, 0, opsPerWorker)
 			prev := int64(0)
@@ -123,7 +120,10 @@ func RunWithLatency(name string, ix ixapi.Index, workers, opsPerWorker int, src 
 				case ycsb.OpDelete:
 					w.Delete(op.Key)
 				}
-				now := w.Ctx().Clock()
+				// Per-op sampling reads the worker's total clock (the
+				// sum across shard contexts for partitioned workers),
+				// so each sample is the full virtual cost of that op.
+				now := workerClock(w)
 				local = append(local, now-prev)
 				prev = now
 			}
@@ -133,10 +133,7 @@ func RunWithLatency(name string, ix ixapi.Index, workers, opsPerWorker int, src 
 	}
 	wg.Wait()
 
-	mem := pool.Stats().Sub(mem0)
-	serial := g.MaxSerialNS() - serial0
-	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
-	recordPhase(ix, res)
+	res := m.finish(name, clocks, int64(workers)*int64(opsPerWorker))
 	recorder().SetLatency(hist.Summary())
 	return res, hist
 }

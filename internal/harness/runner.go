@@ -29,6 +29,7 @@ import (
 
 	"spash/internal/ixapi"
 	"spash/internal/pmem"
+	"spash/internal/vsync"
 )
 
 // Result is one measured phase.
@@ -59,14 +60,81 @@ func (r Result) PerOp(count uint64) float64 {
 	return float64(count) / float64(r.Ops)
 }
 
+// measure snapshots every device and serialisation group of an index
+// at phase start; finish computes the phase's deltas. Partitioned
+// indexes (ixapi.MultiPool/MultiGroup) are metered per shard: media
+// time is bounded by the hottest device (independent DIMM bandwidth)
+// and serial time by the hottest group, while the reported memory
+// delta sums all devices. For monolithic indexes this reduces exactly
+// to the previous single-pool arithmetic.
+type measure struct {
+	ix      ixapi.Index
+	pools   []*pmem.Pool
+	groups  []*vsync.Group
+	mem0    []pmem.Stats
+	serial0 []int64
+}
+
+func startMeasure(ix ixapi.Index) *measure {
+	m := &measure{ix: ix}
+	if mp, ok := ix.(ixapi.MultiPool); ok {
+		m.pools = mp.Pools()
+	} else {
+		m.pools = []*pmem.Pool{ix.Pool()}
+	}
+	if mg, ok := ix.(ixapi.MultiGroup); ok {
+		m.groups = mg.Groups()
+	} else {
+		m.groups = []*vsync.Group{ix.Group()}
+	}
+	m.mem0 = make([]pmem.Stats, len(m.pools))
+	for i, p := range m.pools {
+		m.mem0[i] = p.Stats()
+	}
+	m.serial0 = make([]int64, len(m.groups))
+	for i, g := range m.groups {
+		m.serial0[i] = g.MaxSerialNS()
+	}
+	return m
+}
+
+func (m *measure) finish(name string, clocks []int64, ops int64) Result {
+	deltas := make([]pmem.Stats, len(m.pools))
+	for i, p := range m.pools {
+		deltas[i] = p.Stats().Sub(m.mem0[i])
+	}
+	serial := int64(0)
+	for i, g := range m.groups {
+		if d := g.MaxSerialNS() - m.serial0[i]; d > serial {
+			serial = d
+		}
+	}
+	res := combine(name, m.pools[0].Config().Timing, clocks, deltas, serial, ops)
+	recordPhase(m.ix, res)
+	return res
+}
+
+// resetWorkerClock and workerClock route through the per-shard clock
+// set of a partitioned worker when it has one.
+func resetWorkerClock(w ixapi.Worker) {
+	if mc, ok := w.(ixapi.MultiCtxWorker); ok {
+		mc.ResetClocks()
+		return
+	}
+	w.Ctx().ResetClock()
+}
+
+func workerClock(w ixapi.Worker) int64 {
+	if mc, ok := w.(ixapi.MultiCtxWorker); ok {
+		return mc.TotalClock()
+	}
+	return w.Ctx().Clock()
+}
+
 // RunPhase executes fn(worker, workerID, opIndex) for opsPerWorker
 // iterations on each of workers goroutines and measures the phase.
 func RunPhase(name string, ix ixapi.Index, workers, opsPerWorker int, fn func(w ixapi.Worker, id, i int)) Result {
-	pool := ix.Pool()
-	mem0 := pool.Stats()
-	g := ix.Group()
-	serial0 := g.MaxSerialNS()
-
+	m := startMeasure(ix)
 	clocks := make([]int64, workers)
 	var wg sync.WaitGroup
 	for id := 0; id < workers; id++ {
@@ -75,20 +143,15 @@ func RunPhase(name string, ix ixapi.Index, workers, opsPerWorker int, fn func(w 
 			defer wg.Done()
 			w := ix.NewWorker()
 			defer w.Close()
-			w.Ctx().ResetClock()
+			resetWorkerClock(w)
 			for i := 0; i < opsPerWorker; i++ {
 				fn(w, id, i)
 			}
-			clocks[id] = w.Ctx().Clock()
+			clocks[id] = workerClock(w)
 		}(id)
 	}
 	wg.Wait()
-
-	mem := pool.Stats().Sub(mem0)
-	serial := g.MaxSerialNS() - serial0
-	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
-	recordPhase(ix, res)
-	return res
+	return m.finish(name, clocks, int64(workers)*int64(opsPerWorker))
 }
 
 // Scale bundles the workload sizes; the paper's 20M/100M-key, 8G-op

@@ -29,10 +29,7 @@ const batchSize = 64
 // batched execution (Spash), requests are issued through the pipelined
 // path (§III-D); otherwise one call per request.
 func RunWorkload(name string, ix ixapi.Index, workers, opsPerWorker int, pipeline bool, src OpSource) Result {
-	pool := ix.Pool()
-	mem0 := pool.Stats()
-	g := ix.Group()
-	serial0 := g.MaxSerialNS()
+	m := startMeasure(ix)
 	clocks := make([]int64, workers)
 
 	var wg sync.WaitGroup
@@ -42,23 +39,18 @@ func RunWorkload(name string, ix ixapi.Index, workers, opsPerWorker int, pipelin
 			defer wg.Done()
 			w := ix.NewWorker()
 			defer w.Close()
-			w.Ctx().ResetClock()
+			resetWorkerClock(w)
 			next := src(id)
 			if bw, ok := w.(adapters.BatchWorker); ok && pipeline {
 				runBatched(bw, next, opsPerWorker)
 			} else {
 				runSequential(w, next, opsPerWorker)
 			}
-			clocks[id] = w.Ctx().Clock()
+			clocks[id] = workerClock(w)
 		}(id)
 	}
 	wg.Wait()
-
-	mem := pool.Stats().Sub(mem0)
-	serial := g.MaxSerialNS() - serial0
-	res := combine(name, pool.Config().Timing, clocks, mem, serial, int64(workers)*int64(opsPerWorker))
-	recordPhase(ix, res)
-	return res
+	return m.finish(name, clocks, int64(workers)*int64(opsPerWorker))
 }
 
 func runSequential(w ixapi.Worker, next func(i int) Op, n int) {
@@ -113,15 +105,28 @@ func runBatched(bw adapters.BatchWorker, next func(i int) Op, n int) {
 	flush()
 }
 
-func combine(name string, t pmem.Timing, clocks []int64, mem pmem.Stats, serial int64, ops int64) Result {
+func combine(name string, t pmem.Timing, clocks []int64, memDeltas []pmem.Stats, serial int64, ops int64) Result {
 	var maxClock int64
 	for _, c := range clocks {
 		if c > maxClock {
 			maxClock = c
 		}
 	}
-	readNS := int64(float64(mem.MediaReadBytes()) / t.PMReadBandwidth * 1e9)
-	writeNS := int64(float64(mem.MediaWriteBytes()) / t.PMWriteBandwidth * 1e9)
+	// Each device has independent bandwidth: the media-time bound is
+	// the hottest device's, while the reported delta sums all of them.
+	var mem pmem.Stats
+	var readNS, writeNS int64
+	for _, d := range memDeltas {
+		r := int64(float64(d.MediaReadBytes()) / t.PMReadBandwidth * 1e9)
+		w := int64(float64(d.MediaWriteBytes()) / t.PMWriteBandwidth * 1e9)
+		if r > readNS {
+			readNS = r
+		}
+		if w > writeNS {
+			writeNS = w
+		}
+		mem = mem.Add(d)
+	}
 	elapsed, bound := maxClock, "cpu"
 	if serial > elapsed {
 		elapsed, bound = serial, "lock"

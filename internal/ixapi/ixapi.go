@@ -38,6 +38,34 @@ type Worker interface {
 	Close()
 }
 
+// MultiPool is optionally implemented by partitioned indexes whose
+// data lives on several devices (one per shard). The harness then
+// meters media traffic per device and bounds elapsed time by the
+// hottest one — partitioned DIMMs have independent bandwidth. Pool()
+// must still return a representative device (shard 0) for timing
+// parameters.
+type MultiPool interface {
+	Pools() []*pmem.Pool
+}
+
+// MultiGroup is optionally implemented by partitioned indexes with one
+// serialisation domain per shard. The harness bounds elapsed time by
+// the hottest group — commit serialisation does not accumulate across
+// independent shards.
+type MultiGroup interface {
+	Groups() []*vsync.Group
+}
+
+// MultiCtxWorker is optionally implemented by workers that keep one
+// pmem context per shard: a worker's virtual time is the sum of its
+// per-shard clocks (a single thread executes its operations serially,
+// whichever shard they land on). Ctx() must still return a
+// representative context.
+type MultiCtxWorker interface {
+	ResetClocks()
+	TotalClock() int64
+}
+
 // Factory creates a fresh index on a fresh device. Used by conformance
 // tests and the harness.
 type Factory func(platform pmem.Config) (Index, error)

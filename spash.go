@@ -14,6 +14,18 @@
 // semantics, HTM conflict/capacity aborts — and meters every PM access
 // so the paper's evaluation can be regenerated (see EXPERIMENTS.md).
 //
+// # Sharding
+//
+// A DB is a router over N self-contained shards (Options.Shards; the
+// default is GOMAXPROCS). Each shard owns a private simulated device,
+// allocator, index, and HTM domain — no version clock, commit token,
+// or allocator arena is shared — so cross-shard coordination cost is
+// exactly zero, the property the paper's 224-thread scaling rests on.
+// Keys route by the LOW bits of their 64-bit hash; each shard's
+// extendible directory resolves with the HIGH bits, so the in-shard
+// distribution stays uniform. Shards = 1 preserves the exact
+// single-index behaviour of earlier versions.
+//
 // # Quick start
 //
 //	db, err := spash.Open(spash.Options{})
@@ -29,22 +41,26 @@
 //
 // The simulated platform can lose power at any quiescent point:
 //
-//	img := db.Platform()     // the simulated PM device
+//	imgs := db.Platforms()   // the simulated PM devices, one per shard
 //	db.Crash()               // power failure (eADR: nothing is lost)
-//	db2, err := spash.Recover(img, spash.Options{})
+//	db2, err := spash.RecoverAll(imgs, spash.Options{})
 //
-// Under the default eADR mode every completed operation survives; in
-// ADR mode (Options.Platform.Mode = spash.ADR) unflushed data rolls
-// back, demonstrating the gap the paper closes.
+// (With Shards: 1, db.Platform() and spash.Recover reopen the single
+// device.) Under the default eADR mode every completed operation
+// survives; in ADR mode (Options.Platform.Mode = spash.ADR) unflushed
+// data rolls back, demonstrating the gap the paper closes.
 package spash
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
-	"spash/internal/alloc"
 	"spash/internal/core"
+	"spash/internal/obs"
 	"spash/internal/pmem"
+	"spash/internal/shard"
 	"spash/internal/vsync"
 )
 
@@ -105,6 +121,13 @@ var (
 	ErrCorrupted = core.ErrCorrupted
 	// ErrPoisoned matches (errors.Is) reads of poisoned XPLines.
 	ErrPoisoned = pmem.ErrPoisoned
+	// ErrGeometry matches (errors.Is) every GeometryError returned by
+	// Recover/RecoverAll when the requested Options.Index disagrees
+	// with the geometry stamped on the device.
+	ErrGeometry = core.ErrGeometry
+	// ErrClosed is returned by Session operations (and reported in
+	// batch results) after DB.Close.
+	ErrClosed = errors.New("spash: database is closed")
 )
 
 type (
@@ -112,6 +135,11 @@ type (
 	// a damaged segment (checksum mismatch, CRC-failing record, or
 	// poisoned media). Extract with errors.As.
 	CorruptionError = core.CorruptionError
+	// GeometryError reports which on-device geometry parameter
+	// (segment size, slots per segment, format, checksum mode)
+	// conflicts with the recovering configuration. Extract with
+	// errors.As.
+	GeometryError = core.GeometryError
 	// FsckReport is the result of Session.Fsck.
 	FsckReport = core.FsckReport
 	// ScrubOptions configures DB.StartScrub.
@@ -142,140 +170,385 @@ func DescribeError(err error) string {
 // Options configures a DB.
 type Options struct {
 	// Platform configures the simulated PM device; the zero value is
-	// pmem.DefaultConfig (256 MB pool, 8 MB cache, eADR).
+	// pmem.DefaultConfig (256 MB pool, 8 MB cache, eADR). With more
+	// than one shard the pool capacity is divided evenly among the
+	// shards (same total data budget); each shard keeps a full-size
+	// cache, modelling one socket per shard — every socket of the
+	// paper's testbed brings its own LLC and DIMMs.
 	Platform pmem.Config
 	// Index configures the Spash index itself; the zero value matches
 	// the paper's defaults (HTM concurrency, adaptive updates,
 	// compacted-flush insertion, pipeline depth 4, 8K-entry hotspot
-	// detector).
+	// detector). Every shard runs the same configuration.
 	Index core.Config
+	// Shards is the number of independent partitions. 0 means
+	// GOMAXPROCS; 1 preserves the exact single-index behaviour of
+	// earlier versions (Platform(), Index(), and spash.Recover work
+	// only in that configuration).
+	Shards int
 }
 
-// DB is a Spash index together with the simulated platform it lives
-// on. All methods are safe for concurrent use; per-worker state lives
-// in Sessions.
+// shardCount resolves the Shards option.
+func (o Options) shardCount() int {
+	if o.Shards == 0 {
+		return shard.DefaultShards()
+	}
+	return o.Shards
+}
+
+// DB is a Spash index partitioned over Options.Shards self-contained
+// shards, together with the simulated platforms they live on. All
+// methods are safe for concurrent use; per-worker state lives in
+// Sessions.
 type DB struct {
-	pool  *pmem.Pool
-	alloc *alloc.Allocator
-	ix    *core.Index
-	ctx   *pmem.Ctx
+	units  []*shard.Unit
+	closed atomic.Bool
+
+	mu        sync.Mutex
+	scrubbers map[*Scrubber]struct{}
 }
 
-// Open creates a fresh index on a newly provisioned simulated PM
-// device.
+// Open creates a fresh index on newly provisioned simulated PM
+// devices, one per shard, in parallel.
 func Open(opts Options) (*DB, error) {
-	pool := pmem.New(opts.Platform)
-	c := pool.NewCtx()
-	al, err := alloc.New(c, pool)
+	n := opts.shardCount()
+	units, err := shard.OpenAll(n, opts.Platform, opts.Index)
 	if err != nil {
-		return nil, fmt.Errorf("spash: formatting pool: %w", err)
+		return nil, fmt.Errorf("spash: %w", err)
 	}
-	ix, err := core.Open(c, pool, al, opts.Index)
-	if err != nil {
-		return nil, fmt.Errorf("spash: creating index: %w", err)
-	}
-	return &DB{pool: pool, alloc: al, ix: ix, ctx: c}, nil
+	return newDB(units), nil
 }
 
-// Recover reopens an index on an existing device, e.g. after Crash.
-// The volatile directory, allocator free lists and counters are
-// rebuilt from persistent state.
+func newDB(units []*shard.Unit) *DB {
+	return &DB{units: units, scrubbers: make(map[*Scrubber]struct{})}
+}
+
+// Recover reopens a single-shard index on an existing device, e.g.
+// after Crash on a DB opened with Shards: 1. The volatile directory,
+// allocator free lists and counters are rebuilt from persistent state.
+// Options.Index is validated against the geometry stamped on the
+// device; a mismatch returns a GeometryError (errors.Is ErrGeometry).
+// For multi-shard databases use RecoverAll.
 func Recover(platform *pmem.Pool, opts Options) (*DB, error) {
 	if platform == nil {
 		return nil, errors.New("spash: nil platform")
 	}
-	c := platform.NewCtx()
-	ix, al, err := core.Recover(c, platform, opts.Index)
-	if err != nil {
-		return nil, fmt.Errorf("spash: recovering index: %w", err)
-	}
-	return &DB{pool: platform, alloc: al, ix: ix, ctx: c}, nil
+	return RecoverAll([]*pmem.Pool{platform}, opts)
 }
 
+// RecoverAll reopens an index on the existing devices of a crashed
+// multi-shard DB, one shard per device, recovered in parallel (first
+// error in shard order wins). The slice must be in the original shard
+// order — Platforms() returns it that way — because key routing
+// depends on the position. Options.Shards is ignored; the device
+// count is the shard count.
+func RecoverAll(platforms []*pmem.Pool, opts Options) (*DB, error) {
+	units, err := shard.RecoverAll(platforms, opts.Index)
+	if err != nil {
+		if errors.Is(err, ErrGeometry) {
+			return nil, fmt.Errorf("spash: %w", err)
+		}
+		return nil, fmt.Errorf("spash: recovering index: %w", err)
+	}
+	return newDB(units), nil
+}
+
+// Shards returns the number of partitions.
+func (db *DB) Shards() int { return len(db.units) }
+
 // Platform returns the simulated PM device (for stats, crash
-// injection, and Recover).
-func (db *DB) Platform() *pmem.Pool { return db.pool }
+// injection, and Recover) of a single-shard DB. It panics on a
+// multi-shard DB — use Platforms there.
+func (db *DB) Platform() *pmem.Pool {
+	if len(db.units) != 1 {
+		panic(fmt.Sprintf("spash: Platform() on a %d-shard DB; use Platforms()", len(db.units)))
+	}
+	return db.units[0].Pool
+}
+
+// Platforms returns every shard's simulated PM device, in shard order
+// (the order RecoverAll requires).
+func (db *DB) Platforms() []*pmem.Pool {
+	out := make([]*pmem.Pool, len(db.units))
+	for i, u := range db.units {
+		out[i] = u.Pool
+	}
+	return out
+}
 
 // Index returns the underlying core index (advanced use: ablation
-// toggles, maintenance operations).
-func (db *DB) Index() *core.Index { return db.ix }
+// toggles, maintenance operations) of a single-shard DB. It panics on
+// a multi-shard DB — use Indexes there.
+func (db *DB) Index() *core.Index {
+	if len(db.units) != 1 {
+		panic(fmt.Sprintf("spash: Index() on a %d-shard DB; use Indexes()", len(db.units)))
+	}
+	return db.units[0].Ix
+}
 
-// Crash simulates a power failure on the device. With eADR (default)
-// the persistent CPU cache is flushed by the reserve energy and
-// nothing is lost; with ADR all unflushed cachelines roll back. The DB
-// must be quiescent; after Crash the DB is unusable — call Recover on
-// Platform().
-func (db *DB) Crash() int { return db.pool.Crash() }
+// Indexes returns every shard's core index, in shard order.
+func (db *DB) Indexes() []*core.Index {
+	out := make([]*core.Index, len(db.units))
+	for i, u := range db.units {
+		out[i] = u.Ix
+	}
+	return out
+}
 
-// Close releases the DB's resources. The simulated device (and the
-// data on it) remains available via Platform().
-func (db *DB) Close() {}
+// Crash simulates a simultaneous power failure across every shard's
+// device. With eADR (default) the persistent CPU cache is flushed by
+// the reserve energy and nothing is lost; with ADR all unflushed
+// cachelines roll back. The DB must be quiescent (stop scrubbers
+// first); after Crash the DB is unusable — call RecoverAll on
+// Platforms(). Returns the total number of lost (rolled-back)
+// cachelines across all shards.
+func (db *DB) Crash() int {
+	lost := 0
+	for _, u := range db.units {
+		lost += u.Pool.Crash()
+	}
+	return lost
+}
 
-// Len returns the number of live key-value pairs.
-func (db *DB) Len() int { return db.ix.Len() }
+// Close stops every running Scrubber and invalidates outstanding
+// Sessions: any operation on them afterwards fails with ErrClosed.
+// Close is idempotent; the simulated devices (and the data on them)
+// remain available via Platforms().
+func (db *DB) Close() {
+	if !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	db.mu.Lock()
+	running := make([]*Scrubber, 0, len(db.scrubbers))
+	for s := range db.scrubbers {
+		running = append(running, s)
+	}
+	db.mu.Unlock()
+	for _, s := range running {
+		s.Stop()
+	}
+}
+
+// Len returns the number of live key-value pairs across all shards.
+func (db *DB) Len() int {
+	n := 0
+	for _, u := range db.units {
+		n += u.Ix.Len()
+	}
+	return n
+}
 
 // LoadFactor returns entries / slot capacity — the memory-utilisation
-// metric of the paper's Fig 9.
-func (db *DB) LoadFactor() float64 { return db.ix.LoadFactor() }
+// metric of the paper's Fig 9 — aggregated over all shards.
+func (db *DB) LoadFactor() float64 {
+	if len(db.units) == 1 {
+		return db.units[0].Ix.LoadFactor()
+	}
+	var entries, segs int64
+	for _, u := range db.units {
+		st := u.Ix.Stats()
+		entries += st.Entries
+		segs += st.Segments
+	}
+	if segs == 0 {
+		return 0
+	}
+	return float64(entries) / float64(segs*core.SlotsPerSegment)
+}
 
-// Stats bundles index counters with platform memory-event counters.
-type Stats struct {
+// ShardStats is one shard's slice of the database counters.
+type ShardStats struct {
 	Index  core.Stats
 	Memory pmem.Stats
 }
 
-// Stats returns a snapshot of index and platform counters.
-func (db *DB) Stats() Stats {
-	return Stats{Index: db.ix.Stats(), Memory: db.pool.Stats()}
+// Stats bundles index counters with platform memory-event counters.
+// Index and Memory are the database-wide aggregates; Shards carries
+// the per-shard breakdown (length DB.Shards, in shard order).
+type Stats struct {
+	Index  core.Stats
+	Memory pmem.Stats
+	Shards []ShardStats
 }
 
-// Group exposes the virtual-time serialisation group (benchmarking).
-func (db *DB) Group() *vsync.Group { return db.ix.Group() }
+// Stats returns a snapshot of index and platform counters, aggregated
+// and per shard.
+func (db *DB) Stats() Stats {
+	out := Stats{Shards: make([]ShardStats, len(db.units))}
+	for i, u := range db.units {
+		s := ShardStats{Index: u.Ix.Stats(), Memory: u.Pool.Stats()}
+		out.Shards[i] = s
+		out.Index = out.Index.Add(s.Index)
+		out.Memory = out.Memory.Add(s.Memory)
+	}
+	return out
+}
 
-// StartScrub launches the online background scrubber: it re-verifies
-// segments incrementally through the optimistic read protocol (never
-// blocking writers) and, with ScrubOptions.Repair, quarantines damaged
-// ones as it finds them. Stop the returned scrubber before Crash or
-// process exit.
-func (db *DB) StartScrub(opt ScrubOptions) *core.Scrubber { return db.ix.StartScrub(opt) }
+// ObsSnapshot captures the unified observability snapshot (pool memory
+// events, HTM outcomes, allocator occupancy, structural counters)
+// aggregated across every shard. Use ObsSnapshots for the per-shard
+// breakdown.
+func (db *DB) ObsSnapshot() obs.Snapshot {
+	agg := db.units[0].Ix.ObsSnapshot()
+	for _, u := range db.units[1:] {
+		agg = agg.Add(u.Ix.ObsSnapshot())
+	}
+	return agg
+}
 
-// TryShrink halves the directory if every segment's local depth allows
-// it (maintenance; see core.Index.TryShrink).
-func (db *DB) TryShrink() bool { return db.ix.TryShrink(db.ctx) }
+// ObsSnapshots captures one observability snapshot per shard, in shard
+// order.
+func (db *DB) ObsSnapshots() []obs.Snapshot {
+	out := make([]obs.Snapshot, len(db.units))
+	for i, u := range db.units {
+		out[i] = u.Ix.ObsSnapshot()
+	}
+	return out
+}
 
-// Session is a per-worker handle: it owns the worker's virtual clock,
-// allocator caches (including the compacted-flush chunk) and pipeline
-// state. Sessions are not safe for concurrent use; create one per
-// goroutine.
+// Group exposes the virtual-time serialisation group (benchmarking) of
+// a single-shard DB. It panics on a multi-shard DB — use Groups there
+// (each shard serialises independently; the harness bounds elapsed
+// time by the hottest group).
+func (db *DB) Group() *vsync.Group {
+	if len(db.units) != 1 {
+		panic(fmt.Sprintf("spash: Group() on a %d-shard DB; use Groups()", len(db.units)))
+	}
+	return db.units[0].Ix.Group()
+}
+
+// Groups returns every shard's serialisation group, in shard order.
+func (db *DB) Groups() []*vsync.Group {
+	out := make([]*vsync.Group, len(db.units))
+	for i, u := range db.units {
+		out[i] = u.Ix.Group()
+	}
+	return out
+}
+
+// Scrubber is a running online scrub across every shard (one
+// background scrubber per shard). Stop halts all of them and returns
+// the merged tally.
+type Scrubber struct {
+	db    *DB
+	subs  []*core.Scrubber
+	once  sync.Once
+	stats ScrubStats
+}
+
+// Stop halts the scrub on every shard and returns the merged stats.
+// Stop is idempotent.
+func (s *Scrubber) Stop() ScrubStats {
+	s.once.Do(func() {
+		for _, sub := range s.subs {
+			s.stats = s.stats.Add(sub.Stop())
+		}
+		s.db.mu.Lock()
+		delete(s.db.scrubbers, s)
+		s.db.mu.Unlock()
+	})
+	return s.stats
+}
+
+// StartScrub launches the online background scrubber on every shard:
+// each re-verifies its segments incrementally through the optimistic
+// read protocol (never blocking writers) and, with
+// ScrubOptions.Repair, quarantines damaged ones as it finds them.
+// DB.Close stops any scrubbers still running; stop them explicitly
+// before Crash.
+func (db *DB) StartScrub(opt ScrubOptions) *Scrubber {
+	s := &Scrubber{db: db, subs: make([]*core.Scrubber, len(db.units))}
+	for i, u := range db.units {
+		s.subs[i] = u.Ix.StartScrub(opt)
+	}
+	db.mu.Lock()
+	db.scrubbers[s] = struct{}{}
+	db.mu.Unlock()
+	return s
+}
+
+// TryShrink halves each shard's directory where every segment's local
+// depth allows it (maintenance; see core.Index.TryShrink), reporting
+// whether any shard shrank.
+func (db *DB) TryShrink() bool {
+	shrank := false
+	for _, u := range db.units {
+		if u.Ix.TryShrink(u.Ctx) {
+			shrank = true
+		}
+	}
+	return shrank
+}
+
+// Session is a per-worker handle: it owns the worker's virtual clock
+// and, per shard, the allocator caches (including the compacted-flush
+// chunk) and pipeline state. Sessions are not safe for concurrent use;
+// create one per goroutine.
 type Session struct {
-	h *core.Handle
+	db *DB
+	hs []*core.Handle
 }
 
 // Session returns a new worker session.
 func (db *DB) Session() *Session {
-	return &Session{h: db.ix.NewHandle(nil)}
+	hs := make([]*core.Handle, len(db.units))
+	for i, u := range db.units {
+		hs[i] = u.Ix.NewHandle(nil)
+	}
+	return &Session{db: db, hs: hs}
 }
 
 // Close returns the session's cached resources to the DB.
-func (s *Session) Close() { s.h.Close() }
+func (s *Session) Close() {
+	for _, h := range s.hs {
+		h.Close()
+	}
+}
 
-// Ctx returns the session's pmem context (virtual clock + counters).
-func (s *Session) Ctx() *pmem.Ctx { return s.h.Ctx() }
+// Ctx returns the session's pmem context (virtual clock + counters)
+// on the first shard; ShardCtx addresses the others.
+func (s *Session) Ctx() *pmem.Ctx { return s.hs[0].Ctx() }
+
+// ShardCtx returns the session's pmem context on shard i.
+func (s *Session) ShardCtx(i int) *pmem.Ctx { return s.hs[i].Ctx() }
+
+// route returns the handle owning key.
+func (s *Session) route(key []byte) *core.Handle {
+	return s.hs[shard.Of(core.KeyHash(key), len(s.hs))]
+}
 
 // Insert stores key→value, replacing any existing value.
-func (s *Session) Insert(key, value []byte) error { return s.h.Insert(key, value) }
+func (s *Session) Insert(key, value []byte) error {
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	return s.route(key).Insert(key, value)
+}
 
 // Get looks key up; the value is appended to dst (which may be nil).
 func (s *Session) Get(key, dst []byte) (value []byte, found bool, err error) {
-	return s.h.Search(key, dst)
+	if s.db.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	return s.route(key).Search(key, dst)
 }
 
 // Update replaces the value of an existing key (adaptive in-place
 // update). Returns false when the key is absent.
-func (s *Session) Update(key, value []byte) (bool, error) { return s.h.Update(key, value) }
+func (s *Session) Update(key, value []byte) (bool, error) {
+	if s.db.closed.Load() {
+		return false, ErrClosed
+	}
+	return s.route(key).Update(key, value)
+}
 
 // Delete removes key, reporting whether it was present.
-func (s *Session) Delete(key []byte) (bool, error) { return s.h.Delete(key) }
+func (s *Session) Delete(key []byte) (bool, error) {
+	if s.db.closed.Load() {
+		return false, ErrClosed
+	}
+	return s.route(key).Delete(key)
+}
 
 // Batch types re-exported for pipelined execution (§III-D).
 type (
@@ -296,23 +569,71 @@ const (
 // ExecBatch executes ops with pipelined PM reads: the preparation of
 // request i+PipelineDepth-1 (directory lookup + asynchronous bucket
 // prefetch) is issued before request i executes, overlapping PM read
-// latencies.
-func (s *Session) ExecBatch(ops []Op) { s.h.ExecBatch(ops) }
+// latencies. On a multi-shard DB the batch is partitioned by key and
+// each shard's sub-batch runs through that shard's pipeline; results
+// are positional, so callers are unaffected.
+func (s *Session) ExecBatch(ops []Op) {
+	if s.db.closed.Load() {
+		for i := range ops {
+			ops[i].Err = ErrClosed
+		}
+		return
+	}
+	shard.SplitBatch(s.hs, ops)
+}
 
 // TryMerge attempts to merge the (empty) segment responsible for key
 // with its buddy (maintenance after bulk deletes).
-func (s *Session) TryMerge(key []byte) bool { return s.h.TryMerge(key) }
-
-// ForEach visits every live key-value pair once (segment-atomic, not a
-// global snapshot; see core.Index.ForEach). The byte slices are only
-// valid during the callback.
-func (s *Session) ForEach(fn func(key, value []byte) bool) error {
-	return s.h.Index().ForEach(s.h, fn)
+func (s *Session) TryMerge(key []byte) bool {
+	if s.db.closed.Load() {
+		return false
+	}
+	return s.route(key).TryMerge(key)
 }
 
-// Fsck walks the persistent registry, verifies every live segment
-// (checksum seals, per-record CRCs, routing, poison) and — with repair
-// — quarantines and rebuilds the damaged ones, reporting salvaged and
-// lost keys. The DB should be quiescent; FsckReport.ExitCode gives the
-// spash-fsck exit convention (0 clean / 1 repaired / 2 unrecoverable).
-func (s *Session) Fsck(repair bool) (*FsckReport, error) { return s.h.Fsck(repair) }
+// ForEach visits every live key-value pair once, shard by shard
+// (segment-atomic, not a global snapshot; see core.Index.ForEach).
+// The byte slices are only valid during the callback.
+func (s *Session) ForEach(fn func(key, value []byte) bool) error {
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	stopped := false
+	for _, h := range s.hs {
+		if stopped {
+			break
+		}
+		err := h.Index().ForEach(h, func(k, v []byte) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fsck walks each shard's persistent registry, verifies every live
+// segment (checksum seals, per-record CRCs, routing, poison) and —
+// with repair — quarantines and rebuilds the damaged ones, reporting
+// salvaged and lost keys in one merged report. The DB should be
+// quiescent; FsckReport.ExitCode gives the spash-fsck exit convention
+// (0 clean / 1 repaired / 2 unrecoverable).
+func (s *Session) Fsck(repair bool) (*FsckReport, error) {
+	if s.db.closed.Load() {
+		return nil, ErrClosed
+	}
+	var rep FsckReport
+	for i, h := range s.hs {
+		r, err := h.Fsck(repair)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		rep.Merge(r)
+	}
+	return &rep, nil
+}

@@ -66,7 +66,7 @@ func TestPublicAPIRejectsBadSizes(t *testing.T) {
 }
 
 func TestPublicCrashRecover(t *testing.T) {
-	db, err := Open(Options{})
+	db, err := Open(Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
