@@ -1,0 +1,57 @@
+# Pinned lint-tool versions — keep in sync with .github/workflows/ci.yml.
+# These are installed on demand (network required); spash-vet itself
+# builds offline from the standard library alone.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+GOBIN := $(shell go env GOPATH)/bin
+
+.PHONY: all build test race lint vet staticcheck govulncheck fuzz-smoke clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/core ./internal/pmem ./internal/htm ./internal/obs \
+		./internal/harness ./internal/shard ./internal/alloc
+	go test -race . -run 'Sharded|Shard|Close|Scrubber'
+	go test -race ./internal/crashtest -short
+
+# lint runs the invariant suite plus the external linters when they are
+# installed. The external tools are skipped (with a note) when absent so
+# the target works on an offline machine; CI always installs them.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		$(MAKE) --no-print-directory staticcheck; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		$(MAKE) --no-print-directory govulncheck; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+# vet runs go vet with spash-vet layered on top, exactly as CI does.
+vet:
+	go vet ./...
+	go build -o $(CURDIR)/bin/spash-vet ./cmd/spash-vet
+	go vet -vettool=$(CURDIR)/bin/spash-vet ./...
+
+staticcheck:
+	staticcheck -checks=SA ./...
+
+govulncheck:
+	govulncheck ./...
+
+fuzz-smoke:
+	go test ./internal/core -run '^$$' -fuzz=FuzzInsertSearchDelete -fuzztime=30s
+	go test ./internal/core -run '^$$' -fuzz=FuzzSlotCodec -fuzztime=30s
+
+clean:
+	rm -rf bin

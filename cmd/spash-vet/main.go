@@ -1,0 +1,283 @@
+// Command spash-vet runs the spash invariant analyzers over the tree.
+//
+// Standalone:
+//
+//	go run ./cmd/spash-vet ./...            # whole module
+//	go run ./cmd/spash-vet -summary ./...   # + suppressions & annotations
+//	go run ./cmd/spash-vet -json ./...      # machine-readable findings
+//
+// As a vet tool (one package per invocation, driven by the go command):
+//
+//	go build -o /tmp/spash-vet ./cmd/spash-vet
+//	go vet -vettool=/tmp/spash-vet ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"spash/internal/analysis"
+	"spash/internal/analysis/framework"
+)
+
+const version = "spash-vet version 1 (spash invariant suite)"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes the tool's identity with -V=full and its flag set
+	// with -flags before use.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Println(version)
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	// A single *.cfg argument means the go command is driving us as a
+	// vet tool, one package per invocation.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0])
+	}
+	return runStandalone(args)
+}
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("spash-vet", flag.ExitOnError)
+	summary := fs.Bool("summary", false, "print //spash:allow suppressions and //spash:guarded annotations after the findings")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	suite := analysis.Suite()
+	if *disable != "" {
+		off := map[string]bool{}
+		for _, name := range strings.Split(*disable, ",") {
+			off[strings.TrimSpace(name)] = true
+		}
+		var kept []*framework.Analyzer
+		for _, a := range suite {
+			if !off[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		suite = kept
+	}
+
+	loader := &framework.Loader{}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+	diags, supp, err := framework.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+
+	if *asJSON {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := struct {
+			Findings    []finding               `json:"findings"`
+			Suppressed  []framework.Suppression `json:"suppressed"`
+			Annotations []framework.Annotation  `json:"annotations"`
+		}{Findings: []finding{}, Suppressed: supp}
+		for _, d := range diags {
+			out.Findings = append(out.Findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, pkg := range pkgs {
+			out.Annotations = append(out.Annotations, framework.Annotations(pkg)...)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+		}
+		if *summary {
+			printSummary(pkgs, supp)
+		}
+	}
+
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "spash-vet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+func printSummary(pkgs []*framework.Package, supp []framework.Suppression) {
+	fmt.Printf("\n== suppressions (//spash:allow) ==\n")
+	if len(supp) == 0 {
+		fmt.Println("  (none)")
+	}
+	for _, s := range supp {
+		fmt.Printf("  %s: [%s] %s\n      reason: %s\n", s.Pos, s.Analyzer, s.Message, s.Reason)
+	}
+	fmt.Printf("\n== guarded functions (//spash:guarded) ==\n")
+	n := 0
+	for _, pkg := range pkgs {
+		for _, a := range framework.Annotations(pkg) {
+			fmt.Printf("  %s: %s\n      reason: %s\n", a.Pos, a.Func, a.Reason)
+			n++
+		}
+	}
+	if n == 0 {
+		fmt.Println("  (none)")
+	}
+}
+
+// vetConfig is the JSON the go command passes to a -vettool per
+// package (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// analyzable reports whether this unit is production code the suite
+// should check. Dependency units (VetxOnly — the suite exchanges no
+// facts) and test-binary packages are skipped: tests deliberately
+// violate the invariants to inject faults.
+func (cfg *vetConfig) analyzable() bool {
+	if cfg.VetxOnly {
+		return false
+	}
+	return !strings.Contains(cfg.ImportPath, " [") &&
+		!strings.HasSuffix(cfg.ImportPath, ".test") &&
+		!strings.HasSuffix(cfg.ImportPath, "_test")
+}
+
+// productionFiles drops _test.go files from the unit: the go command
+// hands vet the test variant of each package, and the invariants apply
+// to production code only. The remaining files always type-check on
+// their own (test files cannot be referenced by non-test files).
+func productionFiles(files []string) []string {
+	var out []string
+	for _, f := range files {
+		if !strings.HasSuffix(f, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if !cfg.analyzable() {
+		return writeVetx(cfg)
+	}
+	goFiles := productionFiles(cfg.GoFiles)
+	if len(goFiles) == 0 {
+		return writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range goFiles {
+		af, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+			return 2
+		}
+		files = append(files, af)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := framework.CheckFiles(fset, cfg.ImportPath, goFiles, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+	diags, _, err := framework.Run([]*framework.Package{pkg}, analysis.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+	if rc := writeVetx(cfg); rc != 0 {
+		return rc
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+		}
+		return 2 // unitchecker protocol: nonzero means findings
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) facts file the go command expects; the
+// suite does not exchange facts between packages.
+func writeVetx(cfg vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,3 +1,14 @@
 module spash
 
 go 1.23
+
+// No requirements, deliberately. The spash-vet analyzer suite
+// (internal/analysis) is built on the standard library alone (go/ast,
+// go/types, go/parser, export data via `go list -export`) rather than
+// golang.org/x/tools, so the module builds and vets itself offline with
+// nothing but a Go toolchain. External linters (staticcheck,
+// govulncheck) are therefore not go.mod dependencies either: their
+// versions are pinned in the Makefile and .github/workflows/ci.yml
+// (STATICCHECK_VERSION / GOVULNCHECK_VERSION) and installed on demand.
+// If x/tools is ever vendored in, keep it pinned to the version the
+// toolchain's own cmd/vet was built against.

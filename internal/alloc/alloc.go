@@ -105,6 +105,8 @@ type Allocator struct {
 
 // New formats the pool and returns a fresh allocator. The pool must be
 // zeroed (as returned by pmem.New).
+//
+//spash:guarded formats a virgin pool before any worker or HTM domain exists; single-threaded by contract
 func New(c *pmem.Ctx, pool *pmem.Pool) (*Allocator, error) {
 	a := &Allocator{pool: pool}
 	a.layout()
@@ -203,6 +205,8 @@ func (a *Allocator) layout() {
 
 // carve takes xplines XPLines from the pool watermark and records the
 // span in the persistent directory.
+//
+//spash:guarded directory append serialised by a.mu and published by the flush+fence below; the entry is invisible to the index until the carved span is handed out
 func (a *Allocator) carve(c *pmem.Ctx, classSize, xplines uint64) (uint64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

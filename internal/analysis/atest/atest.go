@@ -1,0 +1,119 @@
+// Package atest is a small analysistest-style harness for the
+// spash-vet analyzers: fixture files under
+// internal/analysis/testdata/src/<name>/ carry
+//
+//	expr // want `regex`
+//
+// comments, and Check asserts that the analyzer reports exactly the
+// expected diagnostics — every want matched on its line, nothing
+// unexpected anywhere, and suppressed (//spash:allow) findings
+// reported as suppressions rather than diagnostics.
+package atest
+
+import (
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"spash/internal/analysis/framework"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// Fixture loads testdata/src/<name> as import path <name>, resolving
+// the listed dependency packages (plus their transitive closure) from
+// the build cache.
+func Fixture(t *testing.T, name string, deps ...string) *framework.Package {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate atest source directory")
+	}
+	dir := filepath.Join(filepath.Dir(thisFile), "..", "testdata", "src", name)
+	loader := &framework.Loader{Dir: filepath.Dir(thisFile)}
+	pkg, err := loader.LoadDir(dir, name, deps...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// Check runs the analyzers over the fixture package and compares the
+// diagnostics against the fixture's // want comments.
+func Check(t *testing.T, pkg *framework.Package, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	diags, _, err := framework.Run([]*framework.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func consume(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressions runs the analyzers and returns only the suppressions,
+// for fixtures asserting that //spash:allow works.
+func Suppressions(t *testing.T, pkg *framework.Package, analyzers ...*framework.Analyzer) []framework.Suppression {
+	t.Helper()
+	_, supp, err := framework.Run([]*framework.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return supp
+}
+
+// MustContainSuppression asserts one of the suppressions carries the
+// given analyzer name and a reason containing substr.
+func MustContainSuppression(t *testing.T, supp []framework.Suppression, analyzer, substr string) {
+	t.Helper()
+	for _, s := range supp {
+		if s.Analyzer == analyzer && strings.Contains(s.Reason, substr) {
+			return
+		}
+	}
+	t.Errorf("no %s suppression with reason containing %q (have %d suppressions)", analyzer, substr, len(supp))
+}

@@ -1,0 +1,178 @@
+// Package ctxescape enforces the per-worker contract of pmem.Ctx: a
+// context carries a worker-private virtual clock, so sharing one
+// across goroutines silently corrupts the timing model. The analyzer
+// flags three escape routes:
+//
+//   - storing a *pmem.Ctx into a struct field whose owner type is not
+//     on the allowlist of audited single-worker owners,
+//   - capturing or receiving a *pmem.Ctx in a `go` statement,
+//   - sending a *pmem.Ctx over a channel.
+package ctxescape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spash/internal/analysis/framework"
+	"spash/internal/analysis/sym"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "ctxescape",
+	Doc:  "*pmem.Ctx must stay with its owning worker: no struct-field escape outside allowlisted owners, no capture by go statements, no channel sends",
+	Run:  run,
+}
+
+// AllowedOwners lists struct types (matched by package-path suffix and
+// type name) audited to respect the per-worker contract: core.Handle
+// and core.rawMem are strictly per-session, and shard.Unit holds the
+// bootstrap context used only by single-goroutine maintenance.
+var AllowedOwners = []string{
+	"internal/core.Handle",
+	"internal/core.rawMem",
+	"internal/shard.Unit",
+}
+
+// ExemptPkgs: pmem owns the type; htm transactions are confined by
+// construction; the baselines predate the contract and are exercised
+// only by the single-threaded harness.
+var ExemptPkgs = []string{
+	"internal/pmem",
+	"internal/htm",
+	"internal/baselines/",
+	"internal/btree",
+}
+
+func run(pass *framework.Pass) error {
+	if sym.PkgMatches(pass.Pkg.Path(), ExemptPkgs) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, node)
+			case *ast.AssignStmt:
+				checkAssign(pass, node)
+			case *ast.GoStmt:
+				checkGo(pass, node)
+				return false // checkGo inspects the whole statement
+			case *ast.SendStmt:
+				if sym.IsCtxPtr(pass.Info.Types[node.Value].Type) {
+					pass.Reportf(node.Pos(),
+						"*pmem.Ctx sent over a channel: contexts are per-worker and must not change goroutines; create a fresh ctx with pool.NewCtx on the receiving side")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ownerName renders a named struct type as "pkgpath.Name" for
+// allowlist matching.
+func ownerAllowed(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "?", false
+	}
+	obj := n.Obj()
+	name := obj.Name()
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Path() + "." + name
+	}
+	for _, allowed := range AllowedOwners {
+		if name == allowed || strings.HasSuffix(name, "/"+allowed) {
+			return name, true
+		}
+	}
+	return name, false
+}
+
+func checkCompositeLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	t := pass.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if !sym.IsCtxPtr(pass.Info.Types[val].Type) {
+			continue
+		}
+		if name, ok := ownerAllowed(t); !ok {
+			pass.Reportf(val.Pos(),
+				"*pmem.Ctx stored into a field of %s, which is not an allowlisted per-worker owner (%s); contexts must not outlive their worker",
+				name, strings.Join(AllowedOwners, ", "))
+		}
+	}
+}
+
+func checkAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			continue
+		}
+		if !sym.IsCtxPtr(pass.Info.Types[as.Rhs[i]].Type) {
+			continue
+		}
+		if name, ok := ownerAllowed(selection.Recv()); !ok {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"*pmem.Ctx assigned to field %s of %s, which is not an allowlisted per-worker owner (%s)",
+				sel.Sel.Name, name, strings.Join(AllowedOwners, ", "))
+		}
+	}
+}
+
+// checkGo flags a *pmem.Ctx crossing into a new goroutine, either as a
+// call argument or as a variable captured by the goroutine's literal.
+func checkGo(pass *framework.Pass, g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if sym.IsCtxPtr(pass.Info.Types[arg].Type) {
+			pass.Reportf(arg.Pos(),
+				"*pmem.Ctx passed to a new goroutine: contexts are per-worker; create one inside the goroutine with pool.NewCtx")
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		// Still inspect a non-literal callee's nested args (handled
+		// above); nothing further to check.
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !sym.IsCtxPtr(obj.Type()) {
+			return true
+		}
+		// Defined inside the literal (e.g. c := pool.NewCtx()) is fine;
+		// only variables from the enclosing scope are captures.
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"goroutine captures *pmem.Ctx %q from its enclosing scope: contexts are per-worker; create one inside the goroutine with pool.NewCtx",
+			id.Name)
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+package ctxescape_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/ctxescape"
+)
+
+func TestCtxescapeFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "ctxescape", "spash/internal/pmem", "spash/internal/shard")
+	atest.Check(t, pkg, ctxescape.Analyzer)
+}
+
+func TestCtxescapeSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "ctxescape", "spash/internal/pmem", "spash/internal/shard")
+	supp := atest.Suppressions(t, pkg, ctxescape.Analyzer)
+	atest.MustContainSuppression(t, supp, "ctxescape", "confined to a single goroutine")
+}

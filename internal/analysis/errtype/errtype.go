@@ -1,0 +1,235 @@
+// Package errtype enforces the typed-error contract: the repo's typed
+// errors (core.CorruptionError, core.GeometryError, pmem.AccessError)
+// and Err* sentinels must flow through the errors package —
+//
+//   - wrap with fmt.Errorf("...: %w", err), never %v/%s, so callers
+//     can still match the cause after wrapping;
+//   - match sentinels with errors.Is, never == / != (wrapping breaks
+//     identity comparison);
+//   - match typed errors with errors.As, never a type assertion or
+//     type switch on the error value.
+//
+// Comparisons inside an Is(error) bool method are exempt: that is
+// where identity comparison is the implementation of errors.Is.
+package errtype
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"spash/internal/analysis/framework"
+	"spash/internal/analysis/sym"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "errtype",
+	Doc:  "typed errors and sentinels must be wrapped with %w and matched with errors.Is/errors.As",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			inIsMethod := isFunc && fd.Name.Name == "Is" && fd.Recv != nil
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.BinaryExpr:
+					if !inIsMethod {
+						checkCompare(pass, node)
+					}
+				case *ast.TypeAssertExpr:
+					checkAssert(pass, node)
+				case *ast.TypeSwitchStmt:
+					checkTypeSwitch(pass, node)
+					// The clauses were handled; still descend for
+					// nested expressions in case bodies.
+				case *ast.CallExpr:
+					checkErrorf(pass, node)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sentinelUse resolves e to a package-level Err* sentinel of the spash
+// module, returning its display name.
+func sentinelUse(pass *framework.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !sym.SentinelError(obj) {
+		return "", false
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+		name = obj.Pkg().Name() + "." + name
+	}
+	return name, true
+}
+
+func isNilLit(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkCompare flags err == ErrX / err != ErrX on module sentinels.
+func checkCompare(pass *framework.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sentinel, other := pair[0], pair[1]
+		name, ok := sentinelUse(pass, sentinel)
+		if !ok || isNilLit(pass, other) {
+			continue
+		}
+		pass.Reportf(be.OpPos,
+			"sentinel compared with %s: use errors.Is(err, %s) so the match survives %%w wrapping",
+			be.Op, name)
+		return
+	}
+}
+
+// assertedTypedError reports whether the asserted type is one of the
+// protected typed errors.
+func assertedTypedError(pass *framework.Pass, typ ast.Expr) (string, bool) {
+	t := pass.Info.Types[typ].Type
+	if t == nil {
+		return "", false
+	}
+	return sym.TypedError(t)
+}
+
+func checkAssert(pass *framework.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil { // x.(type) inside a type switch; handled there
+		return
+	}
+	if !sym.IsErrorInterface(pass.Info.Types[ta.X].Type) {
+		return
+	}
+	if name, ok := assertedTypedError(pass, ta.Type); ok {
+		pass.Reportf(ta.Pos(),
+			"type assertion on error value for %s: use errors.As so the match survives %%w wrapping",
+			name)
+	}
+}
+
+func checkTypeSwitch(pass *framework.Pass, ts *ast.TypeSwitchStmt) {
+	// Extract the switched expression: `switch v := err.(type)` or
+	// `switch err.(type)`.
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil || !sym.IsErrorInterface(pass.Info.Types[x].Type) {
+		return
+	}
+	for _, stmt := range ts.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, typ := range cc.List {
+			if name, ok := assertedTypedError(pass, typ); ok {
+				pass.Reportf(typ.Pos(),
+					"type switch on error value matches %s: use errors.As so the match survives %%w wrapping",
+					name)
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that pass a typed error or
+// sentinel to a verb other than %w.
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fnObj, ok := obj.(*types.Func)
+	if !ok || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		t := pass.Info.Types[arg].Type
+		name, typed := sym.TypedError(t)
+		if !typed {
+			var ok bool
+			name, ok = sentinelUse(pass, arg)
+			if !ok {
+				// A plain error variable is fine under %v unless it is
+				// one of the protected kinds; nothing to check.
+				continue
+			}
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"%s formatted with %%%c: wrap with %%w so callers can still match it with errors.Is/errors.As",
+				name, verbs[i])
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument of a Printf-style format string. Width/precision stars and
+// argument indexes are rare in this codebase and not modelled.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' { // literal %%
+				break
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

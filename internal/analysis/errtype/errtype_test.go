@@ -1,0 +1,19 @@
+package errtype_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/errtype"
+)
+
+func TestErrtypeFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "errtype", "errors", "fmt", "spash/internal/pmem", "spash/internal/core")
+	atest.Check(t, pkg, errtype.Analyzer)
+}
+
+func TestErrtypeSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "errtype", "errors", "fmt", "spash/internal/pmem", "spash/internal/core")
+	supp := atest.Suppressions(t, pkg, errtype.Analyzer)
+	atest.MustContainSuppression(t, supp, "errtype", "pointer identity")
+}

@@ -1,0 +1,19 @@
+package flushfence_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/flushfence"
+)
+
+func TestFlushfenceFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "flushfence", "spash/internal/pmem", "spash/internal/htm")
+	atest.Check(t, pkg, flushfence.Analyzer)
+}
+
+func TestFlushfenceSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "flushfence", "spash/internal/pmem", "spash/internal/htm")
+	supp := atest.Suppressions(t, pkg, flushfence.Analyzer)
+	atest.MustContainSuppression(t, supp, "flushfence", "cache-absorbed mode")
+}

@@ -1,0 +1,299 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface the spash-vet suite
+// needs: an Analyzer/Pass pair over type-checked packages, plus the
+// repo's two source directives:
+//
+//	//spash:guarded <justification>
+//	    on a function declaration's doc comment: the function's raw
+//	    persistent-memory mutations are reviewed and justified (e.g.
+//	    the target is unpublished memory, or the caller holds the
+//	    fallback lock). The justification is mandatory; annotations on
+//	    functions that mutate nothing are reported as stale.
+//
+//	//spash:allow <analyzer> -- <justification>
+//	    on (or immediately above) a flagged line: suppresses that
+//	    analyzer's diagnostic there. Suppressions are collected and
+//	    printed by `spash-vet -summary` so they stay auditable.
+//
+// The package mirrors go/analysis closely enough that the analyzers
+// can be ported to the real framework by swapping imports once the
+// module is allowed to vendor golang.org/x/tools.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Suppression records a diagnostic that an //spash:allow directive
+// silenced, together with the directive's justification.
+type Suppression struct {
+	Pos       token.Position
+	Analyzer  string
+	Reason    string
+	Message   string
+	Directive token.Position
+}
+
+// allowDirective is one parsed //spash:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// A Pass carries one analyzer's run over one package. Report applies
+// the package's //spash:allow directives, so Diagnostics holds only
+// unsuppressed findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	Diagnostics []Diagnostic
+	Suppressed  []Suppression
+
+	// allow maps filename -> line -> directives covering that line.
+	allow map[string]map[int][]*allowDirective
+}
+
+// NewPass prepares a pass of a over pkg, indexing the package's
+// //spash:allow directives.
+func NewPass(a *Analyzer, pkg *Package) *Pass {
+	p := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		allow:    map[string]map[int][]*allowDirective{},
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d.pos = pos
+				byLine := p.allow[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*allowDirective{}
+					p.allow[pos.Filename] = byLine
+				}
+				// A directive covers its own line and the next one, so
+				// it works both trailing a statement and standing on
+				// the line above it.
+				byLine[pos.Line] = append(byLine[pos.Line], &d)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], &d)
+			}
+		}
+	}
+	return p
+}
+
+// parseAllow parses one "//spash:allow <analyzer> -- <reason>" comment.
+func parseAllow(text string) (allowDirective, bool) {
+	rest, ok := strings.CutPrefix(text, "//spash:allow")
+	if !ok {
+		return allowDirective{}, false
+	}
+	rest = strings.TrimSpace(rest)
+	name, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(reason), "--"))
+	return allowDirective{analyzer: name, reason: strings.TrimSpace(reason)}, true
+}
+
+// GuardReason returns the justification of a //spash:guarded directive
+// in the declaration's doc comment, and whether one is present.
+func GuardReason(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//spash:guarded"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "--")), true
+		}
+	}
+	return "", false
+}
+
+// Reportf records a diagnostic at pos unless an //spash:allow
+// directive for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	msg := fmt.Sprintf(format, args...)
+	for _, d := range p.allow[position.Filename][position.Line] {
+		if d.analyzer == p.Analyzer.Name {
+			d.used = true
+			p.Suppressed = append(p.Suppressed, Suppression{
+				Pos:       position,
+				Analyzer:  p.Analyzer.Name,
+				Reason:    d.reason,
+				Message:   msg,
+				Directive: d.pos,
+			})
+			return
+		}
+	}
+	p.Diagnostics = append(p.Diagnostics, Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// Run executes every analyzer over every package, returning the merged
+// unsuppressed diagnostics (sorted by position) and the suppressions.
+// Malformed or unknown directives are reported under the pseudo-
+// analyzer "directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Suppression, error) {
+	var diags []Diagnostic
+	var supp []Suppression
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		diags = append(diags, checkDirectives(pkg, names)...)
+		for _, a := range analyzers {
+			pass := NewPass(a, pkg)
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, pass.Diagnostics...)
+			supp = append(supp, pass.Suppressed...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return lessPosition(diags[i].Pos, diags[j].Pos) })
+	sort.Slice(supp, func(i, j int) bool { return lessPosition(supp[i].Pos, supp[j].Pos) })
+	return diags, supp, nil
+}
+
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// checkDirectives validates every spash: directive in the package: the
+// verb must be known, //spash:allow must name a known analyzer, and
+// both directives must carry a justification.
+func checkDirectives(pkg *Package, analyzers map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "directive",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case strings.HasPrefix(c.Text, "//spash:allow"):
+					d, _ := parseAllow(c.Text)
+					if !analyzers[d.analyzer] {
+						report(c.Pos(), "//spash:allow names unknown analyzer %q", d.analyzer)
+					}
+					if d.reason == "" {
+						report(c.Pos(), "//spash:allow %s needs a justification (\"//spash:allow %s -- why\")", d.analyzer, d.analyzer)
+					}
+				case strings.HasPrefix(c.Text, "//spash:guarded"):
+					if reason, _ := GuardReason(&ast.CommentGroup{List: []*ast.Comment{c}}); reason == "" {
+						report(c.Pos(), "//spash:guarded needs a justification (\"//spash:guarded -- why\")")
+					}
+				case strings.HasPrefix(c.Text, "//spash:"):
+					report(c.Pos(), "unknown directive %q", strings.SplitN(c.Text, " ", 2)[0])
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// Annotation is one //spash:guarded annotation found in a package
+// (collected for the driver's -summary listing).
+type Annotation struct {
+	Pos    token.Position
+	Func   string
+	Reason string
+}
+
+// Annotations lists every //spash:guarded annotation in pkg.
+func Annotations(pkg *Package) []Annotation {
+	var out []Annotation
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if reason, ok := GuardReason(fd.Doc); ok {
+				out = append(out, Annotation{
+					Pos:    pkg.Fset.Position(fd.Pos()),
+					Func:   FuncDisplayName(fd),
+					Reason: reason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FuncDisplayName renders a function declaration's name including any
+// receiver type ("(*Pool).Store64" or "Recover").
+func FuncDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	writeTypeExpr(&b, fd.Recv.List[0].Type)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeTypeExpr(b *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeTypeExpr(b, t.X)
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr:
+		writeTypeExpr(b, t.X)
+	case *ast.IndexListExpr:
+		writeTypeExpr(b, t.X)
+	default:
+		b.WriteString("?")
+	}
+}

@@ -1,0 +1,258 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis: the parsed
+// files of the package itself plus full type information, with every
+// dependency (including the standard library) resolved from the build
+// cache's export data rather than re-checked from source.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Filenames  []string
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Loader loads module packages for analysis. It shells out to the go
+// tool for package metadata and export data (the same information a
+// `go vet` unit receives), then parses and type-checks only the target
+// packages from source. A Loader is not safe for concurrent use.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root). Empty
+	// means the current directory.
+	Dir string
+	// Overlay replaces the content of the named files (absolute paths)
+	// at parse time. Used by tests to analyse a mutated copy of a real
+	// source file without touching the tree.
+	Overlay map[string][]byte
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// Fset returns the loader's file set (shared by all loaded packages).
+func (l *Loader) Fset() *token.FileSet {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+	}
+	return l.fset
+}
+
+func (l *Loader) goList(args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ensureImporter records export data for every package in entries and
+// (once) builds the shared gc-export-data importer.
+func (l *Loader) ensureImporter(entries []listEntry) {
+	if l.exports == nil {
+		l.exports = make(map[string]string)
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+	if l.imp == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			f, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}
+		l.imp = importer.ForCompiler(l.Fset(), "gc", lookup)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func (l *Loader) parseFile(filename string) (*ast.File, error) {
+	var src any
+	if content, ok := l.Overlay[filename]; ok {
+		src = content
+	}
+	return parser.ParseFile(l.Fset(), filename, src, parser.ParseComments)
+}
+
+// Load loads the packages matching the go list patterns, type-checking
+// each target from source with dependencies resolved from export data.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	entries, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	l.ensureImporter(entries)
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		p, err := l.check(e)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func (l *Loader) check(e listEntry) (*Package, error) {
+	var files []*ast.File
+	var names []string
+	for _, f := range e.GoFiles {
+		fn := filepath.Join(e.Dir, f)
+		af, err := l.parseFile(fn)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", e.ImportPath, err)
+		}
+		files = append(files, af)
+		names = append(names, fn)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(e.ImportPath, l.Fset(), files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       l.Fset(),
+		Files:      files,
+		Filenames:  names,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// CheckFiles type-checks already-parsed files as one package using the
+// given importer. Used by the vettool mode of cmd/spash-vet, where the
+// go vet driver supplies the file list and export-data map.
+func CheckFiles(fset *token.FileSet, importPath string, filenames []string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Filenames:  filenames,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadDir type-checks a loose directory of Go files (an analysistest
+// fixture) under the given import path. deps lists go packages the
+// fixture may import (transitive closures are resolved automatically);
+// the spash module packages and any std package reachable from them
+// are available.
+func (l *Loader) LoadDir(dir, importPath string, deps ...string) (*Package, error) {
+	if len(deps) > 0 {
+		entries, err := l.goList(deps...)
+		if err != nil {
+			return nil, err
+		}
+		l.ensureImporter(entries)
+	} else {
+		l.ensureImporter(nil)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(matches)
+	var files []*ast.File
+	for _, fn := range matches {
+		af, err := l.parseFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset(), files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset(),
+		Files:      files,
+		Filenames:  matches,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

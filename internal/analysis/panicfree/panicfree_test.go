@@ -1,0 +1,19 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/panicfree"
+)
+
+func TestPanicfreeFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "panicfree", "errors")
+	atest.Check(t, pkg, panicfree.Analyzer)
+}
+
+func TestPanicfreeSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "panicfree", "errors")
+	supp := atest.Suppressions(t, pkg, panicfree.Analyzer)
+	atest.MustContainSuppression(t, supp, "panicfree", "justified suppression")
+}

@@ -1,0 +1,19 @@
+package pmstore_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/pmstore"
+)
+
+func TestPmstoreFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "pmstore", "spash/internal/pmem", "spash/internal/htm")
+	atest.Check(t, pkg, pmstore.Analyzer)
+}
+
+func TestPmstoreSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "pmstore", "spash/internal/pmem", "spash/internal/htm")
+	supp := atest.Suppressions(t, pkg, pmstore.Analyzer)
+	atest.MustContainSuppression(t, supp, "pmstore", "deliberate raw write")
+}

@@ -1,0 +1,26 @@
+// Package analysis assembles the spash-vet analyzer suite. The five
+// analyzers mechanically enforce the invariants DESIGN.md states in
+// prose: PM mutation discipline (pmstore), flush-ordered durability
+// (flushfence), per-worker context confinement (ctxescape), panic-free
+// recovery (panicfree), and wrappable typed errors (errtype).
+package analysis
+
+import (
+	"spash/internal/analysis/ctxescape"
+	"spash/internal/analysis/errtype"
+	"spash/internal/analysis/flushfence"
+	"spash/internal/analysis/framework"
+	"spash/internal/analysis/panicfree"
+	"spash/internal/analysis/pmstore"
+)
+
+// Suite returns the full analyzer suite in reporting order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		pmstore.Analyzer,
+		flushfence.Analyzer,
+		ctxescape.Analyzer,
+		panicfree.Analyzer,
+		errtype.Analyzer,
+	}
+}

@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"spash/internal/analysis"
+	"spash/internal/analysis/framework"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source directory")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+}
+
+// TestTreeClean is the enforcement test: the whole module must have
+// zero unsuppressed spash-vet diagnostics. A failure here means a new
+// invariant violation (or a missing justification) was introduced.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := &framework.Loader{Dir: moduleRoot(t)}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, _, err := framework.Run(pkgs, analysis.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDeletedFlushIsCaught demonstrates the acceptance criterion:
+// deleting the InsertNoCompact flush in internal/core/ops.go makes
+// flushfence fail. The deletion happens in a parse-time overlay, not
+// in the tree.
+func TestDeletedFlushIsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks internal/core twice")
+	}
+	root := moduleRoot(t)
+	opsPath := filepath.Join(root, "internal", "core", "ops.go")
+	src, err := os.ReadFile(opsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flushLine = "\tcase InsertNoCompact:\n\t\th.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))\n"
+	if !strings.Contains(string(src), flushLine) {
+		t.Fatalf("ops.go no longer contains the InsertNoCompact flush; update this test's needle")
+	}
+	mutated := strings.Replace(string(src), flushLine, "\tcase InsertNoCompact:\n", 1)
+
+	check := func(overlay map[string][]byte) []framework.Diagnostic {
+		loader := &framework.Loader{Dir: root, Overlay: overlay}
+		pkgs, err := loader.Load("./internal/core")
+		if err != nil {
+			t.Fatalf("loading internal/core: %v", err)
+		}
+		diags, _, err := framework.Run(pkgs, analysis.Suite())
+		if err != nil {
+			t.Fatalf("running suite: %v", err)
+		}
+		return diags
+	}
+
+	if diags := check(nil); len(diags) != 0 {
+		t.Fatalf("pristine internal/core should be clean, got %v", diags)
+	}
+	var hit bool
+	for _, d := range check(map[string][]byte{opsPath: []byte(mutated)}) {
+		if d.Analyzer == "flushfence" && strings.Contains(d.Message, "InsertNoCompact") {
+			hit = true
+		} else {
+			t.Errorf("unexpected diagnostic on mutated ops.go: %s", d)
+		}
+	}
+	if !hit {
+		t.Error("deleting the InsertNoCompact flush was not caught by flushfence")
+	}
+}

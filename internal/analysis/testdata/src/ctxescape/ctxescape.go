@@ -1,0 +1,63 @@
+// Fixture for the ctxescape analyzer: *pmem.Ctx must stay with its
+// owning worker.
+package ctxescape
+
+import (
+	"spash/internal/pmem"
+	"spash/internal/shard"
+)
+
+// box is not an allowlisted owner.
+type box struct {
+	c *pmem.Ctx
+}
+
+// Flagged: storing a ctx into a non-allowlisted struct via composite
+// literal.
+func BadLiteral(c *pmem.Ctx) *box {
+	return &box{c: c} // want `stored into a field of .*\.box`
+}
+
+// Flagged: same escape via field assignment.
+func BadAssign(b *box, c *pmem.Ctx) {
+	b.c = c // want `assigned to field c of .*\.box`
+}
+
+// Flagged: a goroutine capturing the enclosing worker's ctx.
+func BadCapture(c *pmem.Ctx, p *pmem.Pool) {
+	go func() {
+		p.Load64(c, 0) // want `goroutine captures \*pmem\.Ctx "c"`
+	}()
+}
+
+// Flagged: handing the ctx to a new goroutine as an argument.
+func BadGoArg(c *pmem.Ctx) {
+	go worker(c) // want `\*pmem\.Ctx passed to a new goroutine`
+}
+
+func worker(c *pmem.Ctx) {}
+
+// Flagged: sending a ctx across goroutines over a channel.
+func BadSend(ch chan *pmem.Ctx, c *pmem.Ctx) {
+	ch <- c // want `\*pmem\.Ctx sent over a channel`
+}
+
+// Allowed: shard.Unit is an audited owner (bootstrap context).
+func GoodUnit(u *shard.Unit, c *pmem.Ctx) {
+	u.Ctx = c
+}
+
+// Allowed: a goroutine creating its own ctx.
+func GoodOwnCtx(p *pmem.Pool) {
+	go func() {
+		c := p.NewCtx()
+		defer c.Release()
+		p.Load64(c, 0)
+	}()
+}
+
+// Allowed: a justified suppression.
+func SuppressedLiteral(c *pmem.Ctx) *box {
+	//spash:allow ctxescape -- fixture: box is confined to a single goroutine in this test
+	return &box{c: c}
+}

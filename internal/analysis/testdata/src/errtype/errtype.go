@@ -1,0 +1,79 @@
+// Fixture for the errtype analyzer: typed errors and sentinels must
+// be wrapped with %w and matched with errors.Is / errors.As.
+package errtype
+
+import (
+	"errors"
+	"fmt"
+
+	"spash/internal/core"
+	"spash/internal/pmem"
+)
+
+// Flagged: identity comparison with a module sentinel.
+func BadCompare(err error) bool {
+	return err == pmem.ErrPoisoned // want `use errors\.Is\(err, pmem\.ErrPoisoned\)`
+}
+
+// Flagged: != is the same mistake.
+func BadCompareNeq(err error) bool {
+	return err != pmem.ErrPoisoned // want `use errors\.Is\(err, pmem\.ErrPoisoned\)`
+}
+
+// Allowed: errors.Is survives wrapping.
+func GoodCompare(err error) bool {
+	return errors.Is(err, pmem.ErrPoisoned)
+}
+
+// Allowed: nil checks are not sentinel comparisons.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Flagged: type assertion on an error value for a protected type.
+func BadAssert(err error) bool {
+	_, ok := err.(*core.CorruptionError) // want `type assertion on error value for CorruptionError`
+	return ok
+}
+
+// Allowed: errors.As matches through wrapping.
+func GoodAssert(err error) bool {
+	var ce *core.CorruptionError
+	return errors.As(err, &ce)
+}
+
+// Flagged: type switch on an error value matching a protected type.
+func BadSwitch(err error) string {
+	switch err.(type) {
+	case *core.GeometryError: // want `type switch on error value matches GeometryError`
+		return "geometry"
+	default:
+		return ""
+	}
+}
+
+// Flagged: wrapping a typed error with %v severs the errors.Is chain.
+func BadWrap(ae pmem.AccessError) error {
+	return fmt.Errorf("scan: %v", ae) // want `AccessError formatted with %v: wrap with %w`
+}
+
+// Allowed: %w preserves the chain.
+func GoodWrap(ae pmem.AccessError) error {
+	return fmt.Errorf("scan: %w", ae)
+}
+
+// Allowed: identity comparison inside an Is method is the
+// implementation of errors.Is itself.
+type myErr struct{}
+
+func (myErr) Error() string { return "my error" }
+
+func (myErr) Is(target error) bool {
+	return target == pmem.ErrPoisoned
+}
+
+// Allowed: a justified suppression.
+func Suppressed(err error) bool {
+	//spash:allow errtype -- fixture: pointer identity intentionally under test here
+	return err == pmem.ErrPoisoned
+}

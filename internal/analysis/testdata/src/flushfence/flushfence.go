@@ -1,0 +1,89 @@
+// Fixture for the flushfence analyzer: a cached PM store must be
+// flushed and fenced before a publish in the same function, and
+// flush-policy switches must not silently skip the flush on one case.
+package flushfence
+
+import (
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// Flagged: publish with the preceding store still unflushed.
+func BadUnflushedPublish(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 0, 1)
+	p.CAS64(c, 64, 0, 1) // want `publishes while the pmem\.Pool\.Store64 at line \d+ is unflushed`
+}
+
+// Flagged: flushed but the write-back was never drained by a Fence.
+func BadUnfencedPublish(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 0, 1)
+	p.Flush(c, 0, 8)
+	p.CAS64(c, 64, 0, 1) // want `not drained by a Fence`
+}
+
+// Flagged: non-temporal stores bypass the cache but still need a
+// fence before the publish.
+func BadNTStore(c *pmem.Ctx, p *pmem.Pool, buf []byte) {
+	p.NTStore(c, 0, buf)
+	p.CAS64(c, 64, 0, 1) // want `not drained by a Fence`
+}
+
+// Flagged: a bulk Write is a cached store too.
+func BadBulkWrite(c *pmem.Ctx, p *pmem.Pool, buf []byte, tm *htm.TM) {
+	p.Write(c, 0, buf)
+	tm.BumpStore64(c, p, 64, 1) // want `htm\.TM\.BumpStore64 publishes while the pmem\.Pool\.Write at line \d+ is unflushed`
+}
+
+// Allowed: the full store -> Flush -> Fence -> publish protocol.
+func GoodProtocol(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 0, 1)
+	p.Flush(c, 0, 8)
+	p.Fence(c)
+	p.CAS64(c, 64, 0, 1)
+}
+
+// Allowed: a publish with no preceding store has nothing to flush.
+func GoodBarePublish(c *pmem.Ctx, p *pmem.Pool) {
+	p.CAS64(c, 64, 0, 1)
+}
+
+// policy is a durability-policy enum declared in this package, so R2
+// applies to switches dispatching on it.
+type policy int
+
+const (
+	flushAlways policy = iota
+	flushNever
+	flushJustified
+	flushAfter
+)
+
+// Flagged (one case): sibling cases flush, flushNever returns without
+// flushing and without a justification.
+func PolicySwitch(c *pmem.Ctx, p *pmem.Pool, pol policy) {
+	p.Store64(c, 0, 1)
+	switch pol {
+	case flushAlways:
+		p.Flush(c, 0, 8)
+	case flushNever: // want `case flushNever of this flush-policy switch leaves its PM writes unflushed`
+		return
+	//spash:allow flushfence -- fixture: cache-absorbed mode, write-back on eviction is acceptable here
+	case flushJustified:
+		return
+	}
+	p.Fence(c)
+}
+
+// Allowed: a case without a flush is fine when the fall-through path
+// below the switch flushes for it.
+func PolicyFallthroughFlush(c *pmem.Ctx, p *pmem.Pool, pol policy) {
+	p.Store64(c, 0, 1)
+	switch pol {
+	case flushAlways:
+		p.Flush(c, 0, 8)
+	case flushAfter:
+		// covered by the post-switch flush
+	}
+	p.Flush(c, 0, 8)
+	p.Fence(c)
+}

@@ -1,0 +1,43 @@
+// Fixture for the panicfree analyzer: recovery/scrub/fsck paths must
+// return typed errors; the only allowed panic is re-raising a
+// recover()ed value.
+package panicfree
+
+import "errors"
+
+var errDamaged = errors.New("damaged")
+
+// Allowed: the re-raise idiom — panic(r) where r came from recover().
+func RecoverIndex() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errDamaged
+			panic(r)
+		}
+	}()
+	return nil
+}
+
+// Flagged: a recovery-scoped function panicking on damage.
+func FsckAll() error {
+	panic("fsck cannot continue") // want `panic in recovery path FsckAll`
+}
+
+// Flagged: scope matching is case-insensitive on the recovery verbs.
+func verifySegment(ok bool) error {
+	if !ok {
+		panic(errDamaged) // want `panic in recovery path verifySegment`
+	}
+	return nil
+}
+
+// Allowed: a justified suppression.
+func ScrubAll() error {
+	//spash:allow panicfree -- fixture: demonstrating a justified suppression
+	panic("unreachable by construction")
+}
+
+// Allowed: functions outside the recovery scope may panic.
+func Insert() {
+	panic("not a recovery path")
+}

@@ -1,0 +1,80 @@
+// Fixture for the pmstore analyzer: raw pmem.Pool mutations must be
+// inside an htm.Txn body, a recovery-named function, or a
+// //spash:guarded function.
+package pmstore
+
+import (
+	"spash/internal/htm"
+	"spash/internal/pmem"
+)
+
+// Flagged: a raw store in an ordinary exported function.
+func BadDirect(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 0, 1) // want `raw pmem\.Pool\.Store64 in BadDirect`
+}
+
+// Flagged: every mutating method is covered.
+func BadCAS(c *pmem.Ctx, p *pmem.Pool) {
+	p.CAS64(c, 0, 1, 2) // want `raw pmem\.Pool\.CAS64 in BadCAS`
+}
+
+// Flagged: an unguarded helper whose only caller is also unguarded.
+func badHelper(c *pmem.Ctx, p *pmem.Pool) {
+	p.Write(c, 0, nil) // want `raw pmem\.Pool\.Write in badHelper`
+}
+
+func BadCaller(c *pmem.Ctx, p *pmem.Pool) {
+	badHelper(c, p)
+}
+
+// Allowed: a store inside a transaction body literal.
+func GoodTxn(tm *htm.TM, c *pmem.Ctx, p *pmem.Pool) error {
+	_, err := tm.Run(c, p, func(tx *htm.Txn) error {
+		p.Store64(c, 0, 1)
+		return nil
+	})
+	return err
+}
+
+// Allowed: an irrevocable fallback body is also a transaction body.
+func GoodIrrevocable(tm *htm.TM, c *pmem.Ctx, p *pmem.Pool) error {
+	return tm.Irrevocable(c, p, func(it *htm.ITxn) error {
+		p.Store64(c, 8, 2)
+		return nil
+	})
+}
+
+// Allowed: recovery-named functions run before the HTM domain exists.
+func RecoverState(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 16, 3)
+}
+
+// Allowed: an annotated function with a justification.
+//
+//spash:guarded fixture: writes a private scratch region invisible to readers
+func guardedWriter(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 24, 4)
+	goodHelper(c, p)
+}
+
+// Allowed: an unguarded helper is fine when every caller is guarded.
+func goodHelper(c *pmem.Ctx, p *pmem.Pool) {
+	p.NTStore(c, 32, nil)
+}
+
+// Allowed: an //spash:allow suppression on the store line.
+func SuppressedWriter(c *pmem.Ctx, p *pmem.Pool) {
+	//spash:allow pmstore -- fixture: deliberate raw write demonstrating a justified suppression
+	p.Store64(c, 40, 5)
+}
+
+// Flagged: the annotation is checked, not trusted — a guarded function
+// that mutates nothing is stale.
+//
+//spash:guarded fixture: nothing is stored here any more
+func staleGuard() {} // want `stale //spash:guarded on staleGuard`
+
+// Allowed: reads are not mutations.
+func ReadsOnly(c *pmem.Ctx, p *pmem.Pool) uint64 {
+	return p.Load64(c, 0)
+}

@@ -30,7 +30,7 @@ func (ix *Index) CheckInvariants(c *pmem.Ctx) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ae, ok := r.(pmem.AccessError); ok {
-				err = fmt.Errorf("unreadable media reached by scan: %v", ae)
+				err = fmt.Errorf("unreadable media reached by scan: %w", ae)
 				return
 			}
 			if rf, ok := r.(recordFault); ok {

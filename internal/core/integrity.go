@@ -457,7 +457,11 @@ func (h *Handle) Quarantine(hh uint64, expectSeg uint64) (*QuarantineReport, err
 			}
 			return nil, err
 		}
+		// Drain the replacement segment's write-back before freeing the
+		// quarantined one: once the old segment is reusable, the new
+		// image must already be ADR-durable.
 		ix.pool.Flush(c, report.NewSeg, SegmentSize)
+		ix.pool.Fence(c)
 		h.ah.Free(c, seg, SegmentSize)
 		ix.reg.Inc(obs.CQuarantines)
 		ix.reg.Trace(obs.EvQuarantine, c.Clock(), int64(seg), int64(report.Salvaged))

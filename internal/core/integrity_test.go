@@ -322,3 +322,26 @@ func TestSealMaintainedAcrossSplitsAndMerges(t *testing.T) {
 		t.Fatalf("fsck after churn: err=%v faults=%+v", err, rep.Faults)
 	}
 }
+
+// TestCheckInvariantsPoisonWrapsErrPoisoned guards the %w fix in
+// CheckInvariants' AccessError backstop: the wrapped scan error must
+// still match pmem.ErrPoisoned through errors.Is, so fsck callers can
+// distinguish damaged media from structural corruption.
+func TestCheckInvariantsPoisonWrapsErrPoisoned(t *testing.T) {
+	ix, h := newTestIndex(t, Config{InitialDepth: 2, Checksums: true})
+	c := h.c
+	fillIntegrity(t, h, 500)
+
+	victim := integrityKey(42)
+	r := makeReq(victim)
+	_, e := ix.resolveRaw(r.h)
+	ix.pool.PoisonLine(entrySeg(e))
+
+	err := ix.CheckInvariants(c)
+	if err == nil {
+		t.Fatal("CheckInvariants did not report the poisoned segment")
+	}
+	if !errors.Is(err, pmem.ErrPoisoned) {
+		t.Fatalf("CheckInvariants error lost its cause (want errors.Is ErrPoisoned): %v", err)
+	}
+}

@@ -363,6 +363,7 @@ func (h *Handle) Update(key, val []byte) (bool, error) {
 func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
 	ix := h.ix
 	switch ix.cfg.Update {
+	//spash:allow flushfence -- Table I "w/o flush" mode: durability is deliberately delegated to the persistent cache (eADR)
 	case UpdateNeverFlush:
 		return
 	case UpdateAlwaysFlush:
@@ -371,12 +372,14 @@ func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
 			h.lane.Inc(obs.CUpdateFlushes)
 		}
 		return
+	//spash:allow flushfence -- hot entries stay cache-resident by design (Table I); the cold path falls through to the flush below the switch
 	case UpdateOracle:
 		if ix.cfg.OracleHot != nil && ix.cfg.OracleHot(r.h) {
 			ix.hot.hits.Add(1)
 			h.lane.Inc(obs.CFlushSkipHot)
 			return
 		}
+	//spash:allow flushfence -- adaptive mode skips the flush only for entries the hot tracker says are cache-resident; cold entries fall through to the flush below
 	default: // UpdateAdaptive
 		if ix.hot.touch(r.h) {
 			h.lane.Inc(obs.CFlushSkipHot)
@@ -460,6 +463,7 @@ func (h *Handle) allocRecord(data []byte) (uint64, error) {
 	case InsertNoCompact:
 		h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
 		h.lane.Inc(obs.CRecordFlushes)
+	//spash:allow flushfence -- §III-C compact-no-flush mode: small records are absorbed by the persistent cache and written back on eviction
 	case InsertCompactNoFlush:
 		// Leave everything to cache eviction.
 	}

@@ -28,7 +28,9 @@ type rawMem struct {
 	c    *pmem.Ctx
 }
 
-func (m rawMem) load(addr uint64) uint64     { return m.pool.Load64(m.c, addr) }
+func (m rawMem) load(addr uint64) uint64 { return m.pool.Load64(m.c, addr) }
+
+//spash:guarded rawMem is constructed only on recovery, fsck, and lock-held fallback paths, where raw stores are serialised outside the HTM domain
 func (m rawMem) store(addr uint64, v uint64) { m.pool.Store64(m.c, addr, v) }
 
 // iMem adapts an irrevocable transaction (fallback path) to the mem
@@ -68,6 +70,8 @@ func recordHeaderWord(data []byte) uint64 {
 func recordSpace(n int) int { return recordHeader + n }
 
 // writeRecordRaw writes a fresh (still private) record.
+//
+//spash:guarded the record is freshly allocated and unreachable until a slot publish inside a transaction makes it visible
 func writeRecordRaw(c *pmem.Ctx, pool *pmem.Pool, addr uint64, data []byte) {
 	pool.Store64(c, addr, recordHeaderWord(data))
 	pool.Write(c, addr+recordHeader, data)

@@ -110,6 +110,7 @@ func (ix *Index) split(h *Handle, hh uint64) (err error) {
 			return err
 		}
 		for i, w := range imgB {
+			//spash:allow pmstore -- populates the freshly allocated segment image; the directory pointer to it is published only inside the transaction below
 			ix.pool.Store64(c, newSeg+uint64(i)*8, w)
 		}
 

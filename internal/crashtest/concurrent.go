@@ -13,6 +13,7 @@ package crashtest
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -125,7 +126,7 @@ func RunConcurrentTrial(mode pmem.Mode, writers, perWriter int, crashStep int64)
 	tr.Fired = fp.Fired()
 	tr.Steps = fp.Steps()
 	for _, werr := range werrs {
-		if werr != nil && werr != pmem.ErrInjectedCrash {
+		if werr != nil && !errors.Is(werr, pmem.ErrInjectedCrash) {
 			return tr, werr
 		}
 	}

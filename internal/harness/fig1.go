@@ -89,6 +89,7 @@ func fig1BandwidthDebug(s Scale, zipf bool, mode flushMode, size int) (float64, 
 					chunk = rng.Uint64() % chunks
 				}
 				addr := 4096 + chunk*uint64(size)
+				//spash:allow pmstore -- raw-bandwidth microbenchmark driving the pool directly; no index invariants are involved
 				pool.Write(c, addr, buf)
 				if mode == writeF || (mode == writeHybrid && !hot) {
 					pool.Flush(c, addr, uint64(size))

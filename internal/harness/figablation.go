@@ -190,6 +190,7 @@ func Table1(w io.Writer, s Scale) error {
 				for i := 0; i < ops; i++ {
 					r := rng.Uint64() % regions
 					addr := 4096 + r*stride
+					//spash:allow pmstore -- raw write-ablation microbenchmark driving the pool directly; no index invariants are involved
 					pool.Write(c, addr, buf)
 					if flush {
 						pool.Flush(c, addr, uint64(size))

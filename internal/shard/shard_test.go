@@ -1,0 +1,183 @@
+package shard_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"spash/internal/core"
+	"spash/internal/pmem"
+	"spash/internal/shard"
+)
+
+func smallPlatform() pmem.Config {
+	cfg := pmem.DefaultConfig()
+	cfg.PoolSize = 64 << 20
+	cfg.CacheSize = 2 << 20
+	return cfg
+}
+
+func key(i int) []byte {
+	k := make([]byte, 8)
+	binary.LittleEndian.PutUint64(k, uint64(i))
+	return k
+}
+
+func TestOfRouting(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		counts := make([]int, n)
+		for i := 0; i < 4096; i++ {
+			s := shard.Of(core.KeyHash(key(i)), n)
+			if s < 0 || s >= n {
+				t.Fatalf("Of routed hash to shard %d of %d", s, n)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if c == 0 {
+				t.Errorf("n=%d: shard %d received no keys", n, s)
+			}
+		}
+	}
+}
+
+func TestSplitPlatformFloor(t *testing.T) {
+	cfg := smallPlatform()
+	per := shard.SplitPlatform(cfg, 4)
+	if per.PoolSize != cfg.PoolSize/4 {
+		t.Fatalf("4-way split of %d = %d", cfg.PoolSize, per.PoolSize)
+	}
+	if per.CacheSize != cfg.CacheSize {
+		t.Fatalf("split must not divide the cache (per-socket LLC): %d", per.CacheSize)
+	}
+	tiny := cfg
+	tiny.PoolSize = 8 << 20
+	per = shard.SplitPlatform(tiny, 64)
+	if per.PoolSize < 4<<20 {
+		t.Fatalf("floor violated: %d", per.PoolSize)
+	}
+	if same := shard.SplitPlatform(cfg, 1); same != cfg {
+		t.Fatal("n=1 must return the config unchanged")
+	}
+}
+
+// TestParallelShardLifecycle opens shards in parallel, hammers each
+// from its own goroutine (the no-shared-state contract the package
+// exists for), recovers them in parallel on the same devices, and
+// checks the data survived. Run under -race this verifies that shard
+// fan-out paths share nothing mutable.
+func TestParallelShardLifecycle(t *testing.T) {
+	const n, perShard = 4, 600
+	units, err := shard.OpenAll(n, smallPlatform(), core.Config{InitialDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s, u := range units {
+		wg.Add(1)
+		go func(s int, u *shard.Unit) {
+			defer wg.Done()
+			c := u.Pool.NewCtx()
+			defer c.Release()
+			h := u.Ix.NewHandle(c)
+			defer h.Close()
+			for i := 0; i < perShard; i++ {
+				if err := h.Insert(key(s*perShard+i), key(i)); err != nil {
+					t.Errorf("shard %d insert %d: %v", s, i, err)
+					return
+				}
+			}
+		}(s, u)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	pools := make([]*pmem.Pool, n)
+	for s, u := range units {
+		u.Ctx.Release()
+		pools[s] = u.Pool
+	}
+	units, err = shard.RecoverAll(pools, core.Config{InitialDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, u := range units {
+		h := u.Ix.NewHandle(u.Ctx)
+		for i := 0; i < perShard; i++ {
+			got, ok, err := h.Search(key(s*perShard+i), nil)
+			if err != nil || !ok {
+				t.Fatalf("shard %d lost key %d after recovery (ok=%v err=%v)", s, i, ok, err)
+			}
+			if want := key(i); string(got) != string(want) {
+				t.Fatalf("shard %d key %d: got %x want %x", s, i, got, want)
+			}
+		}
+		h.Close()
+		u.Ctx.Release()
+	}
+}
+
+// TestSplitBatchPositional checks that SplitBatch partitions a mixed
+// batch by key hash and copies results back positionally.
+func TestSplitBatchPositional(t *testing.T) {
+	const n, total = 3, 900
+	units, err := shard.OpenAll(n, smallPlatform(), core.Config{InitialDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]*core.Handle, n)
+	for s, u := range units {
+		hs[s] = u.Ix.NewHandle(u.Ctx)
+	}
+	defer func() {
+		for s, u := range units {
+			hs[s].Close()
+			u.Ctx.Release()
+		}
+	}()
+
+	ops := make([]core.BatchOp, total)
+	for i := range ops {
+		ops[i] = core.BatchOp{Kind: core.OpInsert, Key: key(i), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	shard.SplitBatch(hs, ops)
+	for i, op := range ops {
+		if op.Err != nil {
+			t.Fatalf("insert %d: %v", i, op.Err)
+		}
+	}
+
+	reads := make([]core.BatchOp, total)
+	for i := range reads {
+		reads[i] = core.BatchOp{Kind: core.OpSearch, Key: key(i)}
+	}
+	shard.SplitBatch(hs, reads)
+	for i, op := range reads {
+		if op.Err != nil || !op.Found {
+			t.Fatalf("search %d: found=%v err=%v", i, op.Found, op.Err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(op.Result) != want {
+			t.Fatalf("search %d: got %q want %q", i, op.Result, want)
+		}
+	}
+}
+
+// TestParallelFirstError checks the deterministic (index-order) error
+// contract of the fan-out helper.
+func TestParallelFirstError(t *testing.T) {
+	err := shard.Parallel(8, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 3" {
+		t.Fatalf("want first error by index order (boom 3), got %v", err)
+	}
+	if err := shard.Parallel(4, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean fan-out returned %v", err)
+	}
+}
