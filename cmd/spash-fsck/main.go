@@ -7,6 +7,12 @@
 // the full structural invariant scan, and an entry-count cross-check.
 // With -repair, damaged segments are quarantined and rebuilt from
 // their salvageable entries, and the report lists every key lost.
+// With -repair-from replica an in-process replica is fed by the
+// workload (every write ships before it is acknowledged), and after
+// the local repair pass the quarantined ranges are healed from that
+// peer: keys the rebuild could only report as lost are fetched back
+// over the replication transport (read_repair section in the JSON
+// report).
 //
 // The run is reproducible: workload randomness comes from -seed and
 // media damage from -faultseed. With -report the full repair report is
@@ -24,7 +30,7 @@
 //	spash-fsck [-records 100000] [-churn 3] [-seed 1] [-mode eadr|adr]
 //	           [-crash] [-crashstep N] [-shards N]
 //	           [-checksums] [-bitflips N] [-torn N] [-poison N] [-faultseed 1]
-//	           [-repair] [-report FILE.json]
+//	           [-repair] [-repair-from replica] [-report FILE.json]
 //
 // With -shards N the database is partitioned onto N devices. Injected
 // faults (crashstep, media damage) target shard 0's device — the
@@ -44,6 +50,7 @@ import (
 
 	"spash"
 	"spash/internal/pmem"
+	"spash/internal/repl"
 )
 
 // report is the -report JSON document.
@@ -59,11 +66,12 @@ type report struct {
 		TornLines   uint64 `json:"torn_lines"`
 		PoisonLines uint64 `json:"poison_lines"`
 	} `json:"injected"`
-	Fsck      *spash.FsckReport `json:"fsck"`
-	Invariant string            `json:"invariant_error,omitempty"`
-	Misplaced int               `json:"misplaced"`
-	Entries   int               `json:"entries"`
-	Exit      int               `json:"exit"`
+	Fsck       *spash.FsckReport  `json:"fsck"`
+	ReadRepair *repl.RepairReport `json:"read_repair,omitempty"`
+	Invariant  string             `json:"invariant_error,omitempty"`
+	Misplaced  int                `json:"misplaced"`
+	Entries    int                `json:"entries"`
+	Exit       int                `json:"exit"`
 }
 
 func main() {
@@ -82,6 +90,8 @@ func main() {
 	poison := flag.Int("poison", 0, "XPLines poisoned (reads become machine checks) at the crash")
 	faultSeed := flag.Uint64("faultseed", 1, "seed for media-fault placement")
 	repair := flag.Bool("repair", false, "quarantine and rebuild damaged segments")
+	repairFrom := flag.String("repair-from", "",
+		"heal quarantine losses from a peer after -repair (only value: replica — an in-process replica the workload ships to)")
 	reportPath := flag.String("report", "", "write the repair report as JSON to this file")
 	shards := flag.Int("shards", 1, "shard count (faults target shard 0; checks cover every shard)")
 	flag.Parse()
@@ -115,6 +125,33 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	kb := make([]byte, 8)
 
+	// -repair-from replica: the workload ships every write to an
+	// in-process peer before acknowledging it, so after local repair
+	// the peer holds the authoritative copy of every quarantined range.
+	var rrep *repl.Replica
+	ins, del := s.Insert, s.Delete
+	if *repairFrom != "" {
+		if *repairFrom != "replica" {
+			fmt.Fprintf(os.Stderr, "spash-fsck: unknown -repair-from %q (want replica)\n", *repairFrom)
+			os.Exit(2)
+		}
+		ropts := opts
+		ropts.Replica = true
+		rdb, err := spash.Open(ropts)
+		if err != nil {
+			fail(err)
+		}
+		rrep, err = repl.NewReplica(rdb)
+		if err != nil {
+			fail(err)
+		}
+		prim, err := repl.NewPrimary(db, &repl.InProc{R: rrep})
+		if err != nil {
+			fail(err)
+		}
+		ins, del = prim.Insert, prim.Delete
+	}
+
 	var plan *pmem.FaultPlan
 	if *crashStep > 0 {
 		plan = &pmem.FaultPlan{CrashAtStep: *crashStep}
@@ -126,20 +163,20 @@ func main() {
 	werr := pmem.CatchCrash(func() error {
 		for i := uint64(0); i < uint64(*records); i++ {
 			binary.LittleEndian.PutUint64(kb, i)
-			if err := s.Insert(kb, kb); err != nil {
+			if err := ins(kb, kb); err != nil {
 				return err
 			}
 		}
 		for r := 0; r < *churn; r++ {
 			for i := 0; i < *records/2; i++ {
 				binary.LittleEndian.PutUint64(kb, uint64(rng.Intn(*records)))
-				if _, err := s.Delete(kb); err != nil {
+				if _, err := del(kb); err != nil {
 					return err
 				}
 			}
 			for i := 0; i < *records/2; i++ {
 				binary.LittleEndian.PutUint64(kb, uint64(rng.Intn(*records)))
-				if err := s.Insert(kb, kb); err != nil {
+				if err := ins(kb, kb); err != nil {
 					return err
 				}
 			}
@@ -245,6 +282,27 @@ func main() {
 	for i := range fsck.Faults {
 		f := &fsck.Faults[i]
 		fmt.Printf("  fault: segment %#x (prefix %#x depth %d): %s\n", f.Seg, f.Prefix, f.Depth, f.Cause)
+	}
+
+	// Replica-backed read-repair: fetch every quarantined range's
+	// authoritative contents from the peer and restore the keys the
+	// local rebuild lost. (A fresh Primary wrapper — after a crash the
+	// pre-crash one wraps the dead pool.)
+	if rrep != nil && *repair && len(fsck.Repairs) > 0 {
+		fmt.Print("read-repair from replica... ")
+		p2, err := repl.NewPrimary(db, &repl.InProc{R: rrep})
+		if err != nil {
+			fmt.Println("FAIL")
+			fail(err)
+		}
+		rr, err := p2.ReadRepair(fsck)
+		if err != nil {
+			fmt.Println("FAIL")
+			fail(err)
+		}
+		rep.ReadRepair = rr
+		fmt.Printf("%d ranges fetched (%d pairs offered), %d lost keys restored\n",
+			rr.Ranges, rr.Fetched, rr.Restored)
 	}
 
 	fmt.Print("checking structural invariants... ")

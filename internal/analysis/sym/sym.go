@@ -15,6 +15,7 @@ const (
 	PmemPath = "internal/pmem"
 	HTMPath  = "internal/htm"
 	CorePath = "internal/core"
+	RootPath = "spash"
 )
 
 // isNamed reports whether t (after pointer stripping) is the named
@@ -132,12 +133,14 @@ func IsErrorInterface(t types.Type) bool {
 
 // TypedError reports whether t (after pointer stripping) is one of the
 // repo's typed errors that must be matched with errors.Is/errors.As:
-// core.CorruptionError, core.GeometryError, pmem.AccessError.
+// core.CorruptionError, core.GeometryError, pmem.AccessError,
+// spash.ReplicationError.
 func TypedError(t types.Type) (string, bool) {
 	for _, te := range []struct{ pkg, name string }{
 		{CorePath, "CorruptionError"},
 		{CorePath, "GeometryError"},
 		{PmemPath, "AccessError"},
+		{RootPath, "ReplicationError"},
 	} {
 		if isNamed(t, te.pkg, te.name) {
 			return te.name, true

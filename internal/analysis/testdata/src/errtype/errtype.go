@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"spash"
 	"spash/internal/core"
 	"spash/internal/pmem"
 )
@@ -70,6 +71,35 @@ func (myErr) Error() string { return "my error" }
 
 func (myErr) Is(target error) bool {
 	return target == pmem.ErrPoisoned
+}
+
+// Flagged: the replication sentinels are module sentinels too — a
+// deposed primary's retry loop must match through the
+// *ReplicationError wrapper.
+func BadReplCompare(err error) bool {
+	return err == spash.ErrNotPrimary // want `use errors\.Is\(err, spash\.ErrNotPrimary\)`
+}
+
+// Allowed: errors.Is reaches the sentinel through the wrapper.
+func GoodReplCompare(err error) bool {
+	return errors.Is(err, spash.ErrReplicaLag)
+}
+
+// Flagged: %v severs the chain to a *ReplicationError (and to the
+// sentinel inside it).
+func BadReplWrap(re *spash.ReplicationError) error {
+	return fmt.Errorf("ship: %v", re) // want `ReplicationError formatted with %v: wrap with %w`
+}
+
+// Allowed: %w keeps ErrNotPrimary / ErrReplicaLag matchable.
+func GoodReplWrap(re *spash.ReplicationError) error {
+	return fmt.Errorf("ship: %w", re)
+}
+
+// Flagged: type assertion on the replication error type.
+func BadReplAssert(err error) bool {
+	_, ok := err.(*spash.ReplicationError) // want `type assertion on error value for ReplicationError`
+	return ok
 }
 
 // Allowed: a justified suppression.

@@ -78,6 +78,7 @@ func (ix *Index) triggerDouble(c *pmem.Ctx) {
 	// Collaborators may still be completing stages they claimed.
 	for p := 0; p < int(parts); p++ {
 		for atomic.LoadUint64(ds.partDonePtr(p)) != 1 {
+			ix.pool.CheckLive()
 			runtime.Gosched()
 		}
 	}
@@ -132,6 +133,7 @@ func (ix *Index) copyStage(c *pmem.Ctx, ds *doublingState, part int, collab bool
 				return
 			}
 		case htm.Explicit: // errLocked: wait for the fallback holder
+			ix.pool.CheckLive()
 			runtime.Gosched()
 		}
 	}
@@ -191,6 +193,7 @@ func (ix *Index) stopWorldResize(c *pmem.Ctx, build func(old *directory) *direct
 		if clean {
 			break
 		}
+		ix.pool.CheckLive()
 		runtime.Gosched()
 	}
 

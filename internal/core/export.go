@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"spash/internal/hash"
+	"spash/internal/pmem"
+)
+
+// Sealed-segment export: the read side of replication shipping
+// (internal/repl). A primary ships whole hash ranges — a fresh
+// replica's full sync, or the authoritative copy of a range a peer
+// quarantined — and the export contract is the same trust rule the
+// salvage path enforces: a segment's records leave the device only
+// after the segment verifies against its seal, so a replica can never
+// be seeded from silently rotten data.
+
+// rangeIntersects reports whether the hash ranges (p1,d1) and (p2,d2)
+// — each "all hashes whose top d bits equal p" — overlap. Extendible
+// ranges are nested or disjoint: they overlap iff the shallower prefix
+// is a prefix of the deeper one.
+func rangeIntersects(p1 uint64, d1 uint, p2 uint64, d2 uint) bool {
+	if d1 > d2 {
+		return p1>>(d1-d2) == p2
+	}
+	return p2>>(d2-d1) == p1
+}
+
+// ExportRange streams every live key-value pair whose hash prefix at
+// the given depth equals prefix, in segment order. Every contributing
+// segment is verified (seal, routing, record CRCs) before any of its
+// records are decoded; a segment that fails verification aborts the
+// export with a *CorruptionError — damaged ranges must be repaired
+// (Quarantine) before they can ship, never forwarded. depth 0 exports
+// the whole index. The index must be quiescent (same contract as
+// Fsck); fn's slices are only valid during the callback.
+func (ix *Index) ExportRange(c *pmem.Ctx, prefix uint64, depth uint, fn func(key, val []byte) error) error {
+	m := rawMem{ix.pool, c}
+	for i := uint64(0); i < ix.registryCap; i++ {
+		e, rok := loadTolerant(ix, c, ix.registryAddr+i*8)
+		if !rok {
+			return &CorruptionError{Seg: i * SegmentSize, Bucket: -1,
+				Cause: fmt.Errorf("registry frame unreadable: %w", pmem.ErrPoisoned)}
+		}
+		if e&regValid == 0 {
+			continue
+		}
+		seg, p, d := i*SegmentSize, regPrefix(e), regDepth(e)
+		if !rangeIntersects(p, d, prefix, depth) {
+			continue
+		}
+		if f := ix.verifySegment(c, seg, p, d); f != nil {
+			return &CorruptionError{Seg: seg, Bucket: firstBadBucket(f.BadBuckets),
+				Cause: fmt.Errorf("refusing to export unverified segment: %s", f.Cause)}
+		}
+		if err := exportSegment(m, seg, prefix, depth, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportSegment decodes one seal-verified segment's live slots and
+// feeds the pairs inside the requested range to fn. Verification has
+// already proven every occupied slot decodable and CRC-clean, so a
+// residual access fault here (a racing writer would violate the
+// quiescence contract) surfaces as a CorruptionError via the caller's
+// verify pass on the next attempt rather than a panic: reads go
+// through the tolerant decoders.
+func exportSegment(m mem, seg uint64, prefix uint64, depth uint, fn func(key, val []byte) error) error {
+	for s := 0; s < SlotsPerSegment; s++ {
+		kw := m.load(slotAddr(seg, s))
+		if !keyOccupied(kw) {
+			continue
+		}
+		key, ok := decodeSlotKeyTolerant(m, kw)
+		if !ok {
+			return &CorruptionError{Seg: seg, Bucket: bucketOf(s), Cause: ErrRecordChecksum}
+		}
+		if hash.Prefix(hashKey(key), depth) != prefix {
+			continue
+		}
+		vw := m.load(slotAddr(seg, s)+8) &^ hintMask
+		if !valueIsInline(vw) && !recordCRCOKTolerant(m, wordPayload(vw)) {
+			return &CorruptionError{Seg: seg, Bucket: bucketOf(s), Cause: ErrRecordChecksum}
+		}
+		if err := fn(key, loadValue(m, vw, nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

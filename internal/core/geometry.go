@@ -31,10 +31,12 @@ var ErrGeometry = errors.New("core: on-device geometry mismatch")
 // trusted.
 type GeometryError struct {
 	// Field names the mismatching parameter: "segment-size",
-	// "slots-per-segment", "format", or "checksums".
+	// "slots-per-segment", "format", "checksums", or "epoch" (shards
+	// recovered together carrying different promotion epochs).
 	Field string
 	// Device and Requested are the conflicting values (for
-	// "checksums": 0 = off, 1 = on).
+	// "checksums": 0 = off, 1 = on; for "epoch", Requested is shard
+	// 0's epoch).
 	Device    uint64
 	Requested uint64
 }

@@ -47,7 +47,13 @@ const (
 	// rootGeom stamps the layout geometry the image was built with
 	// (geometry.go); Recover validates it before trusting anything
 	// else on the device.
-	rootGeom   = 3
+	rootGeom = 3
+	// rootEpoch holds the replication promotion epoch (replication
+	// protocol, internal/repl): stamped 1 at format time, advanced
+	// durably by BumpEpoch when a replica is promoted to primary.
+	// Pre-epoch images read 0, which compares below every stamped
+	// epoch, so promotion fencing degrades safely.
+	rootEpoch  = 4
 	indexMagic = 0x5350415348494458 // "SPASHIDX"
 	maxDepth   = 44
 )
@@ -119,6 +125,10 @@ type Index struct {
 	lastResizeCost atomic.Int64
 	resizeEpoch    atomic.Int64
 
+	// epoch mirrors the rootEpoch word (promotion fencing; see
+	// Epoch/BumpEpoch).
+	epoch atomic.Uint64
+
 	entries atomic.Int64
 	// entriesApprox is set when a quarantine dropped an unreadable
 	// (poisoned) segment: its pre-loss occupancy was undiscoverable, so
@@ -189,9 +199,11 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 	pool.Store64(c, alloc.RootAddr(rootRegistry), regAddr)
 	pool.Store64(c, alloc.RootAddr(rootSeal), ix.sealAddr)
 	pool.Store64(c, alloc.RootAddr(rootGeom), geometryWord())
+	pool.Store64(c, alloc.RootAddr(rootEpoch), 1)
 	pool.Store64(c, alloc.RootAddr(rootMagic), indexMagic)
 	pool.Flush(c, alloc.RootAddr(0), alloc.RootWords*8)
 	pool.Fence(c)
+	ix.epoch.Store(1)
 	return ix, nil
 }
 
@@ -303,6 +315,29 @@ func (ix *Index) LoadFactor() float64 {
 // Depth returns the current global directory depth.
 func (ix *Index) Depth() uint { return ix.dir.Load().depth }
 
+// Epoch returns the promotion epoch stamped on the device: 1 on a
+// freshly formatted pool, advanced by BumpEpoch at every promotion,
+// 0 on images formatted before the epoch word existed.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
+// BumpEpoch durably advances the promotion epoch and returns the new
+// value. Replication frames are stamped with the shipping primary's
+// epoch; a replica promoted to primary bumps its epoch first, so any
+// frame a deposed primary still ships afterwards carries a stale
+// epoch and is rejected (split-brain fencing). The index must be
+// quiescent: promotion runs right after recovery, before any worker
+// session exists.
+//
+//spash:guarded promotion mutates one root word on a quiescent, freshly recovered index; no concurrent HTM domain activity exists
+func (ix *Index) BumpEpoch(c *pmem.Ctx) uint64 {
+	e := ix.epoch.Load() + 1
+	ix.pool.Store64(c, alloc.RootAddr(rootEpoch), e)
+	ix.pool.Flush(c, alloc.RootAddr(rootEpoch), 8)
+	ix.pool.Fence(c)
+	ix.epoch.Store(e)
+	return e
+}
+
 // Stats returns the operational counters.
 func (ix *Index) Stats() Stats {
 	return Stats{
@@ -339,6 +374,10 @@ func (s Stats) Add(o Stats) Stats {
 // waitResize spins until the in-progress resize completes.
 func (ix *Index) waitResize() {
 	for atomic.LoadUint64(&ix.dirGen)&1 != 0 {
+		// The resizer may have unwound at an injected power cut with
+		// the generation bit still odd; die with it instead of
+		// spinning on a resize that will never finish.
+		ix.pool.CheckLive()
 		runtime.Gosched()
 	}
 }

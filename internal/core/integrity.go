@@ -206,6 +206,11 @@ type SegmentFault struct {
 	Seg    uint64 `json:"seg"`
 	Prefix uint64 `json:"prefix"`
 	Depth  uint   `json:"depth"`
+	// Shard is the owning shard in a sharded database (stamped by
+	// spash.Session.Fsck; 0 on a bare core index). Replica read-repair
+	// needs it to fetch the authoritative range from the right peer
+	// shard.
+	Shard int `json:"shard,omitempty"`
 	// Poisoned marks an uncorrectable-media segment (or registry/seal
 	// frame); BadBuckets is the seal-mismatch mask; BadSlots counts
 	// slots failing semantic validation (routing, fingerprint, record
@@ -322,6 +327,9 @@ type QuarantineReport struct {
 	NewSeg uint64 `json:"new_seg"`
 	Prefix uint64 `json:"prefix"`
 	Depth  uint   `json:"depth"`
+	// Shard is the owning shard in a sharded database (stamped by
+	// spash.Session.Fsck; 0 on a bare core index).
+	Shard int `json:"shard,omitempty"`
 	// Salvaged entries moved to the new segment; Dropped were
 	// discarded (LostKeys lists the ones whose key bytes survived).
 	Salvaged int      `json:"salvaged"`
@@ -354,6 +362,7 @@ func (h *Handle) Quarantine(hh uint64, expectSeg uint64) (*QuarantineReport, err
 		d := ix.dir.Load()
 		_, e := ix.resolveRaw(hh)
 		if entryLocked(e) {
+			ix.pool.CheckLive()
 			runtime.Gosched()
 			continue
 		}
@@ -382,6 +391,7 @@ func (h *Handle) Quarantine(hh uint64, expectSeg uint64) (*QuarantineReport, err
 				ptr := &d.entries[base+j]
 				ix.tm.BumpStoreVol(c, ptr, entryUnlock(atomic.LoadUint64(ptr)))
 			}
+			ix.pool.CheckLive()
 			runtime.Gosched()
 			continue
 		}

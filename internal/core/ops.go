@@ -111,6 +111,7 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 			case errResizing:
 				ix.waitResizeCtx(h.c)
 			case errLocked:
+				ix.pool.CheckLive()
 				runtime.Gosched()
 			default:
 				// errSegMoved and friends: redo from preparation.
@@ -139,6 +140,7 @@ func (h *Handle) execFallback(r *req, body func(m mem, seg uint64) error) error 
 			continue
 		}
 		if entryLocked(ce) {
+			ix.pool.CheckLive()
 			runtime.Gosched()
 			continue
 		}

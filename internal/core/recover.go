@@ -75,6 +75,10 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Alloc
 		return nil, nil, &GeometryError{Field: "checksums", Device: 0, Requested: 1}
 	}
 	ix.cfg.Checksums = ix.sealAddr != 0
+	// The promotion epoch is informational here (RecoverAll checks
+	// cross-shard agreement; promotion bumps it): adopt whatever the
+	// device carries, including 0 from pre-epoch images.
+	ix.epoch.Store(pool.Load64(c, alloc.RootAddr(rootEpoch)))
 	if ix.sealAddr != 0 {
 		switch {
 		case ix.sealAddr&7 != 0:

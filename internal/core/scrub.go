@@ -91,7 +91,10 @@ func (ix *Index) StartScrub(opt ScrubOptions) *Scrubber {
 	return s
 }
 
-// Stop terminates the scrubber and returns its lifetime stats.
+// Stop terminates the scrubber and returns its lifetime stats. An
+// in-progress pass is abandoned, so a Stop issued right after
+// StartScrub may collect before the first pass verified anything; use
+// Wait first when the full walk matters.
 func (s *Scrubber) Stop() ScrubStats {
 	select {
 	case <-s.stop:
@@ -100,6 +103,13 @@ func (s *Scrubber) Stop() ScrubStats {
 	}
 	<-s.done
 	return s.stats
+}
+
+// Wait blocks until a bounded scrub (Passes > 0) has completed its
+// walks. Stop is still required to collect the stats. Waiting on an
+// unbounded scrub blocks until someone calls Stop.
+func (s *Scrubber) Wait() {
+	<-s.done
 }
 
 func (s *Scrubber) run() {
@@ -113,6 +123,9 @@ func (s *Scrubber) run() {
 		segs, corr := s.scanPass(gap)
 		s.stats.Passes++
 		s.ix.reg.Trace(obs.EvScrubPass, s.h.c.Clock(), segs, corr)
+		if s.opt.Passes > 0 && pass+1 >= s.opt.Passes {
+			return
+		}
 		select {
 		case <-s.stop:
 			return

@@ -113,18 +113,7 @@ func TestScrubCleanPoolFindsNothing(t *testing.T) {
 	ix, h := newTestIndex(t, Config{InitialDepth: 2, Checksums: true})
 	fillIntegrity(t, h, 600)
 	s := ix.StartScrub(ScrubOptions{Passes: 2, Rate: 100000, Repair: true})
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		time.Sleep(5 * time.Millisecond)
-		select {
-		case <-s.done:
-		default:
-			if time.Now().Before(deadline) {
-				continue
-			}
-		}
-		break
-	}
+	s.Wait()
 	stats := s.Stop()
 	if stats.Corruptions != 0 || stats.Quarantines != 0 {
 		t.Fatalf("healthy pool scrub found: %+v", stats)

@@ -51,6 +51,7 @@ func (ix *Index) split(h *Handle, hh uint64) (err error) {
 	for {
 		_, e := ix.resolveRaw(hh)
 		if entryLocked(e) {
+			ix.pool.CheckLive()
 			runtime.Gosched()
 			continue
 		}
@@ -195,6 +196,7 @@ func (ix *Index) split(h *Handle, hh uint64) (err error) {
 					// caller's retry will split again if still needed.
 					return nil
 				case errLocked, errResizing:
+					ix.pool.CheckLive()
 					runtime.Gosched()
 				}
 				continue
@@ -282,6 +284,7 @@ func (ix *Index) splitFallback(h *Handle, hh uint64) error {
 		d := ix.dir.Load()
 		_, e := ix.resolveRaw(hh)
 		if entryLocked(e) {
+			ix.pool.CheckLive()
 			runtime.Gosched()
 			continue
 		}
@@ -316,6 +319,7 @@ func (ix *Index) splitFallback(h *Handle, hh uint64) error {
 				ptr := &d.entries[base+j]
 				ix.tm.BumpStoreVol(c, ptr, entryUnlock(atomic.LoadUint64(ptr)))
 			}
+			ix.pool.CheckLive()
 			runtime.Gosched()
 			continue
 		}

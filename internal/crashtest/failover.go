@@ -1,0 +1,473 @@
+// Failover drills: the replication protocol put under the same
+// adversarial schedule as the single-node sweeps. A primary ships
+// every acknowledged write to an in-process replica; the seeded power
+// cut kills the primary mid-operation at every crash point of the
+// sweep; the replica is promoted and the durability oracle runs
+// against the survivor. The invariant is strict: the primary
+// acknowledges a write only after the replica accepted it, and the
+// injected crash always fires inside a local persistence primitive —
+// before the ship — so the promoted replica must hold *exactly* the
+// acknowledged map, with no in-flight ambiguity at all (stronger than
+// the single-node oracle, which must tolerate pre/post states).
+//
+// The second drill family ({bitflip,torn,poison} × read-repair) is
+// the media-fault torture of mediafault.go with a replica attached:
+// after the damaged primary is recovered and fsck has quarantined the
+// rot, replica-backed read-repair fetches the authoritative ranges
+// from the peer — and under eADR the keys PR 3's repair path could
+// only report as lost must all come back.
+package crashtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"spash"
+	"spash/internal/core"
+	"spash/internal/pmem"
+	"spash/internal/repl"
+)
+
+// FailoverTrial is the outcome of one promote-at-crash-point trial.
+type FailoverTrial struct {
+	Step  int64
+	Fired bool
+	// Steps is the total step count observed on the primary's shard-0
+	// device (meaningful when !Fired, sizing the sweep).
+	Steps int64
+	// PromoteErr is the promotion failure (must be nil: the replica is
+	// caught up by construction when the primary dies).
+	PromoteErr error
+	// Epoch is the survivor's post-promotion epoch (the primary opened
+	// at 1, so 2).
+	Epoch uint64
+	// LostAcked counts acknowledged writes missing or wrong on the
+	// promoted replica; LenMismatch flags a survivor whose live count
+	// disagrees with the acknowledged model.
+	LostAcked   int
+	LenMismatch bool
+	// InvariantErr / Misplaced are the structural checks on the
+	// survivor.
+	InvariantErr error
+	Misplaced    int
+	// FencedDeposed reports that a frame shipped by the deposed
+	// primary after promotion was rejected with ErrNotPrimary (the
+	// split-brain fence working; checked on every fired trial).
+	FencedDeposed bool
+}
+
+// Failed reports whether the trial violated the failover contract.
+func (tr *FailoverTrial) Failed() bool {
+	if !tr.Fired {
+		// The workload completed: the trial still validates that the
+		// replica converged on the full acknowledged state.
+		return tr.LostAcked > 0 || tr.LenMismatch || tr.InvariantErr != nil || tr.Misplaced > 0
+	}
+	return tr.PromoteErr != nil || tr.LostAcked > 0 || tr.LenMismatch ||
+		tr.InvariantErr != nil || tr.Misplaced > 0 || !tr.FencedDeposed
+}
+
+// Err formats the trial's violation, or nil.
+func (tr *FailoverTrial) Err() error {
+	switch {
+	case tr.PromoteErr != nil:
+		return fmt.Errorf("step %d: promotion failed: %w", tr.Step, tr.PromoteErr)
+	case tr.LostAcked > 0:
+		return fmt.Errorf("step %d: %d acknowledged writes lost after promotion", tr.Step, tr.LostAcked)
+	case tr.LenMismatch:
+		return fmt.Errorf("step %d: survivor length disagrees with acknowledged model", tr.Step)
+	case tr.InvariantErr != nil:
+		return fmt.Errorf("step %d: survivor invariants: %w", tr.Step, tr.InvariantErr)
+	case tr.Misplaced > 0:
+		return fmt.Errorf("step %d: %d misplaced records on survivor", tr.Step, tr.Misplaced)
+	case tr.Fired && !tr.FencedDeposed:
+		return fmt.Errorf("step %d: deposed primary's frame was not fenced", tr.Step)
+	}
+	return nil
+}
+
+// applyPrimaryOp drives one script op through the shipping primary.
+func applyPrimaryOp(p *repl.Primary, op *Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return p.Insert([]byte(op.Key), []byte(op.Val))
+	case OpUpdate:
+		_, err := p.Update([]byte(op.Key), []byte(op.Val))
+		return err
+	case OpDelete:
+		_, err := p.Delete([]byte(op.Key))
+		return err
+	}
+	return fmt.Errorf("crashtest: unknown op kind %d", op.Kind)
+}
+
+// RunFailoverTrial executes one crash-point trial: an n-shard primary
+// replicating to an n-shard replica, the power cut injected at
+// crashStep (1-based, counted on the primary's shard-0 device), then
+// promotion and the oracle against the survivor.
+func RunFailoverTrial(n int, script Script, crashStep int64) (FailoverTrial, error) {
+	tr := FailoverTrial{Step: crashStep}
+	opts := shardedOpts(n)
+
+	pdb, err := spash.Open(opts)
+	if err != nil {
+		return tr, err
+	}
+	ropts := opts
+	ropts.Replica = true
+	rdb, err := spash.Open(ropts)
+	if err != nil {
+		return tr, err
+	}
+	rep, err := repl.NewReplica(rdb)
+	if err != nil {
+		return tr, err
+	}
+	prim, err := repl.NewPrimary(pdb, &repl.InProc{R: rep})
+	if err != nil {
+		return tr, err
+	}
+
+	// acked is maintained only after an op fully returns — local apply
+	// AND ship — i.e. exactly the writes a client saw acknowledged.
+	acked := make(map[string]string, len(script))
+	target := pdb.Platforms()[0]
+	fp := &pmem.FaultPlan{CrashAtStep: crashStep}
+	target.ArmFault(fp)
+	werr := pmem.CatchCrash(func() error {
+		for i := range script {
+			if err := applyPrimaryOp(prim, &script[i]); err != nil {
+				return fmt.Errorf("op %d (%v %q): %w", i, script[i].Kind, script[i].Key, err)
+			}
+			applyModel(acked, &script[i])
+		}
+		return nil
+	})
+	target.DisarmFault()
+	tr.Fired = fp.Fired()
+	tr.Steps = fp.Steps()
+	if werr != nil && !errors.Is(werr, pmem.ErrInjectedCrash) {
+		return tr, werr
+	}
+
+	if tr.Fired {
+		// The primary is dead. Promote the survivor; nothing on the
+		// replica's devices was ever touched by the fault plan.
+		epoch, perr := rep.Promote()
+		if perr != nil {
+			tr.PromoteErr = perr
+			return tr, nil
+		}
+		tr.Epoch = epoch
+		// The deposed primary limps back and ships one more frame (built
+		// by hand — its own pool is dead — carrying its stale epoch 1):
+		// the promoted node must reject it with ErrNotPrimary.
+		ferr := (&repl.InProc{R: rep}).Ship(&repl.Frame{
+			Kind: repl.FrameRecord, Epoch: 1, Seq: uint64(fp.Steps()),
+			Shard: 0, Op: repl.RecInsert,
+			Key: []byte("deposed"), Val: []byte("write"),
+		})
+		tr.FencedDeposed = errors.Is(ferr, spash.ErrNotPrimary)
+	}
+
+	s := rdb.Session()
+	defer s.Close()
+	// No in-flight tolerance (inFlight = -1): the cut fired inside a
+	// local primitive on the primary, strictly before the ship, so the
+	// survivor holds exactly the acknowledged map.
+	tr.LostAcked, _ = checkSessionOracle(s, script, acked, -1)
+	tr.LenMismatch = rdb.Len() != len(acked)
+	tr.InvariantErr = checkShardInvariants(rdb, s)
+	tr.Misplaced = countMisplaced(rdb, s)
+	return tr, nil
+}
+
+// FailoverResult aggregates a failover sweep.
+type FailoverResult struct {
+	Shards     int
+	TotalSteps int64
+	Trials     int
+	Failures   []FailoverTrial
+}
+
+// FailoverSweep enumerates crash steps 1, 1+stride, … killing the
+// primary at each, until a trial completes without firing (which
+// still validates replica convergence).
+func FailoverSweep(n int, script Script, stride int64) (FailoverResult, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	res := FailoverResult{Shards: n}
+	for step := int64(1); ; step += stride {
+		tr, err := RunFailoverTrial(n, script, step)
+		if err != nil {
+			return res, fmt.Errorf("failover %dsh step %d: %w", n, step, err)
+		}
+		res.Trials++
+		if tr.Failed() {
+			res.Failures = append(res.Failures, tr)
+		}
+		if !tr.Fired {
+			res.TotalSteps = tr.Steps
+			return res, nil
+		}
+	}
+}
+
+// ReadRepairTrialResult is the outcome of one media-damage +
+// replica-backed read-repair trial.
+type ReadRepairTrialResult struct {
+	Arm  MediaArm
+	Seed uint64
+	// Injected counts the faults actually applied at the crash.
+	Injected pmem.Stats
+	// RecoverErr is the typed recovery failure on the damaged primary
+	// (tolerated under ADR, a violation under eADR — same contract as
+	// the media trials).
+	RecoverErr error
+	// FsckExit / Unrecoverable / LostListed describe the local repair
+	// pass: exit code, segments repair gave up on, and keys the repair
+	// report listed as lost (what PR 3 could do alone).
+	FsckExit      int
+	Unrecoverable int
+	LostListed    int
+	// RangesFetched / KeysRestored describe the read-repair pass over
+	// the transport.
+	RangesFetched int
+	KeysRestored  int
+	// SilentWrong counts Gets returning a value the key never held —
+	// unforgivable in every arm. StillLost counts acknowledged keys
+	// absent after read-repair: under eADR it must be zero (every
+	// quarantine loss is restorable from the peer); under ADR the
+	// crash itself legally rolled back unflushed acknowledged writes.
+	SilentWrong int
+	StillLost   int
+	// Structural checks on the repaired primary.
+	InvariantErr error
+	Misplaced    int
+}
+
+// Failed reports whether the trial violated the read-repair contract.
+func (tr *ReadRepairTrialResult) Failed() bool {
+	if tr.RecoverErr != nil {
+		return tr.Arm.Mode == pmem.EADR
+	}
+	return tr.SilentWrong > 0 || tr.Unrecoverable > 0 || tr.InvariantErr != nil ||
+		tr.Misplaced > 0 || (tr.Arm.Mode == pmem.EADR && tr.StillLost > 0)
+}
+
+// Err formats the trial's violation, or nil.
+func (tr *ReadRepairTrialResult) Err() error {
+	switch {
+	case tr.RecoverErr != nil && tr.Arm.Mode == pmem.EADR:
+		return fmt.Errorf("seed %d: recovery failed: %w", tr.Seed, tr.RecoverErr)
+	case tr.SilentWrong > 0:
+		return fmt.Errorf("seed %d: %d silently wrong values", tr.Seed, tr.SilentWrong)
+	case tr.Unrecoverable > 0:
+		return fmt.Errorf("seed %d: %d segments unrecoverable (exit %d)", tr.Seed, tr.Unrecoverable, tr.FsckExit)
+	case tr.InvariantErr != nil:
+		return fmt.Errorf("seed %d: invariants after read-repair: %w", tr.Seed, tr.InvariantErr)
+	case tr.Misplaced > 0:
+		return fmt.Errorf("seed %d: %d misplaced records after read-repair", tr.Seed, tr.Misplaced)
+	case tr.Arm.Mode == pmem.EADR && tr.StillLost > 0:
+		return fmt.Errorf("seed %d: %d acknowledged keys still lost after replica read-repair", tr.Seed, tr.StillLost)
+	}
+	return nil
+}
+
+// readRepairShards is the shard count of the read-repair matrix: two
+// shards keep the per-shard report stamping honest without inflating
+// trial cost.
+const readRepairShards = 2
+
+// readRepairOpts is the trial configuration: checksums on (the oracle
+// tests detection) under the arm's persistence mode.
+func readRepairOpts(mode pmem.Mode) spash.Options {
+	return spash.Options{
+		Shards: readRepairShards,
+		Platform: pmem.Config{
+			PoolSize:  readRepairShards * (4 << 20),
+			CacheSize: 64 << 10,
+			Mode:      mode,
+		},
+		Index: core.Config{InitialDepth: 1, Concurrency: core.ModeHTM, Checksums: true},
+	}
+}
+
+// RunReadRepairTrial runs one cell of the {bitflip,torn,poison} ×
+// read-repair matrix: seed a replica with a sealed-segment full sync
+// partway through the script, ship the rest as records, crash the
+// primary with the arm's media plan armed on shard 0, recover, fsck
+// -repair locally, then heal the quarantine losses from the replica
+// over the transport and hold the oracle.
+func RunReadRepairTrial(arm MediaArm, script Script, seed uint64) (ReadRepairTrialResult, error) {
+	tr := ReadRepairTrialResult{Arm: arm, Seed: seed}
+	opts := readRepairOpts(arm.Mode)
+
+	pdb, err := spash.Open(opts)
+	if err != nil {
+		return tr, err
+	}
+	ropts := opts
+	ropts.Replica = true
+	// The replica models a healthy peer in its own fault domain: it
+	// takes no crash in this trial, so its contents are exactly the
+	// acknowledged stream regardless of mode.
+	rdb, err := spash.Open(ropts)
+	if err != nil {
+		return tr, err
+	}
+	rep, err := repl.NewReplica(rdb)
+	if err != nil {
+		return tr, err
+	}
+	prim, err := repl.NewPrimary(pdb, &repl.InProc{R: rep})
+	if err != nil {
+		return tr, err
+	}
+
+	acked := make(map[string]string, len(script))
+	history := make(map[string][]string, len(script))
+	track := func(op *Op) {
+		applyModel(acked, op)
+		if v, ok := acked[op.Key]; ok {
+			history[op.Key] = append(history[op.Key], v)
+		}
+	}
+
+	// Phase A: the first quarter of the script runs unshipped, then a
+	// sealed-segment full sync seeds the replica — the bulk-shipping
+	// path. Phase B ships record by record.
+	cut := len(script) / 4
+	s := prim.Session()
+	for i := 0; i < cut; i++ {
+		if err := applySessionOp(s, &script[i]); err != nil {
+			return tr, fmt.Errorf("op %d: %w", i, err)
+		}
+		track(&script[i])
+	}
+	if _, err := prim.FullSync(); err != nil {
+		return tr, fmt.Errorf("full sync: %w", err)
+	}
+	for i := cut; i < len(script); i++ {
+		if err := applyPrimaryOp(prim, &script[i]); err != nil {
+			return tr, fmt.Errorf("op %d: %w", i, err)
+		}
+		track(&script[i])
+	}
+
+	// Crash the primary with the media plan armed on shard 0. The torn
+	// arm must not scan frames first (the scan's cache traffic would
+	// write back the dirty lines the tear consumes).
+	var frames []uint64
+	if arm.Fault != FaultTorn {
+		frames = pdb.Indexes()[0].SegmentAddrs(s.ShardCtx(0))
+	}
+	mp := mediaPlan(arm, seed, frames)
+	platforms := pdb.Platforms()
+	platforms[0].ArmMediaFault(mp)
+	pdb.Crash()
+	platforms[0].DisarmMediaFault()
+	tr.Injected = mp.Injected()
+
+	pdb2, rerr := spash.RecoverAll(platforms, opts)
+	if rerr != nil {
+		tr.RecoverErr = rerr
+		return tr, nil
+	}
+	s2 := pdb2.Session()
+	defer s2.Close()
+
+	universe := make(map[string]struct{}, len(script))
+	for i := range script {
+		universe[script[i].Key] = struct{}{}
+	}
+	okValue := func(key string, got []byte) bool {
+		if arm.Mode == pmem.EADR {
+			want, present := acked[key]
+			return present && bytes.Equal(got, []byte(want))
+		}
+		for _, v := range history[key] {
+			if bytes.Equal(got, []byte(v)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Local repair (what PR 3 could do alone), then replica-backed
+	// read-repair over the transport.
+	frep, ferr := s2.Fsck(true)
+	if ferr != nil {
+		return tr, fmt.Errorf("seed %d: fsck: %w", seed, ferr)
+	}
+	tr.FsckExit = frep.ExitCode()
+	tr.Unrecoverable = len(frep.Failed)
+	tr.LostListed = len(frep.LostKeys())
+
+	prim2, err := repl.NewPrimary(pdb2, &repl.InProc{R: rep})
+	if err != nil {
+		return tr, err
+	}
+	defer prim2.Close()
+	rr, err := prim2.ReadRepair(frep)
+	if err != nil {
+		return tr, fmt.Errorf("seed %d: read-repair: %w", seed, err)
+	}
+	tr.RangesFetched = rr.Ranges
+	tr.KeysRestored = rr.Restored
+
+	tr.InvariantErr = checkShardInvariants(pdb2, s2)
+	tr.Misplaced = countMisplaced(pdb2, s2)
+
+	for k := range universe {
+		got, found, serr := s2.Get([]byte(k), nil)
+		switch {
+		case serr != nil:
+			// Post-repair reads must be clean; surface as still-lost
+			// (eADR fails the trial) rather than a separate counter.
+			tr.StillLost++
+		case found:
+			if !okValue(k, got) {
+				tr.SilentWrong++
+			}
+		default:
+			if _, present := acked[k]; present {
+				tr.StillLost++
+			}
+		}
+	}
+	return tr, nil
+}
+
+// ReadRepairResult aggregates one arm of the read-repair matrix.
+type ReadRepairResult struct {
+	Arm           MediaArm
+	Trials        int
+	Injected      pmem.Stats
+	LostListed    int
+	RangesFetched int
+	KeysRestored  int
+	Failures      []ReadRepairTrialResult
+}
+
+// ReadRepairSweep runs one read-repair trial per seed under arm.
+func ReadRepairSweep(arm MediaArm, script Script, seeds []uint64) (ReadRepairResult, error) {
+	res := ReadRepairResult{Arm: arm}
+	for _, seed := range seeds {
+		tr, err := RunReadRepairTrial(arm, script, seed)
+		if err != nil {
+			return res, fmt.Errorf("%s seed %d: %w", arm.Name, seed, err)
+		}
+		res.Trials++
+		res.Injected = res.Injected.Add(tr.Injected)
+		res.LostListed += tr.LostListed
+		res.RangesFetched += tr.RangesFetched
+		res.KeysRestored += tr.KeysRestored
+		if tr.Failed() {
+			res.Failures = append(res.Failures, tr)
+		}
+	}
+	return res, nil
+}

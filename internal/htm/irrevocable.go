@@ -63,6 +63,9 @@ func (it *ITxn) acquire(key uintptr) int {
 		if v&1 == 0 && s.word.CompareAndSwap(v, v|1) {
 			break
 		}
+		// The holder may have unwound at an injected power cut without
+		// releasing; observe the cut rather than spinning forever.
+		it.pool.CheckLive()
 		runtime.Gosched()
 	}
 	it.held = append(it.held, s)

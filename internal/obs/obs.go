@@ -80,6 +80,19 @@ const (
 	CScrubSegments
 	CScrubCorruptions
 	CQuarantines
+	// CReplShipRecords / CReplShipSegments count committed op records
+	// and sealed-segment ranges shipped by a replication primary
+	// (internal/repl); CReplApplyRecords / CReplApplySegments count
+	// the frames applied on the replica side.
+	CReplShipRecords
+	CReplShipSegments
+	CReplApplyRecords
+	CReplApplySegments
+	// CReplFetches counts authoritative range fetches served to a
+	// peer; CReplRepairKeys counts keys restored locally by replica
+	// read-repair.
+	CReplFetches
+	CReplRepairKeys
 
 	numCounters
 )
@@ -110,6 +123,13 @@ var CounterNames = [...]string{
 	CScrubSegments:    "scrub_segments",
 	CScrubCorruptions: "scrub_corruptions",
 	CQuarantines:      "quarantines",
+
+	CReplShipRecords:   "repl_ship_records",
+	CReplShipSegments:  "repl_ship_segments",
+	CReplApplyRecords:  "repl_apply_records",
+	CReplApplySegments: "repl_apply_segments",
+	CReplFetches:       "repl_fetches",
+	CReplRepairKeys:    "repl_repair_keys",
 }
 
 // Hist identifies one bounded-value histogram.

@@ -35,6 +35,11 @@ type Ctx struct {
 	// fault injector's failure-atomic sections (fault.go).
 	opDepth     int
 	atomicDepth int
+	// atomicPending is set while BeginAtomic has registered an
+	// outermost section on the pool but not yet passed its counted
+	// step: a crash firing on that very step must not drain the
+	// firing worker's own registration (fault.go).
+	atomicPending bool
 
 	stats Stats
 }

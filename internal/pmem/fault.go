@@ -3,6 +3,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -32,6 +33,16 @@ import (
 // primitive (from any context) unwinds the same way, so concurrent
 // operations cannot mutate the post-crash image; DisarmFault re-enables
 // the pool for recovery.
+//
+// Concurrency. The cut is a single instant across every worker, but
+// two cases need care. (1) A failure-atomic section open on another
+// worker when the cut fires is drained first — its primitives complete
+// and the whole section lands before the snapshot — because real RTM
+// retires a commit atomically; the cut serialises before or after a
+// concurrent commit, never inside it. (2) Workers spinning on volatile
+// state (a stripe lock, a directory lock bit, a resize generation)
+// whose holder unwound at the cut would otherwise spin forever; such
+// loops poll CheckLive so they observe the power loss and unwind too.
 
 // ErrInjectedCrash is returned by CatchCrash when an armed FaultPlan
 // fired inside the guarded function.
@@ -97,19 +108,50 @@ func (p *Pool) step(c *Ctx) {
 	if fp == nil {
 		return
 	}
+	if c.atomicDepth > 0 {
+		// Inside a failure-atomic section (counted at its start). The
+		// section's primitives never observe the cut — not even one
+		// fired concurrently by another worker: the firing context
+		// drains open sections before it snapshots, so a commit
+		// publish retires whole or not at all.
+		return
+	}
 	if fp.fired.Load() {
 		// The power is already off: nothing executes after the cut.
 		panic(crashSignal{})
 	}
-	if c.atomicDepth > 0 {
-		return // inside a failure-atomic section; counted at its start
-	}
 	if n := fp.count.Add(1); fp.CrashAtStep > 0 && n == fp.CrashAtStep {
 		fp.fired.Store(true)
+		// Let in-flight failure-atomic sections finish publishing
+		// before the cut takes effect: hardware RTM retires a commit
+		// atomically, so a cut racing with a commit on another core
+		// serialises after it, never inside it. fired is already set,
+		// so no new section (or primitive) can start. A section whose
+		// own counted step fired (atomicPending) is the victim, not a
+		// survivor — never wait on it.
+		self := int64(0)
+		if c.atomicPending {
+			self = 1
+		}
+		for p.atomicOpen.Load() > self {
+			runtime.Gosched()
+		}
 		mp := p.media.Load()
 		fp.lost.Store(int64(p.cache.crash(p, p.cfg.Mode, mp)))
 		p.xpb.reset()
 		p.applyMediaFaults(mp)
+		panic(crashSignal{})
+	}
+}
+
+// CheckLive panics with the crash sentinel if an armed fault has
+// fired. Loads are not counted steps, and spin loops waiting on
+// volatile state count none either — a worker parked on a lock whose
+// holder will never release it (because the holder unwound at the
+// cut) must poll CheckLive so it observes the power loss instead of
+// spinning forever.
+func (p *Pool) CheckLive() {
+	if fp := p.fault.Load(); fp != nil && fp.fired.Load() {
 		panic(crashSignal{})
 	}
 }
@@ -122,6 +164,23 @@ func (p *Pool) step(c *Ctx) {
 // commit publish, mirroring hardware RTM's all-or-nothing commit.
 // Sections may nest.
 func (p *Pool) BeginAtomic(c *Ctx) {
+	if c.atomicDepth == 0 {
+		// Register before the counted step: once past its step the
+		// section is visible to a concurrently-firing fault, which
+		// drains it before snapshotting (see step). If the crash
+		// lands on the section's own step, unwind the registration.
+		p.atomicOpen.Add(1)
+		c.atomicPending = true
+		defer func() {
+			c.atomicPending = false
+			if r := recover(); r != nil {
+				if c.atomicDepth == 0 {
+					p.atomicOpen.Add(-1)
+				}
+				panic(r)
+			}
+		}()
+	}
 	p.step(c)
 	c.atomicDepth++
 }
@@ -132,6 +191,9 @@ func (p *Pool) EndAtomic(c *Ctx) {
 		panic("pmem: EndAtomic without BeginAtomic")
 	}
 	c.atomicDepth--
+	if c.atomicDepth == 0 {
+		p.atomicOpen.Add(-1)
+	}
 }
 
 // CatchCrash runs fn, converting an injected-crash unwind into

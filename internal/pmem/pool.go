@@ -27,9 +27,13 @@ type Pool struct {
 	// fault is the armed crash-injection plan (fault.go); inFlight
 	// counts operations currently executing between Ctx.BeginOp and
 	// Ctx.EndOp, so Crash can refuse non-quiescent power cuts that do
-	// not go through a FaultPlan.
-	fault    atomic.Pointer[FaultPlan]
-	inFlight atomic.Int64
+	// not go through a FaultPlan. atomicOpen counts failure-atomic
+	// sections currently open across all workers: a firing fault
+	// drains them before snapshotting, so a concurrent cut can never
+	// tear a transactional commit publish.
+	fault      atomic.Pointer[FaultPlan]
+	inFlight   atomic.Int64
+	atomicOpen atomic.Int64
 
 	// media is the armed media-fault plan (media.go); poison is the
 	// set of poisoned XPLine bases, with poisonN as its lock-free
@@ -333,6 +337,11 @@ func (p *Pool) Crash() int {
 	lost := p.cache.crash(p, p.cfg.Mode, mp)
 	p.xpb.reset()
 	p.applyMediaFaults(mp)
+	if lost > 0 {
+		p.mu.Lock()
+		p.injected.CrashLostLines += uint64(lost)
+		p.mu.Unlock()
+	}
 	return lost
 }
 

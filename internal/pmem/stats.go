@@ -38,6 +38,10 @@ type Stats struct {
 	// PoisonReads counts reads that hit a poisoned XPLine and surfaced
 	// an AccessError instead of data (the simulated machine checks).
 	PoisonReads uint64
+	// CrashLostLines counts dirty cachelines rolled back by Crash
+	// (ADR mode; always 0 under eADR). Per-device, so a sharded DB's
+	// per-shard snapshots expose which shard lost state.
+	CrashLostLines uint64
 }
 
 // MediaReadBytes returns the bytes read from PM media, at XPLine
@@ -68,6 +72,7 @@ func (s Stats) Sub(o Stats) Stats {
 		MediaTornLines:     s.MediaTornLines - o.MediaTornLines,
 		MediaPoisonedLines: s.MediaPoisonedLines - o.MediaPoisonedLines,
 		PoisonReads:        s.PoisonReads - o.PoisonReads,
+		CrashLostLines:     s.CrashLostLines - o.CrashLostLines,
 	}
 }
 
@@ -89,5 +94,6 @@ func (s Stats) Add(o Stats) Stats {
 		MediaTornLines:     s.MediaTornLines + o.MediaTornLines,
 		MediaPoisonedLines: s.MediaPoisonedLines + o.MediaPoisonedLines,
 		PoisonReads:        s.PoisonReads + o.PoisonReads,
+		CrashLostLines:     s.CrashLostLines + o.CrashLostLines,
 	}
 }

@@ -1,0 +1,468 @@
+// Package repl replicates a spash database to a second node: a
+// Primary applies client writes locally and ships them — committed
+// op records in steady state, seal-verified segment ranges for bulk
+// seeding — to a Replica over a Transport, and a promotion protocol
+// turns the replica into the primary when the original dies.
+//
+// The paper's persistent-cache durability guarantee ends at the
+// machine boundary: eADR makes visibility imply durability on one
+// node, and this package carries the acknowledged state to a second
+// fault domain. The shipping discipline mirrors the single-node trust
+// rules — a segment range leaves a device only after it verifies
+// against its seals (core.Index.ExportRange), and a replica's devices
+// are mutated only through the ordinary crash-consistent operation
+// paths, so a replica image is at every instant something
+// spash.RecoverAll can reopen (the failover drills in
+// internal/crashtest promote mid-crash-sweep and hold the durability
+// oracle against the survivor).
+//
+// Split-brain fencing is the promotion epoch stamped into every
+// shard's pool geometry: frames carry the shipping primary's epoch,
+// promotion durably bumps the replica's epoch before the write fence
+// drops, and a deposed primary's later frames arrive with a stale
+// epoch and fail apply with spash.ErrNotPrimary.
+//
+// The Transport is in-process today; the interface is shaped so a
+// future spash-serve wire layer can slot in (frames and fetch
+// requests are plain value types with no shared-memory hooks).
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spash"
+	"spash/internal/obs"
+)
+
+// KV is one shipped key-value pair.
+type KV struct {
+	Key []byte `json:"key"`
+	Val []byte `json:"val"`
+}
+
+// FrameKind discriminates replication messages.
+type FrameKind int
+
+const (
+	// FrameRecord ships one committed client operation.
+	FrameRecord FrameKind = iota
+	// FrameSegment ships a seal-verified segment range (bulk seeding:
+	// full sync of a fresh replica, or re-seeding after a rejoin).
+	FrameSegment
+)
+
+// RecOp is the operation of a FrameRecord.
+type RecOp int
+
+const (
+	RecInsert RecOp = iota
+	RecUpdate
+	RecDelete
+)
+
+// Frame is one replication message. Every frame carries the shipping
+// primary's promotion epoch (fencing) and a per-primary sequence
+// number (gap detection).
+type Frame struct {
+	Kind  FrameKind
+	Epoch uint64
+	Seq   uint64
+	// Shard is the owning shard (same shard layout on both nodes; the
+	// key routing is derived from the key hash, so it agrees by
+	// construction).
+	Shard int
+
+	// FrameRecord payload.
+	Op  RecOp
+	Key []byte
+	Val []byte
+
+	// FrameSegment payload: every live pair of the (Prefix, Depth)
+	// hash range. Depth 0 is the whole shard.
+	Prefix uint64
+	Depth  uint
+	KVs    []KV
+}
+
+// FetchReq asks a peer for the authoritative live contents of one
+// hash range (replica-backed read-repair).
+type FetchReq struct {
+	Shard  int
+	Prefix uint64
+	Depth  uint
+}
+
+// Transport carries frames to, and range fetches from, the peer.
+// Ship must be synchronous: it returns only after the peer accepted
+// (or rejected) the frame, so a nil return means the write is on both
+// nodes. A wire implementation would put acknowledgement latency
+// here.
+type Transport interface {
+	Ship(f *Frame) error
+	Fetch(req FetchReq) ([]KV, error)
+}
+
+// InProc is the in-process Transport: frames apply synchronously to a
+// Replica in the same address space. The unit of the failover drills.
+type InProc struct {
+	R *Replica
+}
+
+func (t *InProc) Ship(f *Frame) error              { return t.R.Apply(f) }
+func (t *InProc) Fetch(req FetchReq) ([]KV, error) { return t.R.Serve(req) }
+
+// Primary wraps a primary-role DB with shipping: every write applies
+// locally first and then ships to the peer before it is acknowledged.
+// Like the Session it wraps, a Primary is single-worker state — one
+// per goroutine.
+type Primary struct {
+	db  *spash.DB
+	s   *spash.Session
+	t   Transport
+	seq uint64
+}
+
+// NewPrimary wraps db (which must hold the primary role) for shipping
+// over t.
+func NewPrimary(db *spash.DB, t Transport) (*Primary, error) {
+	if db.IsReplica() {
+		return nil, &spash.ReplicationError{Op: "new-primary", Shard: -1,
+			Epoch: db.Epoch(), Err: spash.ErrNotPrimary}
+	}
+	return &Primary{db: db, s: db.Session(), t: t}, nil
+}
+
+// DB returns the wrapped database.
+func (p *Primary) DB() *spash.DB { return p.db }
+
+// Session returns the primary's local session (reads are local-only;
+// they never touch the transport).
+func (p *Primary) Session() *spash.Session { return p.s }
+
+// Close releases the primary's session (the DB stays open).
+func (p *Primary) Close() { p.s.Close() }
+
+// Get reads locally (primary reads never consult the peer).
+func (p *Primary) Get(key, dst []byte) ([]byte, bool, error) {
+	return p.s.Get(key, dst)
+}
+
+// Insert applies the upsert locally, then ships it. The write is
+// acknowledged (nil error) only once it is on both nodes.
+func (p *Primary) Insert(key, val []byte) error {
+	if err := p.s.Insert(key, val); err != nil {
+		return err
+	}
+	return p.shipRecord(RecInsert, key, val)
+}
+
+// Update applies the update locally, then ships it (as an upsert —
+// the replica converges on the primary's post-state either way).
+// A miss is not shipped.
+func (p *Primary) Update(key, val []byte) (bool, error) {
+	found, err := p.s.Update(key, val)
+	if err != nil || !found {
+		return found, err
+	}
+	return true, p.shipRecord(RecUpdate, key, val)
+}
+
+// Delete applies the delete locally, then ships it. A miss is not
+// shipped.
+func (p *Primary) Delete(key []byte) (bool, error) {
+	found, err := p.s.Delete(key)
+	if err != nil || !found {
+		return found, err
+	}
+	return true, p.shipRecord(RecDelete, key, nil)
+}
+
+func (p *Primary) shipRecord(op RecOp, key, val []byte) error {
+	sh := spash.ShardOf(key, p.db.Shards())
+	p.seq++
+	f := &Frame{Kind: FrameRecord, Epoch: p.db.Epoch(), Seq: p.seq,
+		Shard: sh, Op: op, Key: key, Val: val}
+	if err := p.t.Ship(f); err != nil {
+		return fmt.Errorf("repl: shipping record: %w", err)
+	}
+	p.db.Indexes()[sh].Obs().Inc(obs.CReplShipRecords)
+	return nil
+}
+
+// FullSync ships every shard's full live contents as one seal-verified
+// segment-range frame per shard, seeding a fresh (empty) replica.
+// The primary must be quiescent for the export walk (same contract as
+// Fsck). Returns the number of pairs shipped.
+func (p *Primary) FullSync() (int, error) {
+	shipped := 0
+	for i, ix := range p.db.Indexes() {
+		kvs, err := exportRange(p.db, i, 0, 0)
+		if err != nil {
+			return shipped, &spash.ReplicationError{Op: "full-sync", Shard: i,
+				Epoch: p.db.Epoch(), Err: err}
+		}
+		p.seq++
+		f := &Frame{Kind: FrameSegment, Epoch: p.db.Epoch(), Seq: p.seq,
+			Shard: i, Prefix: 0, Depth: 0, KVs: kvs}
+		if err := p.t.Ship(f); err != nil {
+			return shipped, fmt.Errorf("repl: shipping segment range: %w", err)
+		}
+		ix.Obs().Inc(obs.CReplShipSegments)
+		shipped += len(kvs)
+	}
+	return shipped, nil
+}
+
+// RepairReport tallies one ReadRepair pass.
+type RepairReport struct {
+	// Ranges is the number of quarantined ranges fetched from the
+	// peer; Fetched the pairs the peer returned; Restored the pairs
+	// that were missing locally and were re-inserted.
+	Ranges   int `json:"ranges"`
+	Fetched  int `json:"fetched"`
+	Restored int `json:"restored"`
+}
+
+// ReadRepair heals the losses of a local repair pass from the peer:
+// for every quarantine in the fsck report it fetches the range's
+// authoritative contents over the transport and re-inserts the pairs
+// that are missing locally. Keys the quarantine salvaged (or that a
+// later write replaced) are left alone — the local survivor wins; only
+// absent keys are restored, so the pass is idempotent. Run it after
+// Session.Fsck(true) on a quiescent primary.
+func (p *Primary) ReadRepair(rep *spash.FsckReport) (*RepairReport, error) {
+	out := &RepairReport{}
+	for i := range rep.Repairs {
+		q := &rep.Repairs[i]
+		kvs, err := p.t.Fetch(FetchReq{Shard: q.Shard, Prefix: q.Prefix, Depth: q.Depth})
+		if err != nil {
+			return out, &spash.ReplicationError{Op: "fetch", Shard: q.Shard,
+				Epoch: p.db.Epoch(), Err: err}
+		}
+		out.Ranges++
+		out.Fetched += len(kvs)
+		restored := int64(0)
+		for _, kv := range kvs {
+			if _, found, gerr := p.s.Get(kv.Key, nil); gerr == nil && found {
+				continue
+			}
+			if ierr := p.s.Insert(kv.Key, kv.Val); ierr != nil {
+				return out, fmt.Errorf("repl: restoring key: %w", ierr)
+			}
+			out.Restored++
+			restored++
+		}
+		p.db.Indexes()[q.Shard].Obs().Add(obs.CReplRepairKeys, restored)
+	}
+	return out, nil
+}
+
+// Replica wraps a replica-role DB with the apply side of the
+// protocol. All entry points (Apply, Serve, Pause/Resume, Promote)
+// are serialised by one mutex: apply order is ship order.
+type Replica struct {
+	mu     sync.Mutex
+	db     *spash.DB
+	s      *spash.Session // applier session (write-fence exempt)
+	next   uint64         // last applied (or buffered) sequence number
+	paused bool
+	buf    []*Frame
+}
+
+// NewReplica wraps db, which must hold the replica role
+// (spash.Options.Replica).
+func NewReplica(db *spash.DB) (*Replica, error) {
+	if !db.IsReplica() {
+		return nil, &spash.ReplicationError{Op: "new-replica", Shard: -1,
+			Epoch: db.Epoch(), Err: errors.New("db holds the primary role")}
+	}
+	return &Replica{db: db, s: db.ApplierSession()}, nil
+}
+
+// DB returns the wrapped database (reads via its ordinary Sessions).
+func (r *Replica) DB() *spash.DB { return r.db }
+
+// Close releases the applier session (the DB stays open).
+func (r *Replica) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.Close()
+}
+
+// Pause buffers incoming frames instead of applying them (models a
+// slow or stalled applier; the buffered frames are the replica's lag).
+func (r *Replica) Pause() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = true
+}
+
+// Resume drains the buffered frames through the apply path and stops
+// buffering.
+func (r *Replica) Resume() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = false
+	buf := r.buf
+	r.buf = nil
+	for _, f := range buf {
+		if err := r.applyLocked(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lag returns the number of shipped frames not yet applied.
+func (r *Replica) Lag() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Apply ingests one frame: epoch fencing first, sequence-gap check,
+// then the payload goes through the ordinary crash-consistent
+// operation paths of the applier session — never a raw image install,
+// so the replica's devices are recoverable at every instant.
+func (r *Replica) Apply(f *Frame) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.db.IsReplica() {
+		// Promoted: this node IS the primary now; whoever is still
+		// shipping lost the race.
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(), Err: spash.ErrNotPrimary}
+	}
+	if f.Epoch < r.db.Epoch() {
+		// Stale epoch: the sender was deposed by a promotion it has
+		// not observed. Fencing, not transport failure.
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(), Err: spash.ErrNotPrimary}
+	}
+	if f.Seq != r.next+1 {
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(),
+			Err:   fmt.Errorf("sequence gap (want %d, got %d): %w", r.next+1, f.Seq, spash.ErrReplicaLag)}
+	}
+	r.next = f.Seq
+	if r.paused {
+		r.buf = append(r.buf, f)
+		return nil
+	}
+	return r.applyLocked(f)
+}
+
+func (r *Replica) applyLocked(f *Frame) error {
+	ix := r.db.Indexes()[f.Shard]
+	switch f.Kind {
+	case FrameRecord:
+		switch f.Op {
+		case RecInsert, RecUpdate:
+			if err := r.s.Insert(f.Key, f.Val); err != nil {
+				return fmt.Errorf("repl: applying record: %w", err)
+			}
+		case RecDelete:
+			if _, err := r.s.Delete(f.Key); err != nil {
+				return fmt.Errorf("repl: applying delete: %w", err)
+			}
+		default:
+			return fmt.Errorf("repl: unknown record op %d", int(f.Op))
+		}
+		ix.Obs().Inc(obs.CReplApplyRecords)
+		return nil
+	case FrameSegment:
+		for _, kv := range f.KVs {
+			if err := r.s.Insert(kv.Key, kv.Val); err != nil {
+				return fmt.Errorf("repl: applying segment range: %w", err)
+			}
+		}
+		ix.Obs().Inc(obs.CReplApplySegments)
+		return nil
+	}
+	return fmt.Errorf("repl: unknown frame kind %d", int(f.Kind))
+}
+
+// Serve answers a peer's range fetch with the authoritative live
+// contents of the (Shard, Prefix, Depth) range, exported segment by
+// seal-verified segment. The replica should be quiescent for the walk
+// (read-repair runs inside a repair window).
+func (r *Replica) Serve(req FetchReq) ([]KV, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if req.Shard < 0 || req.Shard >= r.db.Shards() {
+		return nil, &spash.ReplicationError{Op: "fetch", Shard: req.Shard,
+			Epoch: r.db.Epoch(), Err: fmt.Errorf("no such shard (have %d)", r.db.Shards())}
+	}
+	kvs, err := exportRange(r.db, req.Shard, req.Prefix, req.Depth)
+	if err != nil {
+		return nil, &spash.ReplicationError{Op: "fetch", Shard: req.Shard,
+			Epoch: r.db.Epoch(), Err: err}
+	}
+	r.db.Indexes()[req.Shard].Obs().Inc(obs.CReplFetches)
+	return kvs, nil
+}
+
+// Promote turns the replica into the primary: refuse if any shipped
+// frame is still unapplied (promoting over lag would drop writes the
+// old primary acknowledged), then durably advance the epoch on every
+// shard and drop the write fence (spash.DB.Promote). Returns the new
+// epoch. After promotion, Apply rejects everything — the deposed
+// primary's frames by the epoch fence.
+func (r *Replica) Promote() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) > 0 {
+		return 0, &spash.ReplicationError{Op: "promote", Shard: -1,
+			Epoch: r.db.Epoch(),
+			Err:   fmt.Errorf("%d frames unapplied: %w", len(r.buf), spash.ErrReplicaLag)}
+	}
+	return r.db.Promote()
+}
+
+// Rejoin simulates the replica node itself power-cycling: the applier
+// session closes, every device takes a crash, and the replica reopens
+// through spash.RecoverAll — the same recovery path a standalone
+// database uses, which is the point: because apply only ever goes
+// through ordinary operation paths, a replica image is always
+// recoverable. Under eADR nothing is lost and the replica resumes in
+// place; under ADR the roll-back of unflushed applies means the
+// replica must be re-seeded (FullSync) before it can be trusted
+// again.
+func (r *Replica) Rejoin(opts spash.Options) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.Close()
+	r.db.Close()
+	platforms := r.db.Platforms()
+	r.db.Crash()
+	opts.Replica = true
+	db, err := spash.RecoverAll(platforms, opts)
+	if err != nil {
+		return fmt.Errorf("repl: rejoining: %w", err)
+	}
+	r.db = db
+	r.s = db.ApplierSession()
+	return nil
+}
+
+// exportRange collects one shard's live pairs in the (prefix, depth)
+// hash range through the seal-verified export walk.
+func exportRange(db *spash.DB, sh int, prefix uint64, depth uint) ([]KV, error) {
+	ix := db.Indexes()[sh]
+	c := ix.Pool().NewCtx()
+	defer c.Release()
+	var out []KV
+	err := ix.ExportRange(c, prefix, depth, func(k, v []byte) error {
+		out = append(out, KV{
+			Key: append([]byte(nil), k...),
+			Val: append([]byte(nil), v...),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

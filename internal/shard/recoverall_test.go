@@ -1,0 +1,108 @@
+package shard_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spash/internal/alloc"
+	"spash/internal/core"
+	"spash/internal/pmem"
+	"spash/internal/shard"
+)
+
+// rootGeomWord is core's rootGeom slot (the geometry stamp validated
+// before any structural state is trusted).
+const rootGeomWord = 3
+
+func crashAll(units []*shard.Unit) []*pmem.Pool {
+	pools := make([]*pmem.Pool, len(units))
+	for i, u := range units {
+		pools[i] = u.Pool
+		u.Pool.Crash()
+	}
+	return pools
+}
+
+// TestRecoverAllFirstGeometryError: with geometry corrupted on several
+// shards at once, RecoverAll must report the lowest-index failure
+// (Parallel's first-error-by-index contract), typed and naming the
+// shard.
+func TestRecoverAllFirstGeometryError(t *testing.T) {
+	units, err := shard.OpenAll(3, smallPlatform(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the geometry stamp (segment-size bits) on shards 1 AND 2
+	// simultaneously.
+	for _, i := range []int{1, 2} {
+		p := units[i].Pool
+		c := p.NewCtx()
+		g := p.Load64(c, alloc.RootAddr(rootGeomWord))
+		p.Store64(c, alloc.RootAddr(rootGeomWord), g+(1<<32))
+		c.Release()
+	}
+	pools := crashAll(units)
+	_, err = shard.RecoverAll(pools, core.Config{})
+	if err == nil {
+		t.Fatal("RecoverAll accepted two corrupted geometry stamps")
+	}
+	var ge *core.GeometryError
+	if !errors.As(err, &ge) || ge.Field != "segment-size" {
+		t.Fatalf("want typed segment-size geometry error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1:") || strings.Contains(err.Error(), "shard 2:") {
+		t.Fatalf("want the first failure by index (shard 1), got %q", err)
+	}
+}
+
+// TestRecoverAllEpochDisagreement: shards recovered together must
+// carry the same promotion epoch; a mixed set (here shards 1 and 2
+// one epoch ahead of shard 0) is a geometry failure naming the first
+// disagreeing shard, not a silently split-brained database.
+func TestRecoverAllEpochDisagreement(t *testing.T) {
+	units, err := shard.OpenAll(3, smallPlatform(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2} {
+		c := units[i].Pool.NewCtx()
+		units[i].Ix.BumpEpoch(c)
+		c.Release()
+	}
+	pools := crashAll(units)
+	_, err = shard.RecoverAll(pools, core.Config{})
+	if err == nil {
+		t.Fatal("RecoverAll accepted shards with disagreeing epochs")
+	}
+	var ge *core.GeometryError
+	if !errors.As(err, &ge) || ge.Field != "epoch" {
+		t.Fatalf("want typed epoch geometry error, got %v", err)
+	}
+	if ge.Device != 2 || ge.Requested != 1 {
+		t.Fatalf("epoch detail: have %d, shard 0 has %d", ge.Device, ge.Requested)
+	}
+	if !strings.Contains(err.Error(), "shard 1:") {
+		t.Fatalf("want the first disagreeing shard (1) named, got %q", err)
+	}
+
+	// Agreement restored — shard 0 bumped to match — recovers fine:
+	// the check rejects disagreement, not promotion itself.
+	u0, err := shard.Recover(pools[0], core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := u0.Pool.NewCtx()
+	u0.Ix.BumpEpoch(c)
+	c.Release()
+	for _, p := range pools {
+		p.Crash()
+	}
+	units2, err := shard.RecoverAll(pools, core.Config{})
+	if err != nil {
+		t.Fatalf("recovery with agreeing epochs: %v", err)
+	}
+	if e := units2[0].Ix.Epoch(); e != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", e)
+	}
+}

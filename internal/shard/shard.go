@@ -178,6 +178,16 @@ func RecoverAll(pools []*pmem.Pool, cfg core.Config) ([]*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every device must carry the same promotion epoch: a mixed set
+	// means the caller assembled shards from different replication
+	// histories (e.g. one device from a deposed primary), and routing
+	// across them would silently interleave divergent timelines.
+	for i := 1; i < n; i++ {
+		if e0, ei := units[0].Ix.Epoch(), units[i].Ix.Epoch(); ei != e0 {
+			return nil, fmt.Errorf("shard %d: %w", i,
+				&core.GeometryError{Field: "epoch", Device: ei, Requested: e0})
+		}
+	}
 	return units, nil
 }
 

@@ -168,7 +168,10 @@ func TestCloseInvalidatesSessions(t *testing.T) {
 	if err := s.Insert([]byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	scrub := db.StartScrub(ScrubOptions{})
+	scrub, err := db.StartScrub(ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	db.Close()
 	db.Close() // double close is safe
@@ -221,7 +224,11 @@ func TestScrubberMergesShardStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sc := db.StartScrub(ScrubOptions{Passes: 1})
+	sc, err := db.StartScrub(ScrubOptions{Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Wait()
 	st := sc.Stop()
 	if st.Segments == 0 {
 		t.Fatalf("merged scrub stats empty: %+v", st)

@@ -164,6 +164,16 @@ func DescribeError(err error) string {
 	if errors.As(err, &ae) && ae.Poisoned {
 		return fmt.Sprintf("uncorrectable media error: poisoned XPLine at %#x (repair: spash-fsck -repair)", ae.Addr)
 	}
+	var re *ReplicationError
+	if errors.As(err, &re) {
+		switch {
+		case errors.Is(err, ErrNotPrimary):
+			return fmt.Sprintf("%v (this node is a replica or was fenced by a newer epoch; retry against the current primary)", re)
+		case errors.Is(err, ErrReplicaLag):
+			return fmt.Sprintf("%v (drain the apply stream, then retry the promotion)", re)
+		}
+		return re.Error()
+	}
 	return err.Error()
 }
 
@@ -186,6 +196,11 @@ type Options struct {
 	// earlier versions (Platform(), Index(), and spash.Recover work
 	// only in that configuration).
 	Shards int
+	// Replica opens the DB in the replica role: client writes fail
+	// typed with ErrNotPrimary (reads stay available) and only the
+	// replication apply path (ApplierSession) may mutate it, until
+	// Promote. See replication.go and internal/repl.
+	Replica bool
 }
 
 // shardCount resolves the Shards option.
@@ -203,6 +218,9 @@ func (o Options) shardCount() int {
 type DB struct {
 	units  []*shard.Unit
 	closed atomic.Bool
+	// replica is the current replication role (replication.go): true
+	// fences every non-applier Session write with ErrNotPrimary.
+	replica atomic.Bool
 
 	mu        sync.Mutex
 	scrubbers map[*Scrubber]struct{}
@@ -216,11 +234,13 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spash: %w", err)
 	}
-	return newDB(units), nil
+	return newDB(units, opts.Replica), nil
 }
 
-func newDB(units []*shard.Unit) *DB {
-	return &DB{units: units, scrubbers: make(map[*Scrubber]struct{})}
+func newDB(units []*shard.Unit, replica bool) *DB {
+	db := &DB{units: units, scrubbers: make(map[*Scrubber]struct{})}
+	db.replica.Store(replica)
+	return db
 }
 
 // Recover reopens a single-shard index on an existing device, e.g.
@@ -250,7 +270,7 @@ func RecoverAll(platforms []*pmem.Pool, opts Options) (*DB, error) {
 		}
 		return nil, fmt.Errorf("spash: recovering index: %w", err)
 	}
-	return newDB(units), nil
+	return newDB(units, opts.Replica), nil
 }
 
 // Shards returns the number of partitions.
@@ -301,7 +321,10 @@ func (db *DB) Indexes() []*core.Index {
 // cachelines roll back. The DB must be quiescent (stop scrubbers
 // first); after Crash the DB is unusable — call RecoverAll on
 // Platforms(). Returns the total number of lost (rolled-back)
-// cachelines across all shards.
+// cachelines across all shards; the per-shard breakdown is recorded
+// in each device's stats (Stats().Shards[i].Memory.CrashLostLines,
+// also visible as ObsSnapshots()[i].Mem.CrashLostLines), so failover
+// drills can assert which shard rolled back.
 func (db *DB) Crash() int {
 	lost := 0
 	for _, u := range db.units {
@@ -450,21 +473,40 @@ func (s *Scrubber) Stop() ScrubStats {
 	return s.stats
 }
 
+// Wait blocks until every shard's bounded scrub (Passes > 0) has
+// completed its walks; Stop is still required to collect the merged
+// stats. Without it, a Stop issued right after StartScrub can abort
+// the first pass before any segment was verified.
+func (s *Scrubber) Wait() {
+	for _, sub := range s.subs {
+		sub.Wait()
+	}
+}
+
 // StartScrub launches the online background scrubber on every shard:
 // each re-verifies its segments incrementally through the optimistic
 // read protocol (never blocking writers) and, with
 // ScrubOptions.Repair, quarantines damaged ones as it finds them.
 // DB.Close stops any scrubbers still running; stop them explicitly
-// before Crash.
-func (db *DB) StartScrub(opt ScrubOptions) *Scrubber {
+// before Crash. After Close, StartScrub returns ErrClosed.
+//
+// The start-and-register sequence runs under the registration lock:
+// a Close racing with StartScrub either observes the registration
+// (and stops the scrubber) or wins the race first (and StartScrub
+// returns ErrClosed without launching anything) — a scrub goroutine
+// can never outlive Close unobserved.
+func (db *DB) StartScrub(opt ScrubOptions) (*Scrubber, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	s := &Scrubber{db: db, subs: make([]*core.Scrubber, len(db.units))}
 	for i, u := range db.units {
 		s.subs[i] = u.Ix.StartScrub(opt)
 	}
-	db.mu.Lock()
 	db.scrubbers[s] = struct{}{}
-	db.mu.Unlock()
-	return s
+	return s, nil
 }
 
 // TryShrink halves each shard's directory where every segment's local
@@ -495,6 +537,9 @@ func (db *DB) TryShrink() bool {
 type Session struct {
 	db *DB
 	hs []*core.Handle
+	// applier exempts the session from the replica write fence (see
+	// DB.ApplierSession; replication apply only).
+	applier bool
 }
 
 // Session returns a new worker session.
@@ -520,15 +565,27 @@ func (s *Session) Ctx() *pmem.Ctx { return s.hs[0].Ctx() }
 // ShardCtx returns the session's pmem context on shard i.
 func (s *Session) ShardCtx(i int) *pmem.Ctx { return s.hs[i].Ctx() }
 
-// route returns the handle owning key.
-func (s *Session) route(key []byte) *core.Handle {
-	return s.hs[shard.Of(core.KeyHash(key), len(s.hs))]
+// shardOfKey returns the shard index owning key.
+func shardOfKey(key []byte, n int) int {
+	return shard.Of(core.KeyHash(key), n)
 }
 
-// Insert stores key→value, replacing any existing value.
+// ShardOf returns the shard a key routes to in an n-shard DB (the
+// same low-bit hash routing Sessions use). Exported for the
+// replication layer and harnesses that attribute keys to shards.
+func ShardOf(key []byte, n int) int { return shardOfKey(key, n) }
+
+// route returns the handle owning key.
+func (s *Session) route(key []byte) *core.Handle {
+	return s.hs[shardOfKey(key, len(s.hs))]
+}
+
+// Insert stores key→value, replacing any existing value. On a
+// replica-role DB it fails with a *ReplicationError wrapping
+// ErrNotPrimary.
 func (s *Session) Insert(key, value []byte) error {
-	if s.db.closed.Load() {
-		return ErrClosed
+	if err := s.writeGate("insert", key); err != nil {
+		return err
 	}
 	return s.route(key).Insert(key, value)
 }
@@ -542,18 +599,21 @@ func (s *Session) Get(key, dst []byte) (value []byte, found bool, err error) {
 }
 
 // Update replaces the value of an existing key (adaptive in-place
-// update). Returns false when the key is absent.
+// update). Returns false when the key is absent; on a replica-role DB
+// it fails with a *ReplicationError wrapping ErrNotPrimary.
 func (s *Session) Update(key, value []byte) (bool, error) {
-	if s.db.closed.Load() {
-		return false, ErrClosed
+	if err := s.writeGate("update", key); err != nil {
+		return false, err
 	}
 	return s.route(key).Update(key, value)
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. On a
+// replica-role DB it fails with a *ReplicationError wrapping
+// ErrNotPrimary.
 func (s *Session) Delete(key []byte) (bool, error) {
-	if s.db.closed.Load() {
-		return false, ErrClosed
+	if err := s.writeGate("delete", key); err != nil {
+		return false, err
 	}
 	return s.route(key).Delete(key)
 }
@@ -587,13 +647,39 @@ func (s *Session) ExecBatch(ops []Op) {
 		}
 		return
 	}
+	if s.db.replica.Load() && !s.applier {
+		// Replica role: the write requests fail typed, the reads of
+		// the batch still execute (positionally, through a filtered
+		// sub-batch).
+		var reads []Op
+		var idx []int
+		for i := range ops {
+			if ops[i].Kind == OpGet {
+				reads = append(reads, ops[i])
+				idx = append(idx, i)
+				continue
+			}
+			ops[i].Err = &ReplicationError{Op: "batch write",
+				Shard: shardOfKey(ops[i].Key, len(s.hs)),
+				Epoch: s.db.Epoch(), Err: ErrNotPrimary}
+		}
+		if len(reads) > 0 {
+			shard.SplitBatch(s.hs, reads)
+			for j, i := range idx {
+				ops[i] = reads[j]
+			}
+		}
+		return
+	}
 	shard.SplitBatch(s.hs, ops)
 }
 
 // TryMerge attempts to merge the (empty) segment responsible for key
-// with its buddy (maintenance after bulk deletes).
+// with its buddy (maintenance after bulk deletes). On a replica-role
+// DB it reports false without merging (structural maintenance arrives
+// through the apply stream).
 func (s *Session) TryMerge(key []byte) bool {
-	if s.db.closed.Load() {
+	if s.db.closed.Load() || (s.db.replica.Load() && !s.applier) {
 		return false
 	}
 	return s.route(key).TryMerge(key)
@@ -640,6 +726,17 @@ func (s *Session) Fsck(repair bool) (*FsckReport, error) {
 		r, err := h.Fsck(repair)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		// Stamp the owning shard so replica read-repair can fetch
+		// each repair's authoritative range from the right peer shard.
+		for j := range r.Faults {
+			r.Faults[j].Shard = i
+		}
+		for j := range r.Repairs {
+			r.Repairs[j].Shard = i
+		}
+		for j := range r.Failed {
+			r.Failed[j].Shard = i
 		}
 		rep.Merge(r)
 	}
