@@ -144,8 +144,10 @@ func main() {
 		}
 		if !exported {
 			if reg := harness.ObsRegistryOf(ix); reg != nil {
-				// First obs-capable index feeds the HTTP export surface.
-				obs.SetDefault(reg, obsSource(ix))
+				// First obs-capable index feeds the HTTP export surface:
+				// /metrics plus the /debug/spash snapshot, per-shard,
+				// slowlog and health JSON feeds.
+				obs.SetSources(obsSources(ix, reg))
 				exported = true
 			}
 		}
@@ -182,6 +184,27 @@ func obsSource(ix ixapi.Index) obs.Source {
 		s.Finalize()
 		return s
 	}
+}
+
+// obsSources assembles the full export bundle the index under test can
+// offer: the aggregate snapshot always, per-shard snapshots, the
+// slow-op log and a default-watermark health verdict when available.
+func obsSources(ix ixapi.Index, reg *obs.Registry) obs.Sources {
+	src := obsSource(ix)
+	srcs := obs.Sources{Snapshot: src, Registry: reg}
+	if _, ok := harness.ObsSnapshotsOf(ix); ok {
+		srcs.Shards = func() []obs.Snapshot {
+			snaps, _ := harness.ObsSnapshotsOf(ix)
+			return snaps
+		}
+	}
+	if slow, ok := harness.SlowOpsOf(ix); ok {
+		srcs.SlowOps = slow
+	}
+	srcs.Health = func() obs.Health {
+		return obs.EvalHealth(src(), obs.HealthWatermarks{})
+	}
+	return srcs
 }
 
 func runMix(ix ixapi.Index, e harness.Entry, s harness.Scale, mix ycsb.Mix, theta float64, valSize int, withLatency bool) harness.Result {

@@ -66,6 +66,10 @@ func (s *Spash) Obs() *obs.Registry { return s.ix.Obs() }
 // `interface{ ObsSnapshot() obs.Snapshot }` on ixapi.Index.
 func (s *Spash) ObsSnapshot() obs.Snapshot { return s.ix.ObsSnapshot() }
 
+// SlowOps returns the worst-n sampled operations retained by the
+// slow-op log, slowest first.
+func (s *Spash) SlowOps(n int) []obs.SlowOp { return s.ix.Obs().SlowOps(n) }
+
 type spashWorker struct {
 	h *core.Handle
 }

@@ -99,6 +99,10 @@ func (s *Sharded) Groups() []*vsync.Group {
 	return out
 }
 
+// Obs returns the shard-0 registry (nil when disabled): the trace-ring
+// endpoint and the export wiring discover obs capability through it.
+func (s *Sharded) Obs() *obs.Registry { return s.units[0].Ix.Obs() }
+
 // ObsSnapshot aggregates the per-shard snapshots (the harness probes
 // this to fill bench artifacts).
 func (s *Sharded) ObsSnapshot() obs.Snapshot {
@@ -107,6 +111,26 @@ func (s *Sharded) ObsSnapshot() obs.Snapshot {
 		agg = agg.Add(u.Ix.ObsSnapshot())
 	}
 	return agg
+}
+
+// ObsSnapshots returns one snapshot per shard, in shard order (the
+// harness probes this to fill the artifact's per-shard breakdown).
+func (s *Sharded) ObsSnapshots() []obs.Snapshot {
+	out := make([]obs.Snapshot, len(s.units))
+	for i, u := range s.units {
+		out[i] = u.Ix.ObsSnapshot()
+	}
+	return out
+}
+
+// SlowOps merges the per-shard slow-op logs into one worst-n list,
+// slowest first.
+func (s *Sharded) SlowOps(n int) []obs.SlowOp {
+	lists := make([][]obs.SlowOp, 0, len(s.units))
+	for _, u := range s.units {
+		lists = append(lists, u.Ix.Obs().SlowOps(0))
+	}
+	return obs.MergeSlowOps(lists, n)
 }
 
 type shardedWorker struct {

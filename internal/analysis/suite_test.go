@@ -55,7 +55,7 @@ func TestDeletedFlushIsCaught(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const flushLine = "\tcase InsertNoCompact:\n\t\th.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))\n"
+	const flushLine = "\tcase InsertNoCompact:\n\t\tfs := h.spanLap()\n\t\th.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))\n\t\th.spanAdd(obs.PhaseMediaFlush, fs)\n"
 	if !strings.Contains(string(src), flushLine) {
 		t.Fatalf("ops.go no longer contains the InsertNoCompact flush; update this test's needle")
 	}

@@ -154,6 +154,14 @@ type Config struct {
 	// The setting is persistent: Recover adopts it from the pool.
 	Checksums bool
 
+	// SpanSample gates per-operation latency-attribution spans: one in
+	// every SpanSample operations per worker is traced through the
+	// route/probe/htm-retry/media-flush/publish phases and offered to
+	// the slow-op log. 0 selects the default (32); negative disables
+	// sampling entirely (the unsampled path is allocation-free either
+	// way). Ignored when the registry is disabled.
+	SpanSample int
+
 	// Obs supplies an externally owned observability registry (shared
 	// across indexes, exported over HTTP). Nil with DisableObs false
 	// (the default) creates a private registry; see internal/obs.
@@ -184,6 +192,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTxRetries == 0 {
 		c.MaxTxRetries = 8
+	}
+	if c.SpanSample == 0 {
+		c.SpanSample = 32
 	}
 	if c.LockStripeBits == 0 {
 		c.LockStripeBits = 8

@@ -89,6 +89,9 @@ type Index struct {
 	// reg is the observability registry (nil when DisableObs): striped
 	// structural-event counters, histograms and the trace ring.
 	reg *obs.Registry
+	// shardID identifies this index within a sharded DB (0 when
+	// unsharded); stamped onto sampled spans for slow-op attribution.
+	shardID atomic.Int32
 
 	// dirGen is odd while a resize (doubling or halving) is in
 	// progress; every transaction reads it. dir is the current stable
@@ -245,6 +248,13 @@ func (ix *Index) Group() *vsync.Group { return ix.group }
 
 // Obs returns the observability registry (nil when disabled).
 func (ix *Index) Obs() *obs.Registry { return ix.reg }
+
+// SetShard stamps the index's shard id (spans carry it into the
+// slow-op log). Called by the sharded DB at open/recover time.
+func (ix *Index) SetShard(id int) { ix.shardID.Store(int32(id)) }
+
+// Shard returns the stamped shard id (0 when unsharded).
+func (ix *Index) Shard() int { return int(ix.shardID.Load()) }
 
 // ObsSnapshot captures the unified observability snapshot: pool
 // memory events, HTM outcomes, allocator occupancy and the registry's

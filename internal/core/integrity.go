@@ -642,6 +642,11 @@ func (h *Handle) Fsck(repair bool) (*FsckReport, error) {
 	ix := h.ix
 	c := h.c
 	rep := &FsckReport{}
+	var repairing int64
+	if repair {
+		repairing = 1
+	}
+	ix.reg.Trace(obs.EvFsckStart, c.Clock(), repairing, 0)
 	for i := uint64(0); i < ix.registryCap; i++ {
 		e, rok := loadTolerant(ix, c, ix.registryAddr+i*8)
 		if !rok {
@@ -685,6 +690,8 @@ func (h *Handle) Fsck(repair bool) (*FsckReport, error) {
 		ix.entries.Store(ix.countOccupied(c))
 		ix.entriesApprox.Store(false)
 	}
+	ix.reg.Trace(obs.EvFsckDone, c.Clock(), int64(len(rep.Faults)), int64(len(rep.Failed)))
+	ix.reg.SetGauge(obs.GFsckUnrecoverable, int64(len(rep.Failed)))
 	return rep, nil
 }
 

@@ -25,6 +25,14 @@ type Handle struct {
 	// the registry is disabled; all methods nil-safe).
 	lane *obs.Lane
 
+	// span is the in-flight latency-attribution span, held by value so
+	// the unsampled path never allocates (span.go). spanEvery is the
+	// sampling period (0 = disabled); opSeq the per-worker op counter
+	// driving the 1-in-spanEvery election.
+	span      obs.Span
+	spanEvery uint64
+	opSeq     uint64
+
 	// resizeEpoch is the last stop-the-world resize this worker
 	// accounted for.
 	resizeEpoch int64
@@ -39,7 +47,11 @@ func (ix *Index) NewHandle(c *pmem.Ctx) *Handle {
 	if c == nil {
 		c = ix.pool.NewCtx()
 	}
-	return &Handle{ix: ix, c: c, ah: ix.alloc.NewHandle(), lane: ix.reg.Lane()}
+	h := &Handle{ix: ix, c: c, ah: ix.alloc.NewHandle(), lane: ix.reg.Lane()}
+	if ix.reg != nil && ix.cfg.SpanSample > 0 {
+		h.spanEvery = uint64(ix.cfg.SpanSample)
+	}
+	return h
 }
 
 // Ctx returns the handle's pmem context.
@@ -76,6 +88,7 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 	}
 	conflicts := 0
 	for {
+		attempt := h.spanAttempt()
 		code, err := ix.tm.Run(h.c, ix.pool, func(tx *htm.Txn) error {
 			_, entry, rerr := ix.resolveTx(tx, r.h)
 			if rerr != nil {
@@ -85,8 +98,10 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 		})
 		switch code {
 		case htm.Committed:
+			h.spanCommit(attempt)
 			return nil
 		case htm.Conflict:
+			h.spanAbort(attempt)
 			ix.txConflicts.Add(1)
 			h.lane.Inc(obs.CHTMConflicts)
 			conflicts++
@@ -94,15 +109,18 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 				return h.execFallback(r, body)
 			}
 		case htm.Capacity:
+			h.spanAbort(attempt)
 			ix.txCapacity.Add(1)
 			h.lane.Inc(obs.CHTMCapacity)
 			ix.reg.Trace(obs.EvHTMCapacity, h.c.Clock(), int64(r.h>>48), 0)
 			return h.execFallback(r, body)
 		case htm.Explicit:
+			h.spanAbort(attempt)
 			re, ok := err.(retryError)
 			if !ok {
 				return err
 			}
+			wait := h.spanLap()
 			switch re {
 			case errNeedSplit:
 				if serr := ix.split(h, r.h); serr != nil {
@@ -116,6 +134,8 @@ func (h *Handle) exec(r *req, readonly bool, body func(m mem, seg uint64) error)
 			default:
 				// errSegMoved and friends: redo from preparation.
 			}
+			// Split/resize waits on the way count as retry cost.
+			h.spanAdd(obs.PhaseHTMRetry, wait)
 		}
 	}
 }
@@ -133,6 +153,10 @@ func (h *Handle) execFallback(r *req, body func(m mem, seg uint64) error) error 
 	ix.fallbacks.Add(1)
 	h.lane.Inc(obs.CLockFallbacks)
 	ix.reg.Trace(obs.EvLockFallback, h.c.Clock(), int64(r.h>>48), 0)
+	// Everything up to the irrevocable body — lock spins, resize waits
+	// — is retry cost; the body itself splits probe/publish like a
+	// committed attempt.
+	wait := h.spanLap()
 	for {
 		cPtr, ce, seg, ok := ix.resolveCanonicalNoWait(r.h)
 		if !ok {
@@ -157,14 +181,19 @@ func (h *Handle) execFallback(r *req, body func(m mem, seg uint64) error) error 
 			ix.waitResize()
 			continue
 		}
+		h.spanAdd(obs.PhaseHTMRetry, wait)
+		attempt := h.spanAttempt()
 		err := ix.tm.Irrevocable(h.c, ix.pool, func(it *htm.ITxn) error {
 			return body(iMem{it}, seg)
 		})
 		ix.tm.BumpStoreVol(h.c, cPtr, ce) // unlock
 		if err == nil {
+			h.spanCommit(attempt)
 			return nil
 		}
 		if re, ok := err.(retryError); ok {
+			h.spanAbort(attempt)
+			wait = h.spanLap()
 			if re == errNeedSplit {
 				if serr := ix.split(h, r.h); serr != nil {
 					return serr
@@ -181,11 +210,15 @@ func (h *Handle) Search(key, dst []byte) ([]byte, bool, error) {
 	h.c.BeginOp()
 	defer h.c.EndOp()
 	r := makeReq(key)
+	h.beginSpan(obs.SpanGet, r.h)
+	defer h.endSpan()
 	found := false
 	out := dst
 	err := h.exec(&r, true, func(m mem, seg uint64) error {
 		found, out = false, dst
+		ps := h.spanLap()
 		idx, _, vw, pr := h.ix.locate(m, h.c, seg, &r)
+		h.spanProbe(ps)
 		h.lane.Observe(obs.HProbeLen, pr)
 		if idx < 0 {
 			return nil
@@ -217,6 +250,8 @@ func (h *Handle) Insert(key, val []byte) error {
 	h.c.BeginOp()
 	defer h.c.EndOp()
 	r := makeReq(key)
+	h.beginSpan(obs.SpanInsert, r.h)
+	defer h.endSpan()
 
 	kpay, kInline := r.kpay, r.kInline
 	if !kInline {
@@ -243,7 +278,9 @@ func (h *Handle) Insert(key, val []byte) error {
 	freeValLen := 0
 	err := h.exec(&r, false, func(m mem, seg uint64) error {
 		replaced, freeVal, freeValLen = false, 0, 0
+		ps := h.spanLap()
 		idx, _, oldVW, pr := h.ix.locate(m, h.c, seg, &r)
+		h.spanProbe(ps)
 		h.lane.Observe(obs.HProbeLen, pr)
 		if idx >= 0 {
 			va := slotAddr(seg, idx) + 8
@@ -291,6 +328,8 @@ func (h *Handle) Update(key, val []byte) (bool, error) {
 	h.c.BeginOp()
 	defer h.c.EndOp()
 	r := makeReq(key)
+	h.beginSpan(obs.SpanUpdate, r.h)
+	defer h.endSpan()
 	vpay, vInline := inlineValuePayload(val)
 	var newAddr uint64
 	if !vInline {
@@ -306,7 +345,9 @@ func (h *Handle) Update(key, val []byte) (bool, error) {
 	freeOldLen := 0
 	err := h.exec(&r, false, func(m mem, seg uint64) error {
 		found, usedNew, freeOld, freeOldLen, flushAddr = false, false, 0, 0, 0
+		ps := h.spanLap()
 		idx, _, vw, pr := h.ix.locate(m, h.c, seg, &r)
+		h.spanProbe(ps)
 		h.lane.Observe(obs.HProbeLen, pr)
 		if idx < 0 {
 			return nil
@@ -370,7 +411,9 @@ func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
 		return
 	case UpdateAlwaysFlush:
 		if recAddr != 0 {
+			fs := h.spanLap()
 			ix.pool.Flush(h.c, recAddr, uint64(recordSpace(size)))
+			h.spanAdd(obs.PhaseMediaFlush, fs)
 			h.lane.Inc(obs.CUpdateFlushes)
 		}
 		return
@@ -390,7 +433,9 @@ func (h *Handle) updateFlushPolicy(r *req, recAddr uint64, size int) {
 	}
 	// Cold: flush only multi-cacheline entries.
 	if recAddr != 0 && size > pmem.CachelineSize {
+		fs := h.spanLap()
 		ix.pool.Flush(h.c, recAddr, uint64(recordSpace(size)))
+		h.spanAdd(obs.PhaseMediaFlush, fs)
 		h.lane.Inc(obs.CUpdateFlushes)
 	} else {
 		h.lane.Inc(obs.CFlushSkipSmall)
@@ -404,12 +449,16 @@ func (h *Handle) Delete(key []byte) (bool, error) {
 	h.c.BeginOp()
 	defer h.c.EndOp()
 	r := makeReq(key)
+	h.beginSpan(obs.SpanDelete, r.h)
+	defer h.endSpan()
 	found := false
 	var freeKey, freeVal uint64
 	freeValLen := 0
 	err := h.exec(&r, false, func(m mem, seg uint64) error {
 		found, freeKey, freeVal, freeValLen = false, 0, 0, 0
+		ps := h.spanLap()
 		idx, kw, vw, pr := h.ix.locate(m, h.c, seg, &r)
+		h.spanProbe(ps)
 		h.lane.Observe(obs.HProbeLen, pr)
 		if idx < 0 {
 			return nil
@@ -435,6 +484,9 @@ func (h *Handle) Delete(key []byte) (bool, error) {
 		h.freeRecord(freeVal, freeValLen)
 	}
 	h.ix.entries.Add(-1)
+	// Close the span before the sampled merge attempt: structural
+	// maintenance is not part of this delete's latency story.
+	h.endSpan()
 	if r.h>>32&0xF == 0 {
 		h.TryMerge(key)
 	}
@@ -454,16 +506,22 @@ func (h *Handle) allocRecord(data []byte) (uint64, error) {
 	case InsertCompactedFlush:
 		if filledChunk != 0 {
 			// One XPLine write-back for the whole compacted chunk.
+			fs := h.spanLap()
 			h.ix.pool.Flush(h.c, filledChunk, pmem.XPLineSize)
+			h.spanAdd(obs.PhaseMediaFlush, fs)
 			h.lane.Inc(obs.CChunkFlushes)
 		} else if space > 128 {
 			// Large cold record: flush to avoid eviction-order
 			// amplification (DP2).
+			fs := h.spanLap()
 			h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
+			h.spanAdd(obs.PhaseMediaFlush, fs)
 			h.lane.Inc(obs.CRecordFlushes)
 		}
 	case InsertNoCompact:
+		fs := h.spanLap()
 		h.ix.pool.Flush(h.c, addr, uint64(recordSpace(len(data))))
+		h.spanAdd(obs.PhaseMediaFlush, fs)
 		h.lane.Inc(obs.CRecordFlushes)
 	//spash:allow flushfence -- §III-C compact-no-flush mode: small records are absorbed by the persistent cache and written back on eviction
 	case InsertCompactNoFlush:

@@ -123,6 +123,7 @@ func (s *Scrubber) run() {
 		segs, corr := s.scanPass(gap)
 		s.stats.Passes++
 		s.ix.reg.Trace(obs.EvScrubPass, s.h.c.Clock(), segs, corr)
+		s.ix.reg.SetGauge(obs.GScrubPasses, int64(s.stats.Passes))
 		if s.opt.Passes > 0 && pass+1 >= s.opt.Passes {
 			return
 		}

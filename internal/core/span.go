@@ -1,0 +1,127 @@
+package core
+
+import "spash/internal/obs"
+
+// Span lifecycle for per-operation latency attribution (obs.Span). The
+// span lives by value inside the Handle so the unsampled path touches
+// no heap and the sampled path allocates nothing until the span is
+// folded into the registry's histograms at endSpan.
+//
+// Attribution model (all durations virtual ns from the worker's pmem
+// clock):
+//
+//   - probe: locate() call windows, accumulated in span.Pending by the
+//     op bodies and consumed by the committing attempt (HTM mode) or
+//     folded in at endSpan (lock modes, where exec never sees commit
+//     boundaries).
+//   - publish: the committed attempt's duration minus its probe time.
+//   - htm_retry: every aborted attempt, fallback-lock acquisition, and
+//     split/resize wait on the way.
+//   - media_flush: pool.Flush windows on the op's own path (record
+//     allocation, adaptive update flushes).
+//   - route: the remainder — hashing, routing, record preparation,
+//     free-list maintenance.
+
+// beginSpan arms the handle's span for this operation if the sampling
+// counter elects it. kind is the op kind, hash the key hash.
+func (h *Handle) beginSpan(kind obs.SpanKind, hash uint64) {
+	h.span.Active = false
+	if h.spanEvery == 0 || h.lane == nil {
+		return
+	}
+	h.opSeq++
+	if h.opSeq%h.spanEvery != 0 {
+		return
+	}
+	h.span = obs.Span{
+		Active: true,
+		Kind:   kind,
+		Key:    hash,
+		Shard:  h.ix.shardID.Load(),
+		Start:  h.c.Clock(),
+	}
+}
+
+// endSpan completes an armed span: leftover probe time (lock modes)
+// and the unattributed remainder (route) are folded in, and the span
+// is recorded on the worker's lane. Idempotent; a no-op when unarmed.
+func (h *Handle) endSpan() {
+	if !h.span.Active {
+		return
+	}
+	total := h.c.Clock() - h.span.Start
+	h.span.Dur[obs.PhaseProbe] += h.span.Pending
+	var attributed int64
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		attributed += h.span.Dur[p]
+	}
+	if route := total - attributed; route > 0 {
+		h.span.Dur[obs.PhaseRoute] += route
+	}
+	h.lane.RecordSpan(&h.span, total)
+	h.span.Active = false
+	h.span.Pending = 0
+}
+
+// spanLap returns the current clock as a phase start mark, or -1 when
+// the span is unarmed (spanAdd/spanProbe ignore -1).
+func (h *Handle) spanLap() int64 {
+	if !h.span.Active {
+		return -1
+	}
+	return h.c.Clock()
+}
+
+// spanAdd charges the window since start to phase p.
+func (h *Handle) spanAdd(p obs.Phase, start int64) {
+	if start >= 0 {
+		h.span.Dur[p] += h.c.Clock() - start
+	}
+}
+
+// spanProbe accumulates the window since start as pending probe time
+// (consumed by the committing attempt's attribution, or folded into
+// probe at endSpan).
+func (h *Handle) spanProbe(start int64) {
+	if start >= 0 {
+		h.span.Pending += h.c.Clock() - start
+	}
+}
+
+// spanAttempt marks an HTM attempt's start: pending probe time from a
+// previous aborted attempt is discarded (that attempt was charged
+// whole to htm_retry).
+func (h *Handle) spanAttempt() int64 {
+	if !h.span.Active {
+		return -1
+	}
+	h.span.Pending = 0
+	return h.c.Clock()
+}
+
+// spanCommit attributes a committed attempt: its accumulated probe
+// time to probe, the rest of the window to publish.
+func (h *Handle) spanCommit(start int64) {
+	if start < 0 {
+		return
+	}
+	d := h.c.Clock() - start
+	probe := h.span.Pending
+	if probe > d {
+		probe = d
+	}
+	h.span.Dur[obs.PhaseProbe] += probe
+	h.span.Dur[obs.PhasePublish] += d - probe
+	h.span.Pending = 0
+}
+
+// spanAbort attributes an aborted attempt's whole window to htm_retry
+// and counts the abort.
+func (h *Handle) spanAbort(start int64) {
+	if start < 0 {
+		return
+	}
+	h.span.Dur[obs.PhaseHTMRetry] += h.c.Clock() - start
+	h.span.Aborts++
+	h.span.Pending = 0
+}

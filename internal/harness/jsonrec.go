@@ -48,6 +48,11 @@ type Artifact struct {
 	// is where splits, doublings and segment churn show up).
 	Obs      *obs.Snapshot `json:"obs,omitempty"`
 	ObsTotal *obs.Snapshot `json:"obs_total,omitempty"`
+	// ObsShards are the per-shard cumulative snapshots (shard order) of
+	// a sharded index under test — the per-shard phase-latency and
+	// abort breakdown the attribution tooling (spash-top, obs-smoke)
+	// reads.
+	ObsShards []obs.Snapshot `json:"obs_shards,omitempty"`
 }
 
 // ArtifactSchema versions the JSON layout.
@@ -95,6 +100,16 @@ func (r *Recorder) SetObsTotal(s obs.Snapshot) {
 	}
 	r.mu.Lock()
 	r.art.ObsTotal = &s
+	r.mu.Unlock()
+}
+
+// SetObsShards attaches (or replaces) the per-shard snapshots.
+func (r *Recorder) SetObsShards(s []obs.Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.ObsShards = s
 	r.mu.Unlock()
 }
 
@@ -169,6 +184,12 @@ func recordPhase(ix ixapi.Index, res Result) {
 		snap.Finalize()
 		rec.SetObsTotal(snap)
 	}
+	if snaps, ok := ObsSnapshotsOf(ix); ok {
+		for i := range snaps {
+			snaps[i].Finalize()
+		}
+		rec.SetObsShards(snaps)
+	}
 }
 
 // ObsSnapshotOf extracts the unified observability snapshot from an
@@ -179,6 +200,27 @@ func ObsSnapshotOf(ix ixapi.Index) (obs.Snapshot, bool) {
 		return s.ObsSnapshot(), true
 	}
 	return obs.Snapshot{}, false
+}
+
+// ObsSnapshotsOf extracts per-shard snapshots from a sharded index
+// that exposes them (the sharded adapter does).
+func ObsSnapshotsOf(ix ixapi.Index) ([]obs.Snapshot, bool) {
+	type sharded interface{ ObsSnapshots() []obs.Snapshot }
+	if s, ok := ix.(sharded); ok {
+		return s.ObsSnapshots(), true
+	}
+	return nil, false
+}
+
+// SlowOpsOf extracts the slow-op feed from an index that exposes one
+// (the Spash and sharded adapters do) — used to wire the slowlog HTTP
+// endpoint.
+func SlowOpsOf(ix ixapi.Index) (func(n int) []obs.SlowOp, bool) {
+	type slowOpser interface{ SlowOps(n int) []obs.SlowOp }
+	if s, ok := ix.(slowOpser); ok {
+		return s.SlowOps, true
+	}
+	return nil, false
 }
 
 // ObsRegistryOf extracts the obs registry from an index that exposes

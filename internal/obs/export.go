@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -15,34 +17,62 @@ import (
 // Source produces the current cumulative snapshot of a live index.
 type Source func() Snapshot
 
-// defaultSource/defaultRegistry is the process-wide export target: the
-// most recently registered observable index. Benchmarks open many
-// indexes in sequence; the export endpoints follow the live one.
+// Sources bundles every export feed a live DB can offer. Snapshot is
+// required; the rest are optional (their endpoints report 503 when
+// absent).
+type Sources struct {
+	// Snapshot produces the cumulative aggregate snapshot.
+	Snapshot Source
+	// Shards produces per-shard snapshots (index order).
+	Shards func() []Snapshot
+	// SlowOps returns the worst-n retained operations, slowest first.
+	SlowOps func(n int) []SlowOp
+	// Health evaluates the current health verdict.
+	Health func() Health
+	// Registry backs the trace-ring endpoint.
+	Registry *Registry
+}
+
+// defaultSources is the process-wide export target: the most recently
+// registered observable index. Benchmarks open many indexes in
+// sequence; the export endpoints follow the live one.
 var (
-	defaultSource   atomic.Pointer[Source]
-	defaultRegistry atomic.Pointer[Registry]
-	expvarOnce      sync.Once
+	defaultSources atomic.Pointer[Sources]
+	expvarOnce     sync.Once
 )
 
 // SetDefault registers reg and snap as the process-wide export target
 // for /metrics, /debug/vars and /debug/obs/trace. Passing a nil snap
-// clears the target.
+// clears the target. Shorthand for SetSources with only the required
+// feed.
 func SetDefault(reg *Registry, snap Source) {
 	if snap == nil {
-		defaultSource.Store(nil)
-		defaultRegistry.Store(nil)
+		defaultSources.Store(nil)
 		return
 	}
-	defaultSource.Store(&snap)
-	defaultRegistry.Store(reg)
+	SetSources(Sources{Snapshot: snap, Registry: reg})
+}
+
+// SetSources registers the full export bundle (see Sources). A nil
+// Snapshot feed clears the target.
+func SetSources(s Sources) {
+	if s.Snapshot == nil {
+		defaultSources.Store(nil)
+		return
+	}
+	defaultSources.Store(&s)
+}
+
+func currentSources() *Sources {
+	return defaultSources.Load()
 }
 
 func currentSnapshot() (Snapshot, bool) {
-	p := defaultSource.Load()
-	if p == nil {
+	s := currentSources()
+	if s == nil {
 		return Snapshot{}, false
 	}
-	return (*p)(), true
+	return s.Snapshot(), true
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text
@@ -97,6 +127,40 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "spash_%s_count %d\n", k, h.Count())
 	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	for _, k := range gnames {
+		g(k, s.Gauges[k])
+	}
+	writeDurMap(w, "phase_latency_ns", "phase", s.Phases)
+	writeDurMap(w, "op_latency_ns", "op", s.OpLat)
+}
+
+// writeDurMap renders a duration-histogram map as Prometheus summary
+// lines: spash_<metric>{<label>="<key>",quantile="..."} plus a _count.
+func writeDurMap(w io.Writer, metric, label string, m map[string]DurSnapshot) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := m[k]
+		if d.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			lbl string
+			p   float64
+		}{{"0.5", 50}, {"0.99", 99}, {"1", 100}} {
+			fmt.Fprintf(w, "spash_%s{%s=%q,quantile=%q} %d\n",
+				metric, label, k, q.lbl, d.PercentileNS(q.p))
+		}
+		fmt.Fprintf(w, "spash_%s_count{%s=%q} %d\n", metric, label, k, d.Count())
+	}
 }
 
 // Handler serves the current default snapshot as Prometheus text.
@@ -115,13 +179,84 @@ func Handler() http.Handler {
 // traceHandler serves the default registry's trace ring as JSON.
 func traceHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		r := defaultRegistry.Load()
-		if r == nil {
+		s := currentSources()
+		if s == nil || s.Registry == nil {
 			http.Error(w, "no observable index registered", http.StatusServiceUnavailable)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		r.ring.WriteJSON(w)
+		s.Registry.ring.WriteJSON(w)
+	})
+}
+
+// jsonHandler serves fn's result as JSON, 503 when the feed is absent.
+func jsonHandler(fn func(s *Sources, req *http.Request) (any, bool)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := currentSources()
+		if s == nil {
+			http.Error(w, "no observable index registered", http.StatusServiceUnavailable)
+			return
+		}
+		v, ok := fn(s, req)
+		if !ok {
+			http.Error(w, "feed not available", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	})
+}
+
+// snapshotHandler serves the finalized cumulative snapshot as JSON.
+func snapshotHandler() http.Handler {
+	return jsonHandler(func(s *Sources, _ *http.Request) (any, bool) {
+		snap := s.Snapshot()
+		snap.Finalize()
+		return snap, true
+	})
+}
+
+// shardsHandler serves per-shard finalized snapshots as a JSON array.
+func shardsHandler() http.Handler {
+	return jsonHandler(func(s *Sources, _ *http.Request) (any, bool) {
+		if s.Shards == nil {
+			return nil, false
+		}
+		snaps := s.Shards()
+		for i := range snaps {
+			snaps[i].Finalize()
+		}
+		return snaps, true
+	})
+}
+
+// slowlogHandler serves the worst-n retained ops (?n=, default 32).
+func slowlogHandler() http.Handler {
+	return jsonHandler(func(s *Sources, req *http.Request) (any, bool) {
+		if s.SlowOps == nil {
+			return nil, false
+		}
+		n := 32
+		if q := req.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		ops := s.SlowOps(n)
+		if ops == nil {
+			ops = []SlowOp{}
+		}
+		return ops, true
+	})
+}
+
+// healthHandler serves the current health verdict.
+func healthHandler() http.Handler {
+	return jsonHandler(func(s *Sources, _ *http.Request) (any, bool) {
+		if s.Health == nil {
+			return nil, false
+		}
+		return s.Health(), true
 	})
 }
 
@@ -141,13 +276,18 @@ func publishExpvar() {
 
 // NewMux returns the observability mux: /metrics (Prometheus text of
 // the default snapshot), /debug/vars (expvar, including the "spash"
-// snapshot), /debug/pprof/* and /debug/obs/trace (trace-ring JSON).
+// snapshot), /debug/pprof/*, /debug/obs/trace (trace-ring JSON) and
+// the /debug/spash/* JSON feeds (snapshot, shards, slowlog, health).
 func NewMux() *http.ServeMux {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/obs/trace", traceHandler())
+	mux.Handle("/debug/spash/snapshot", snapshotHandler())
+	mux.Handle("/debug/spash/shards", shardsHandler())
+	mux.Handle("/debug/spash/slowlog", slowlogHandler())
+	mux.Handle("/debug/spash/health", healthHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

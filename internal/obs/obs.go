@@ -132,6 +132,32 @@ var CounterNames = [...]string{
 	CReplRepairKeys:    "repl_repair_keys",
 }
 
+// Gauge identifies one last-value metric: a level (not a rate) that a
+// subsystem overwrites as its state changes. Gauges live on the
+// registry (not striped) because their writers are rare.
+type Gauge int
+
+const (
+	// GReplLagRecords / GReplLagBytes: how far a replica is behind the
+	// primary, in committed records and payload bytes (internal/repl).
+	GReplLagRecords Gauge = iota
+	GReplLagBytes
+	// GScrubPasses: completed full passes of the online scrubber.
+	GScrubPasses
+	// GFsckUnrecoverable: segments the last Fsck could not repair.
+	GFsckUnrecoverable
+
+	numGauges
+)
+
+// GaugeNames are the stable export names, indexed by Gauge.
+var GaugeNames = [...]string{
+	GReplLagRecords:    "repl_lag_records",
+	GReplLagBytes:      "repl_lag_bytes",
+	GScrubPasses:       "scrub_passes",
+	GFsckUnrecoverable: "fsck_unrecoverable",
+}
+
 // Hist identifies one bounded-value histogram.
 type Hist int
 
@@ -165,16 +191,23 @@ const histBuckets = 48
 type lane struct {
 	counters [numCounters]atomic.Int64
 	hists    [numHists][histBuckets]atomic.Int64
-	_        [8]uint64
+	// phases / oplat are the latency-attribution histograms fed by
+	// completed spans (span.go): per-phase durations and end-to-end
+	// op latency by kind, log2-bucketed virtual ns.
+	phases [NumPhases][durBuckets]atomic.Int64
+	oplat  [numSpanKinds][durBuckets]atomic.Int64
+	_      [8]uint64
 }
 
 // Registry is the metrics registry. The zero value is not usable; a
 // nil *Registry is the disabled registry (all methods no-ops).
 type Registry struct {
-	lanes []lane
-	mask  uint64
-	next  atomic.Uint64
-	ring  *Ring
+	lanes  []lane
+	mask   uint64
+	next   atomic.Uint64
+	ring   *Ring
+	gauges [numGauges]atomic.Int64
+	slow   slowLog
 }
 
 // NewRegistry returns an enabled registry sized for the current
@@ -201,7 +234,8 @@ func NewRegistrySized(lanes, ringSize int) *Registry {
 // (Registry.Lane) and do all hot-path accounting through it; a nil
 // *Lane is the disabled lane.
 type Lane struct {
-	l *lane
+	l   *lane
+	reg *Registry
 }
 
 // Lane hands out a stripe (round-robin). Nil-safe: a nil registry
@@ -210,7 +244,7 @@ func (r *Registry) Lane() *Lane {
 	if r == nil {
 		return nil
 	}
-	return &Lane{l: &r.lanes[r.next.Add(1)&r.mask]}
+	return &Lane{l: &r.lanes[r.next.Add(1)&r.mask], reg: r}
 }
 
 // Inc adds 1 to counter c.
@@ -267,6 +301,44 @@ func (r *Registry) ObserveKeyed(h Hist, key uint64, v int) {
 	}
 	x := key * 0x9E3779B97F4A7C15
 	r.lanes[(x>>32)&r.mask].hists[h][v].Add(1)
+}
+
+// SetGauge overwrites gauge g with v. Nil-safe.
+func (r *Registry) SetGauge(g Gauge, v int64) {
+	if r == nil {
+		return
+	}
+	r.gauges[g].Store(v)
+}
+
+// AddGauge adds d to gauge g. Nil-safe.
+func (r *Registry) AddGauge(g Gauge, d int64) {
+	if r == nil {
+		return
+	}
+	r.gauges[g].Add(d)
+}
+
+// GaugeValue returns gauge g's current value. Nil-safe.
+func (r *Registry) GaugeValue(g Gauge) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[g].Load()
+}
+
+// Gauges returns the non-zero gauges keyed by export name. Nil-safe.
+func (r *Registry) Gauges() map[string]int64 {
+	m := make(map[string]int64, int(numGauges))
+	if r == nil {
+		return m
+	}
+	for g := Gauge(0); g < numGauges; g++ {
+		if v := r.gauges[g].Load(); v != 0 {
+			m[GaugeNames[g]] = v
+		}
+	}
+	return m
 }
 
 // Counters sums every lane and returns the totals keyed by export

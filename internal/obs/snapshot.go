@@ -23,6 +23,15 @@ type Snapshot struct {
 	Counters map[string]int64 `json:"counters"`
 	// Hists are the registry histograms keyed by export name.
 	Hists map[string]HistSnapshot `json:"hists"`
+	// Phases are the per-phase latency-attribution histograms keyed by
+	// phase name (log2-bucketed virtual ns, fed by sampled spans);
+	// OpLat the end-to-end sampled-op latency by op kind. Empty maps
+	// when span sampling is off.
+	Phases map[string]DurSnapshot `json:"phase_lat,omitempty"`
+	OpLat  map[string]DurSnapshot `json:"op_lat,omitempty"`
+	// Gauges are the last-value metrics keyed by export name (zero
+	// gauges omitted). Sub keeps the newer snapshot's levels.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
 	// Ops is the operation count of the measured phase (set by the
 	// caller, used for derived rates).
 	Ops int64 `json:"ops,omitempty"`
@@ -44,6 +53,11 @@ type Derived struct {
 	// histogram.
 	ProbeLenP50 int `json:"probe_len_p50"`
 	ProbeLenP99 int `json:"probe_len_p99"`
+	// PhaseP50NS / PhaseP99NS summarise the per-phase attribution
+	// histograms (virtual ns; bucket lower bounds). Only phases with
+	// samples appear.
+	PhaseP50NS map[string]int64 `json:"phase_p50_ns,omitempty"`
+	PhaseP99NS map[string]int64 `json:"phase_p99_ns,omitempty"`
 }
 
 // Capture assembles a snapshot from the subsystem counters and the
@@ -55,9 +69,24 @@ func Capture(mem pmem.Stats, tm htm.Stats, al alloc.Stats, r *Registry) Snapshot
 		Alloc:    al,
 		Counters: r.Counters(),
 		Hists:    make(map[string]HistSnapshot, int(numHists)),
+		Phases:   make(map[string]DurSnapshot),
+		OpLat:    make(map[string]DurSnapshot),
+		Gauges:   r.Gauges(),
 	}
 	for h := Hist(0); h < numHists; h++ {
 		s.Hists[HistNames[h]] = r.HistSnapshot(h)
+	}
+	// Duration histograms are only materialised when non-empty so
+	// span-free runs keep their artifacts unchanged.
+	for p := Phase(0); p < NumPhases; p++ {
+		if d := r.PhaseSnapshot(p); d.Count() > 0 {
+			s.Phases[PhaseNames[p]] = d
+		}
+	}
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		if d := r.OpLatSnapshot(k); d.Count() > 0 {
+			s.OpLat[SpanKindNames[k]] = d
+		}
 	}
 	return s
 }
@@ -91,6 +120,49 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 			out.Hists[k] = HistSnapshot{}.Sub(v)
 		}
 	}
+	out.Phases = subDurMap(s.Phases, o.Phases)
+	out.OpLat = subDurMap(s.OpLat, o.OpLat)
+	// Gauges are levels, not rates: the newer snapshot's values stand.
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	return out
+}
+
+// subDurMap diffs two duration-histogram maps key-wise.
+func subDurMap(a, b map[string]DurSnapshot) map[string]DurSnapshot {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]DurSnapshot, len(a))
+	for k, v := range a {
+		out[k] = v.Sub(b[k])
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = DurSnapshot{}.Sub(v)
+		}
+	}
+	return out
+}
+
+// addDurMap sums two duration-histogram maps key-wise.
+func addDurMap(a, b map[string]DurSnapshot) map[string]DurSnapshot {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]DurSnapshot, len(a))
+	for k, v := range a {
+		out[k] = v.Add(b[k])
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = v.Add(DurSnapshot{})
+		}
+	}
 	return out
 }
 
@@ -122,6 +194,18 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 			out.Hists[k] = v.Add(HistSnapshot{})
 		}
 	}
+	out.Phases = addDurMap(s.Phases, o.Phases)
+	out.OpLat = addDurMap(s.OpLat, o.OpLat)
+	// Gauges sum across shards (each shard reports its own level).
+	if len(s.Gauges)+len(o.Gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(s.Gauges)+len(o.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range o.Gauges {
+			out.Gauges[k] += v
+		}
+	}
 	return out
 }
 
@@ -143,6 +227,17 @@ func (s *Snapshot) Finalize() *Snapshot {
 	if h, ok := s.Hists[HistNames[HProbeLen]]; ok && h.Count() > 0 {
 		d.ProbeLenP50 = h.Percentile(50)
 		d.ProbeLenP99 = h.Percentile(99)
+	}
+	for name, ph := range s.Phases {
+		if ph.Count() == 0 {
+			continue
+		}
+		if d.PhaseP50NS == nil {
+			d.PhaseP50NS = make(map[string]int64, len(s.Phases))
+			d.PhaseP99NS = make(map[string]int64, len(s.Phases))
+		}
+		d.PhaseP50NS[name] = ph.PercentileNS(50)
+		d.PhaseP99NS[name] = ph.PercentileNS(99)
 	}
 	s.Derived = d
 	return s

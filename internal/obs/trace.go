@@ -41,6 +41,15 @@ const (
 	// EvScrubPass: the online scrubber completed one full pass.
 	// A = segments verified, B = corruptions found.
 	EvScrubPass
+	// EvRecoverStart / EvRecoverDone bracket a shard recovery.
+	// Done: A = virtual duration (ns), B = segments adopted.
+	EvRecoverStart
+	EvRecoverDone
+	// EvFsckStart / EvFsckDone bracket a full integrity check.
+	// Start: A = 1 when repairing. Done: A = faults found,
+	// B = segments left unrecoverable.
+	EvFsckStart
+	EvFsckDone
 
 	numEventKinds
 )
@@ -57,6 +66,10 @@ var EventKindNames = [...]string{
 	EvHTMCapacity:   "htm_capacity",
 	EvQuarantine:    "quarantine",
 	EvScrubPass:     "scrub_pass",
+	EvRecoverStart:  "recover_start",
+	EvRecoverDone:   "recover_done",
+	EvFsckStart:     "fsck_start",
+	EvFsckDone:      "fsck_done",
 }
 
 func (k EventKind) String() string {

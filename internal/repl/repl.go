@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"spash"
 	"spash/internal/obs"
@@ -184,10 +185,17 @@ func (p *Primary) shipRecord(op RecOp, key, val []byte) error {
 	p.seq++
 	f := &Frame{Kind: FrameRecord, Epoch: p.db.Epoch(), Seq: p.seq,
 		Shard: sh, Op: op, Key: key, Val: val}
-	if err := p.t.Ship(f); err != nil {
+	// Ship time is wall-clock, not virtual: the transport (a future
+	// wire layer) is outside the performance model's clock. It feeds
+	// the repl_ship phase histogram directly.
+	start := time.Now()
+	err := p.t.Ship(f)
+	reg := p.db.Indexes()[sh].Obs()
+	reg.ObservePhaseNS(obs.PhaseReplShip, f.Seq, time.Since(start).Nanoseconds())
+	if err != nil {
 		return fmt.Errorf("repl: shipping record: %w", err)
 	}
-	p.db.Indexes()[sh].Obs().Inc(obs.CReplShipRecords)
+	reg.Inc(obs.CReplShipRecords)
 	return nil
 }
 
@@ -304,6 +312,7 @@ func (r *Replica) Pause() {
 func (r *Replica) Resume() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	defer r.setLagGauges()
 	r.paused = false
 	buf := r.buf
 	r.buf = nil
@@ -320,6 +329,47 @@ func (r *Replica) Lag() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.buf)
+}
+
+// LagBytes returns the payload bytes of the shipped frames not yet
+// applied.
+func (r *Replica) LagBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, f := range r.buf {
+		n += frameBytes(f)
+	}
+	return n
+}
+
+// frameBytes is a frame's payload size (key + value bytes, summed
+// over a segment frame's pairs).
+func frameBytes(f *Frame) int {
+	n := len(f.Key) + len(f.Val)
+	for _, kv := range f.KVs {
+		n += len(kv.Key) + len(kv.Val)
+	}
+	return n
+}
+
+// setLagGauges republishes the per-shard lag levels (records and
+// bytes behind) onto each shard's registry, where Snapshot and the
+// Prometheus exporter pick them up. Caller holds r.mu.
+func (r *Replica) setLagGauges() {
+	nsh := r.db.Shards()
+	recs := make([]int64, nsh)
+	bytes := make([]int64, nsh)
+	for _, f := range r.buf {
+		if f.Shard >= 0 && f.Shard < nsh {
+			recs[f.Shard]++
+			bytes[f.Shard] += int64(frameBytes(f))
+		}
+	}
+	for i, ix := range r.db.Indexes() {
+		ix.Obs().SetGauge(obs.GReplLagRecords, recs[i])
+		ix.Obs().SetGauge(obs.GReplLagBytes, bytes[i])
+	}
 }
 
 // Apply ingests one frame: epoch fencing first, sequence-gap check,
@@ -349,6 +399,7 @@ func (r *Replica) Apply(f *Frame) error {
 	r.next = f.Seq
 	if r.paused {
 		r.buf = append(r.buf, f)
+		r.setLagGauges()
 		return nil
 	}
 	return r.applyLocked(f)

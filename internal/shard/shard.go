@@ -146,6 +146,7 @@ func OpenAll(n int, platform pmem.Config, cfg core.Config) ([]*Unit, error) {
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
+		u.Ix.SetShard(i)
 		units[i] = u
 		return nil
 	})
@@ -172,6 +173,7 @@ func RecoverAll(pools []*pmem.Pool, cfg core.Config) ([]*Unit, error) {
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
+		u.Ix.SetShard(i)
 		units[i] = u
 		return nil
 	})

@@ -201,6 +201,11 @@ type Options struct {
 	// replication apply path (ApplierSession) may mutate it, until
 	// Promote. See replication.go and internal/repl.
 	Replica bool
+	// Health sets the watermarks DB.Health evaluates the live
+	// snapshot against; zero fields take the obs defaults (quarantine
+	// ≥1 degraded, replica lag ≥1 record degraded, HTM abort rate ≥1
+	// per commit degraded, any fsck-unrecoverable segment critical).
+	Health obs.HealthWatermarks
 }
 
 // shardCount resolves the Shards option.
@@ -221,6 +226,8 @@ type DB struct {
 	// replica is the current replication role (replication.go): true
 	// fences every non-applier Session write with ErrNotPrimary.
 	replica atomic.Bool
+	// health holds the watermarks DB.Health evaluates against.
+	health obs.HealthWatermarks
 
 	mu        sync.Mutex
 	scrubbers map[*Scrubber]struct{}
@@ -234,12 +241,13 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spash: %w", err)
 	}
-	return newDB(units, opts.Replica), nil
+	return newDB(units, opts), nil
 }
 
-func newDB(units []*shard.Unit, replica bool) *DB {
-	db := &DB{units: units, scrubbers: make(map[*Scrubber]struct{})}
-	db.replica.Store(replica)
+func newDB(units []*shard.Unit, opts Options) *DB {
+	db := &DB{units: units, health: opts.Health,
+		scrubbers: make(map[*Scrubber]struct{})}
+	db.replica.Store(opts.Replica)
 	return db
 }
 
@@ -270,7 +278,7 @@ func RecoverAll(platforms []*pmem.Pool, opts Options) (*DB, error) {
 		}
 		return nil, fmt.Errorf("spash: recovering index: %w", err)
 	}
-	return newDB(units, opts.Replica), nil
+	return newDB(units, opts), nil
 }
 
 // Shards returns the number of partitions.
@@ -427,6 +435,43 @@ func (db *DB) ObsSnapshots() []obs.Snapshot {
 		out[i] = u.Ix.ObsSnapshot()
 	}
 	return out
+}
+
+// SlowOps returns the n slowest sampled operations retained across
+// every shard's slow-op log, slowest first, each with its per-phase
+// latency breakdown, op kind, key hash, shard and HTM abort count.
+// n <= 0 returns everything retained. Empty when span sampling is
+// disabled (core.Config.SpanSample < 0 or DisableObs).
+func (db *DB) SlowOps(n int) []obs.SlowOp {
+	lists := make([][]obs.SlowOp, 0, len(db.units))
+	for _, u := range db.units {
+		lists = append(lists, u.Ix.Obs().SlowOps(0))
+	}
+	return obs.MergeSlowOps(lists, n)
+}
+
+// Health evaluates the live aggregate snapshot against the DB's
+// watermarks (Options.Health): quarantined segments, replication lag,
+// HTM abort rate, fsck damage and scrub coverage reduce to
+// OK/DEGRADED/CRITICAL with reasons.
+func (db *DB) Health() obs.Health {
+	return obs.EvalHealth(db.ObsSnapshot(), db.health)
+}
+
+// ExportSources bundles the DB's export feeds for obs.SetSources: the
+// aggregate and per-shard snapshots, the merged slow-op log, the
+// health verdict, and shard 0's registry (trace endpoint). Typically:
+//
+//	obs.SetSources(db.ExportSources())
+//	obs.Serve(addr)
+func (db *DB) ExportSources() obs.Sources {
+	return obs.Sources{
+		Snapshot: db.ObsSnapshot,
+		Shards:   db.ObsSnapshots,
+		SlowOps:  db.SlowOps,
+		Health:   db.Health,
+		Registry: db.units[0].Ix.Obs(),
+	}
 }
 
 // Group exposes the virtual-time serialisation group (benchmarking) of
