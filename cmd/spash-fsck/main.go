@@ -68,10 +68,22 @@ type report struct {
 	} `json:"injected"`
 	Fsck       *spash.FsckReport  `json:"fsck"`
 	ReadRepair *repl.RepairReport `json:"read_repair,omitempty"`
+	Chaos      *chaosInfo         `json:"chaos,omitempty"`
 	Invariant  string             `json:"invariant_error,omitempty"`
 	Misplaced  int                `json:"misplaced"`
 	Entries    int                `json:"entries"`
 	Exit       int                `json:"exit"`
+}
+
+// chaosInfo summarises the -chaos ship path: what the faulty
+// transport did and what the delivery hardening left behind. Frames
+// still in the spill queue at the crash are acknowledged
+// degraded-async writes the replica never received — the bound on
+// what replica-backed read-repair can restore.
+type chaosInfo struct {
+	Stats     repl.FaultStats `json:"stats"`
+	Breaker   string          `json:"breaker"`
+	SpillLost int             `json:"spill_lost"`
 }
 
 func main() {
@@ -92,6 +104,8 @@ func main() {
 	repair := flag.Bool("repair", false, "quarantine and rebuild damaged segments")
 	repairFrom := flag.String("repair-from", "",
 		"heal quarantine losses from a peer after -repair (only value: replica — an in-process replica the workload ships to)")
+	chaosRate := flag.Float64("chaos", 0,
+		"inject seeded transport faults (drop/dup/reorder at this aggregate rate) into the replica ship path; requires -repair-from replica")
 	reportPath := flag.String("report", "", "write the repair report as JSON to this file")
 	shards := flag.Int("shards", 1, "shard count (faults target shard 0; checks cover every shard)")
 	flag.Parse()
@@ -129,6 +143,8 @@ func main() {
 	// in-process peer before acknowledging it, so after local repair
 	// the peer holds the authoritative copy of every quarantined range.
 	var rrep *repl.Replica
+	var prim *repl.Primary
+	var faulty *repl.FaultyTransport
 	ins, del := s.Insert, s.Delete
 	if *repairFrom != "" {
 		if *repairFrom != "replica" {
@@ -145,11 +161,43 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		prim, err := repl.NewPrimary(db, &repl.InProc{R: rrep})
+		var tport repl.Transport = &repl.InProc{R: rrep}
+		if *chaosRate > 0 {
+			faulty = repl.NewFaultyTransport(tport, repl.FaultSpec{
+				Seed:    *seed,
+				Drop:    *chaosRate / 2,
+				Dup:     *chaosRate / 4,
+				Reorder: *chaosRate / 4,
+			})
+			tport = faulty
+		}
+		// The prober is off: after an injected crash this wrapper holds
+		// a dead pool, and a background drain touching it would panic.
+		// Recovery is driven explicitly (drain after the workload; a
+		// fresh wrapper for read-repair).
+		prim, err = repl.NewPrimaryWith(db, tport, repl.PrimaryOptions{ProbeInterval: -1})
 		if err != nil {
 			fail(err)
 		}
 		ins, del = prim.Insert, prim.Delete
+		if faulty != nil {
+			// With the prober off, recovery from a tripped breaker is
+			// driven inline: a cheap TryDrain every few hundred ops (a
+			// no-op while the breaker is closed and the spill empty)
+			// keeps the bounded spill queue from overflowing into
+			// write sheds during long degraded stretches.
+			var nops int
+			maybeDrain := func() {
+				if nops++; nops%256 == 0 {
+					_, _ = prim.TryDrain()
+				}
+			}
+			ins = func(k, v []byte) error { maybeDrain(); return prim.Insert(k, v) }
+			del = func(k []byte) (bool, error) { maybeDrain(); return prim.Delete(k) }
+		}
+	} else if *chaosRate > 0 {
+		fmt.Fprintln(os.Stderr, "spash-fsck: -chaos requires -repair-from replica")
+		os.Exit(2)
 	}
 
 	var plan *pmem.FaultPlan
@@ -183,6 +231,31 @@ func main() {
 		}
 		return nil
 	})
+
+	// With -chaos, the transport may have degraded mid-workload: heal
+	// it and (when the pool is still alive — an injected crash leaves
+	// the wrapper over a dead device) drain the spill so the replica
+	// holds everything it can before damage is assessed. Whatever is
+	// still spilled at a crash is the documented degraded-async loss
+	// bound, reported as chaos.spill_lost.
+	var chaos *chaosInfo
+	if faulty != nil {
+		faulty.Heal()
+		if werr == nil {
+			for i := 0; i < 50; i++ {
+				if _, derr := prim.TryDrain(); derr == nil {
+					if prim.Resync() == nil {
+						break
+					}
+				}
+			}
+		}
+		st, _ := prim.Breaker()
+		chaos = &chaosInfo{Stats: faulty.Stats(), Breaker: st.String(),
+			SpillLost: prim.SpillDepth()}
+		fmt.Printf("chaos transport: %+v; breaker %s, %d acknowledged frame(s) undeliverable\n",
+			chaos.Stats, chaos.Breaker, chaos.SpillLost)
+	}
 
 	// Media damage is injected when the power actually cuts — that is
 	// when real bit rot and torn write-backs become visible. Bit flips
@@ -240,7 +313,7 @@ func main() {
 	}
 
 	rep := report{Schema: "spash-fsck/v1", Mode: *mode, Shards: db.Shards(), Seed: *seed,
-		FaultSeed: *faultSeed, Checksums: *checksums}
+		FaultSeed: *faultSeed, Checksums: *checksums, Chaos: chaos}
 	if mp != nil {
 		target.DisarmMediaFault()
 		inj := mp.Injected()

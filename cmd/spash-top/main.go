@@ -34,6 +34,7 @@ import (
 	"spash"
 	"spash/internal/core"
 	"spash/internal/obs"
+	"spash/internal/repl"
 )
 
 func main() {
@@ -167,8 +168,18 @@ func render(w interface{ WriteString(string) (int, error) }, cur, prev *frame, i
 		fmt.Fprintf(&b, "  (%s)", strings.Join(h.Reasons, "; "))
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "quarantines %d  repl lag %d recs / %s  abort rate %.3f/commit  scrub passes %d\n\n",
+	fmt.Fprintf(&b, "quarantines %d  repl lag %d recs / %s  abort rate %.3f/commit  scrub passes %d\n",
 		h.Quarantines, h.ReplLagRecords, fmtBytes(h.ReplLagBytes), h.AbortRate, h.ScrubPasses)
+	// Delivery hardening: breaker state and spill depth are levels from
+	// the health verdict; retry/resync counters are cumulative (not
+	// interval-diffed) so a glance shows whether the transport has ever
+	// struggled.
+	fmt.Fprintf(&b, "repl: breaker %s  spill %d frame(s)  retries %d  resyncs %d (replays %d, reseeds %d)\n\n",
+		repl.BreakerState(h.BreakerState), h.SpillDepth,
+		cur.agg.Counters[obs.CounterNames[obs.CReplRetries]],
+		cur.agg.Counters[obs.CounterNames[obs.CReplResyncs]],
+		cur.agg.Counters[obs.CounterNames[obs.CReplReplays]],
+		cur.agg.Counters[obs.CounterNames[obs.CReplReseeds]])
 
 	commits := view.HTM.Commits
 	aborts := view.HTM.Conflicts + view.HTM.Capacities + view.HTM.Explicits

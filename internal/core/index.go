@@ -53,9 +53,15 @@ const (
 	// durably by BumpEpoch when a replica is promoted to primary.
 	// Pre-epoch images read 0, which compares below every stamped
 	// epoch, so promotion fencing degrades safely.
-	rootEpoch  = 4
-	indexMagic = 0x5350415348494458 // "SPASHIDX"
-	maxDepth   = 44
+	rootEpoch = 4
+	// rootApplied holds a replica's durable applied-sequence cursor
+	// (replication protocol, internal/repl): the highest frame
+	// sequence whose apply is on the device, advanced by
+	// SetAppliedSeq after each apply. Only shard 0 of a replica uses
+	// it; on a primary (and on pre-cursor images) it reads 0.
+	rootApplied = 5
+	indexMagic  = 0x5350415348494458 // "SPASHIDX"
+	maxDepth    = 44
 )
 
 // Stats are the index's operational counters (all cumulative).
@@ -129,8 +135,11 @@ type Index struct {
 	resizeEpoch    atomic.Int64
 
 	// epoch mirrors the rootEpoch word (promotion fencing; see
-	// Epoch/BumpEpoch).
-	epoch atomic.Uint64
+	// Epoch/BumpEpoch); applied mirrors the rootApplied word (the
+	// replica's durable applied-sequence cursor; see
+	// AppliedSeq/SetAppliedSeq).
+	epoch   atomic.Uint64
+	applied atomic.Uint64
 
 	entries atomic.Int64
 	// entriesApprox is set when a quarantine dropped an unreadable
@@ -203,6 +212,7 @@ func Open(c *pmem.Ctx, pool *pmem.Pool, al *alloc.Allocator, cfg Config) (*Index
 	pool.Store64(c, alloc.RootAddr(rootSeal), ix.sealAddr)
 	pool.Store64(c, alloc.RootAddr(rootGeom), geometryWord())
 	pool.Store64(c, alloc.RootAddr(rootEpoch), 1)
+	pool.Store64(c, alloc.RootAddr(rootApplied), 0)
 	pool.Store64(c, alloc.RootAddr(rootMagic), indexMagic)
 	pool.Flush(c, alloc.RootAddr(0), alloc.RootWords*8)
 	pool.Fence(c)
@@ -346,6 +356,28 @@ func (ix *Index) BumpEpoch(c *pmem.Ctx) uint64 {
 	ix.pool.Fence(c)
 	ix.epoch.Store(e)
 	return e
+}
+
+// AppliedSeq returns the durable applied-sequence cursor stamped on
+// the device: 0 on a fresh pool (and on a primary), advanced by
+// SetAppliedSeq after every replication apply. Recover reloads it, so
+// a rejoined replica knows exactly which frames its image holds.
+func (ix *Index) AppliedSeq() uint64 { return ix.applied.Load() }
+
+// SetAppliedSeq durably records that every replication frame up to
+// and including seq has been applied. The replica calls it after each
+// apply completes (the apply itself is failure-atomic through the
+// ordinary operation paths); flush+fence ordering means the cursor
+// never runs ahead of visibility — under ADR a crash can roll back
+// applies the cursor already covers, which the rejoin path detects
+// via the device's lost-line count and reports as a reseed condition.
+//
+//spash:guarded the applied-cursor word is owned by the single replication applier under the replica mutex; no concurrent HTM domain activity touches it
+func (ix *Index) SetAppliedSeq(c *pmem.Ctx, seq uint64) {
+	ix.pool.Store64(c, alloc.RootAddr(rootApplied), seq)
+	ix.pool.Flush(c, alloc.RootAddr(rootApplied), 8)
+	ix.pool.Fence(c)
+	ix.applied.Store(seq)
 }
 
 // Stats returns the operational counters.

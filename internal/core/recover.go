@@ -82,6 +82,11 @@ func Recover(c *pmem.Ctx, pool *pmem.Pool, cfg Config) (_ *Index, _ *alloc.Alloc
 	// cross-shard agreement; promotion bumps it): adopt whatever the
 	// device carries, including 0 from pre-epoch images.
 	ix.epoch.Store(pool.Load64(c, alloc.RootAddr(rootEpoch)))
+	// The applied-sequence cursor is likewise adopted as-is: 0 on
+	// primaries and pre-cursor images, the durable replication cursor
+	// on a rejoining replica (internal/repl re-derives its stream
+	// position from it).
+	ix.applied.Store(pool.Load64(c, alloc.RootAddr(rootApplied)))
 	if ix.sealAddr != 0 {
 		switch {
 		case ix.sealAddr&7 != 0:

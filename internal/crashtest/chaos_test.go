@@ -1,0 +1,86 @@
+package crashtest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeChaosReport drops one trial's JSON into $CHAOS_REPORT_DIR when
+// the environment asks for it (the CI chaos-drill job uploads these
+// as per-trial convergence reports).
+func writeChaosReport(t *testing.T, tr *ChaosTrial) {
+	dir := os.Getenv("CHAOS_REPORT_DIR")
+	if dir == "" {
+		return
+	}
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal chaos report: %v", err)
+	}
+	name := strings.ReplaceAll(tr.Arm.Name(), "/", "-") + ".json"
+	if err := os.WriteFile(filepath.Join(dir, name), append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("write chaos report: %v", err)
+	}
+}
+
+// TestChaosMatrix sweeps the full {drop,dup,reorder,partition} ×
+// {eADR,ADR} × {steady,failover-mid-partition} matrix. In -short mode
+// it keeps one arm per fault family, alternating mode and phase.
+func TestChaosMatrix(t *testing.T) {
+	arms := ChaosArms(1)
+	if testing.Short() {
+		var subset []ChaosArm
+		for i, arm := range arms {
+			// 16 arms in blocks of 4 per fault: pick a rotating cell of
+			// each block so every fault family, both modes, and both
+			// phases stay covered.
+			if i%4 == (i/4)%4 {
+				subset = append(subset, arm)
+			}
+		}
+		arms = subset
+	}
+	const ops = 160
+	for _, arm := range arms {
+		arm := arm
+		t.Run(arm.Name(), func(t *testing.T) {
+			tr, err := RunChaosTrial(arm, ops)
+			if err != nil {
+				t.Fatalf("chaos trial: %v", err)
+			}
+			writeChaosReport(t, &tr)
+			if tr.Failed() {
+				t.Fatalf("chaos contract violated: %v\n%+v", tr.Err(), tr)
+			}
+			t.Logf("%s: converged in %d passes (faults %+v, retries %d, trips %d, resyncs %d, replays %d, reseeds %d, dup-acks %d)",
+				arm.Name(), tr.DrainPasses, tr.Faults, tr.Retries, tr.Trips,
+				tr.Resyncs, tr.Replays, tr.Reseeds, tr.ApplyDup)
+		})
+	}
+}
+
+// TestChaosSweepAggregates exercises the sweep entry point the CI job
+// and external harnesses call.
+func TestChaosSweepAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix covered per-arm in short mode")
+	}
+	res, err := ChaosSweep(ChaosArms(7), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 16 {
+		t.Fatalf("sweep ran %d trials, want 16", len(res.Trials))
+	}
+	for i := range res.Trials {
+		if res.Trials[i].Failed() {
+			t.Errorf("arm %s failed: %v", res.Trials[i].Arm.Name(), res.Trials[i].Err())
+		}
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d arms failed", res.Failures)
+	}
+}

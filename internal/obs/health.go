@@ -72,6 +72,13 @@ type HealthWatermarks struct {
 	// this many passes marks the index DEGRADED (coverage unknown).
 	// Default 0 (disabled): an index without a scrubber is healthy.
 	MinScrubPasses int64 `json:"min_scrub_passes"`
+	// SpillDegraded / SpillCritical: frames parked in the primary's
+	// degraded-mode spill queue (shipping circuit breaker tripped).
+	// Default 1 / 4096. A non-closed breaker is itself DEGRADED
+	// regardless of these thresholds (set SpillDegraded negative to
+	// disable the spill-depth checks only).
+	SpillDegraded int64 `json:"spill_degraded"`
+	SpillCritical int64 `json:"spill_critical"`
 }
 
 // withDefaults fills zero thresholds with the defaults above.
@@ -97,6 +104,12 @@ func (w HealthWatermarks) withDefaults() HealthWatermarks {
 	if w.UnrecoverableCritical == 0 {
 		w.UnrecoverableCritical = 1
 	}
+	if w.SpillDegraded == 0 {
+		w.SpillDegraded = 1
+	}
+	if w.SpillCritical == 0 {
+		w.SpillCritical = 4096
+	}
 	return w
 }
 
@@ -112,6 +125,11 @@ type Health struct {
 	ReplLagBytes      int64   `json:"repl_lag_bytes"`
 	AbortRate         float64 `json:"abort_rate"`
 	ScrubPasses       int64   `json:"scrub_passes"`
+	// BreakerState is the shipping circuit breaker's state on a
+	// replication primary (0 closed, 1 half-open, 2 open) and
+	// SpillDepth the frames parked in its degraded-mode spill queue.
+	BreakerState int64 `json:"repl_breaker_state"`
+	SpillDepth   int64 `json:"repl_spill_depth"`
 }
 
 // EvalHealth reduces a (cumulative or diffed) Snapshot to a Health
@@ -124,6 +142,8 @@ func EvalHealth(s Snapshot, w HealthWatermarks) Health {
 		ReplLagBytes:      s.Gauges[GaugeNames[GReplLagBytes]],
 		FsckUnrecoverable: s.Gauges[GaugeNames[GFsckUnrecoverable]],
 		ScrubPasses:       s.Gauges[GaugeNames[GScrubPasses]],
+		BreakerState:      s.Gauges[GaugeNames[GReplBreakerState]],
+		SpillDepth:        s.Gauges[GaugeNames[GReplSpillDepth]],
 	}
 	if s.HTM.Commits > 0 {
 		h.AbortRate = float64(s.HTM.Conflicts+s.HTM.Capacities+s.HTM.Explicits) /
@@ -159,6 +179,17 @@ func EvalHealth(s Snapshot, w HealthWatermarks) Health {
 	if w.MinScrubPasses > 0 && h.ScrubPasses < w.MinScrubPasses {
 		raise(HealthDegraded, "scrub coverage %d pass(es), want >= %d", h.ScrubPasses, w.MinScrubPasses)
 	}
+	switch h.BreakerState {
+	case 1:
+		raise(HealthDegraded, "replication breaker half-open (probing the transport)")
+	case 2:
+		raise(HealthDegraded, "replication breaker open (degraded-async shipping)")
+	}
+	if w.SpillCritical > 0 && h.SpillDepth >= w.SpillCritical {
+		raise(HealthCritical, "%d frame(s) in the replication spill queue (critical >= %d)", h.SpillDepth, w.SpillCritical)
+	} else if w.SpillDegraded > 0 && h.SpillDepth >= w.SpillDegraded {
+		raise(HealthDegraded, "%d frame(s) in the replication spill queue", h.SpillDepth)
+	}
 
 	h.Status = worst
 	return h
@@ -181,6 +212,10 @@ func MergeHealth(shards []Health) Health {
 		out.ReplLagRecords += h.ReplLagRecords
 		out.ReplLagBytes += h.ReplLagBytes
 		out.ScrubPasses += h.ScrubPasses
+		out.SpillDepth += h.SpillDepth
+		if h.BreakerState > out.BreakerState {
+			out.BreakerState = h.BreakerState
+		}
 		if h.AbortRate > out.AbortRate {
 			out.AbortRate = h.AbortRate
 		}

@@ -93,6 +93,28 @@ const (
 	// read-repair.
 	CReplFetches
 	CReplRepairKeys
+	// Unreliable-transport hardening (internal/repl): CReplRetries
+	// counts ship re-attempts after a transport timeout;
+	// CReplApplyDupes counts duplicate frames the replica acked and
+	// dropped; CReplReorderBuffered counts ahead-of-cursor frames held
+	// in the reorder window; CReplSheds counts frames a replica
+	// rejected over a full pause buffer or reorder window;
+	// CReplBreakerTrips counts circuit-breaker openings on the
+	// primary; CReplSpills counts frames diverted to the degraded-mode
+	// spill queue; CReplSpillSheds counts writes refused over a full
+	// spill queue; CReplResyncs counts cursor-handshake resyncs that
+	// found work; CReplReplays counts frames re-shipped from the
+	// replay log; CReplReseeds counts automated FullSync re-seeds.
+	CReplRetries
+	CReplApplyDupes
+	CReplReorderBuffered
+	CReplSheds
+	CReplBreakerTrips
+	CReplSpills
+	CReplSpillSheds
+	CReplResyncs
+	CReplReplays
+	CReplReseeds
 
 	numCounters
 )
@@ -130,6 +152,17 @@ var CounterNames = [...]string{
 	CReplApplySegments: "repl_apply_segments",
 	CReplFetches:       "repl_fetches",
 	CReplRepairKeys:    "repl_repair_keys",
+
+	CReplRetries:         "repl_retries",
+	CReplApplyDupes:      "repl_apply_dupes",
+	CReplReorderBuffered: "repl_reorder_buffered",
+	CReplSheds:           "repl_sheds",
+	CReplBreakerTrips:    "repl_breaker_trips",
+	CReplSpills:          "repl_spills",
+	CReplSpillSheds:      "repl_spill_sheds",
+	CReplResyncs:         "repl_resyncs",
+	CReplReplays:         "repl_replays",
+	CReplReseeds:         "repl_reseeds",
 }
 
 // Gauge identifies one last-value metric: a level (not a rate) that a
@@ -146,6 +179,13 @@ const (
 	GScrubPasses
 	// GFsckUnrecoverable: segments the last Fsck could not repair.
 	GFsckUnrecoverable
+	// GReplBreakerState: the shipping circuit breaker's state on a
+	// replication primary (0 closed, 1 half-open, 2 open; see
+	// internal/repl). GReplSpillDepth / GReplSpillBytes: frames and
+	// payload bytes parked in the degraded-mode spill queue.
+	GReplBreakerState
+	GReplSpillDepth
+	GReplSpillBytes
 
 	numGauges
 )
@@ -156,6 +196,9 @@ var GaugeNames = [...]string{
 	GReplLagBytes:      "repl_lag_bytes",
 	GScrubPasses:       "scrub_passes",
 	GFsckUnrecoverable: "fsck_unrecoverable",
+	GReplBreakerState:  "repl_breaker_state",
+	GReplSpillDepth:    "repl_spill_depth",
+	GReplSpillBytes:    "repl_spill_bytes",
 }
 
 // Hist identifies one bounded-value histogram.

@@ -1,0 +1,317 @@
+// Graceful degradation: when retries exhaust, the primary trips a
+// circuit breaker into degraded-async mode — client writes keep
+// succeeding locally, their frames spill to a bounded queue, health
+// reports DEGRADED (obs.EvalHealth reads the breaker-state and
+// spill-depth gauges), and a background prober half-opens the breaker
+// and drains the queue once the transport answers again. The primary
+// never blocks a write indefinitely on a dead transport.
+package repl
+
+import (
+	"fmt"
+	"time"
+
+	"spash"
+	"spash/internal/obs"
+)
+
+// BreakerState is the shipping circuit breaker's state. The numeric
+// values are published as the repl_breaker_state gauge.
+type BreakerState int64
+
+const (
+	// BreakerClosed: the transport is healthy; frames ship
+	// synchronously and a nil write return means both nodes have it.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: a probe is testing the transport; new frames
+	// still spill until the drain completes.
+	BreakerHalfOpen
+	// BreakerOpen: retries exhausted; degraded-async mode. Writes
+	// succeed locally and spill.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("breaker(%d)", int64(s))
+}
+
+// PrimaryOptions configure the primary's delivery hardening.
+type PrimaryOptions struct {
+	// Retry bounds each frame's delivery attempts.
+	Retry RetryPolicy
+	// SpillLimit caps the degraded-mode spill queue. Past it, a
+	// write's frame is shed with a typed ErrRetryExhausted (the local
+	// apply stands; the shed is counted as repl_spill_sheds and the
+	// replica needs a resync once the transport heals — which the
+	// drain's finishing handshake performs). Default 1024; negative
+	// means unbounded.
+	SpillLimit int
+	// ReplayLog caps the delivered-frame log kept for cursor-handshake
+	// replay. A replica whose cursor fell behind the log's horizon is
+	// re-seeded instead. Default 1024; negative disables replay
+	// (every gap re-seeds).
+	ReplayLog int
+	// ProbeInterval is the background prober's period while the
+	// breaker is open. Default 25ms; negative disables the prober
+	// (tests drive recovery with TryDrain).
+	ProbeInterval time.Duration
+}
+
+func (po PrimaryOptions) withDefaults() PrimaryOptions {
+	po.Retry = po.Retry.withDefaults()
+	if po.SpillLimit == 0 {
+		po.SpillLimit = 1024
+	}
+	if po.SpillLimit < 0 {
+		po.SpillLimit = 1 << 30
+	}
+	if po.ReplayLog == 0 {
+		po.ReplayLog = 1024
+	}
+	if po.ReplayLog < 0 {
+		po.ReplayLog = 0
+	}
+	if po.ProbeInterval == 0 {
+		po.ProbeInterval = 25 * time.Millisecond
+	}
+	return po
+}
+
+// Breaker returns the shipping breaker's current state and, when not
+// closed, the reason it tripped.
+func (p *Primary) Breaker() (BreakerState, string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state, p.reason
+}
+
+// SpillDepth returns the number of frames parked in the spill queue.
+func (p *Primary) SpillDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.spill)
+}
+
+// Deposed reports whether shipping observed a newer promotion epoch
+// and permanently fenced this primary's transport path (local state
+// is untouched; the caller decides what to do with a deposed node).
+func (p *Primary) Deposed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deposed
+}
+
+// shipFrameLocked routes one freshly sequenced frame: fenced if
+// deposed, spilled while the breaker is not closed OR older spilled
+// frames exist (stream order: a frame must never overtake a spilled
+// predecessor), otherwise shipped synchronously through the retry
+// policy — with one automated resync-and-reship when the replica's
+// cursor refuses the frame, and a breaker trip (plus spill of this
+// frame) when retries exhaust. Caller holds p.mu.
+func (p *Primary) shipFrameLocked(f *Frame) error {
+	if p.deposed {
+		return &spash.ReplicationError{Op: "ship", Shard: f.Shard,
+			Epoch: f.Epoch, Err: spash.ErrNotPrimary}
+	}
+	if p.state != BreakerClosed || len(p.spill) > 0 {
+		return p.spillLocked(f)
+	}
+	err := p.shipRetryLocked(f)
+	if err == nil {
+		p.logDeliveredLocked(f.Seq, f)
+		return nil
+	}
+	if isAny(err, spash.ErrNotPrimary) {
+		p.deposeLocked(err)
+		return err
+	}
+	if isAny(err, spash.ErrNeedsReseed, spash.ErrReplicaLag) {
+		// The replica's cursor cannot take this frame as-is: resync
+		// (replay the gap or re-seed), then re-ship once.
+		if rerr := p.resyncLocked(); rerr != nil {
+			p.tripLocked(fmt.Sprintf("resync failed: %v", rerr))
+			return p.spillLocked(f)
+		}
+		if err = p.shipRetryLocked(f); err == nil {
+			p.logDeliveredLocked(f.Seq, f)
+			return nil
+		}
+		if isAny(err, spash.ErrNotPrimary) {
+			p.deposeLocked(err)
+			return err
+		}
+	}
+	// Retries exhausted (or the post-resync re-ship failed): degrade.
+	p.tripLocked(err.Error())
+	return p.spillLocked(f)
+}
+
+// spillLocked parks a frame in the bounded spill queue. The frame's
+// local apply already stands, so a full queue sheds the frame with a
+// typed error rather than blocking the write; the shed leaves a
+// cursor gap the drain's finishing resync repairs (replay log
+// permitting) or re-seeds. Caller holds p.mu.
+func (p *Primary) spillLocked(f *Frame) error {
+	sh := boundShard(p.db, f.Shard)
+	if len(p.spill) >= p.opts.SpillLimit {
+		p.shedGap = true
+		p.db.Indexes()[sh].Obs().Inc(obs.CReplSpillSheds)
+		return &spash.ReplicationError{Op: "ship", Shard: f.Shard,
+			Epoch: f.Epoch,
+			Err: fmt.Errorf("spill queue full (%d frames), frame %d shed: %w",
+				len(p.spill), f.Seq, spash.ErrRetryExhausted)}
+	}
+	p.spill = append(p.spill, f)
+	p.spillBytes += int64(frameBytes(f))
+	p.db.Indexes()[sh].Obs().Inc(obs.CReplSpills)
+	p.setSpillGaugesLocked()
+	return nil
+}
+
+// tripLocked opens the breaker (degraded-async mode) and starts the
+// background prober. Caller holds p.mu.
+func (p *Primary) tripLocked(reason string) {
+	if p.state == BreakerOpen {
+		return
+	}
+	p.setBreakerLocked(BreakerOpen, reason)
+	p.db.Indexes()[0].Obs().Inc(obs.CReplBreakerTrips)
+	p.startProberLocked()
+}
+
+// deposeLocked permanently fences the transport path: a newer epoch
+// exists, so nothing this primary ships can ever apply again.
+func (p *Primary) deposeLocked(cause error) {
+	p.deposed = true
+	p.setBreakerLocked(BreakerOpen, fmt.Sprintf("deposed: %v", cause))
+}
+
+// setBreakerLocked moves the breaker and republishes the state gauge
+// (on shard 0's registry, where EvalHealth and spash-top read it).
+func (p *Primary) setBreakerLocked(s BreakerState, reason string) {
+	p.state = s
+	p.reason = reason
+	p.db.Indexes()[0].Obs().SetGauge(obs.GReplBreakerState, int64(s))
+}
+
+// setSpillGaugesLocked republishes the spill-queue levels.
+func (p *Primary) setSpillGaugesLocked() {
+	reg := p.db.Indexes()[0].Obs()
+	reg.SetGauge(obs.GReplSpillDepth, int64(len(p.spill)))
+	reg.SetGauge(obs.GReplSpillBytes, p.spillBytes)
+}
+
+// TryDrain attempts one recovery pass: half-open the breaker, probe
+// the transport with the cursor handshake, ship the spill queue in
+// order, and close the breaker (finishing with a resync that repairs
+// any shed-induced gap). Returns the number of frames drained. A
+// transport still down re-opens the breaker and returns the frames
+// drained so far with the error; a fencing error deposes. Safe to
+// call in any state; the background prober calls it on its period.
+func (p *Primary) TryDrain() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drainLocked()
+}
+
+func (p *Primary) drainLocked() (int, error) {
+	if p.deposed {
+		return 0, &spash.ReplicationError{Op: "drain", Shard: -1,
+			Epoch: p.db.Epoch(), Err: spash.ErrNotPrimary}
+	}
+	if p.state == BreakerClosed && len(p.spill) == 0 {
+		return 0, nil
+	}
+	p.setBreakerLocked(BreakerHalfOpen, p.reason)
+	// Probe: the handshake proves the transport answers before any
+	// frame is committed to it — and its epoch fences a deposed
+	// primary before it wastes ships on frames that can never apply.
+	h, err := p.t.Hello()
+	if err != nil {
+		p.setBreakerLocked(BreakerOpen, fmt.Sprintf("probe failed: %v", err))
+		return 0, fmt.Errorf("repl: probe: %w", err)
+	}
+	if h.Epoch > p.db.Epoch() {
+		ferr := &spash.ReplicationError{Op: "drain", Shard: -1,
+			Epoch: p.db.Epoch(),
+			Err: fmt.Errorf("peer at epoch %d: %w", h.Epoch,
+				spash.ErrNotPrimary)}
+		p.deposeLocked(ferr)
+		return 0, ferr
+	}
+	drained := 0
+	resynced := false
+	for len(p.spill) > 0 {
+		f := p.spill[0]
+		err := p.shipRetryLocked(f)
+		if err != nil && !resynced && isAny(err, spash.ErrNeedsReseed, spash.ErrReplicaLag) {
+			// One automated resync per drain pass: replay or re-seed,
+			// then retry the head frame (a re-seed may have subsumed
+			// it, in which case the re-ship acks as a duplicate).
+			if rerr := p.resyncLocked(); rerr == nil {
+				resynced = true
+				err = p.shipRetryLocked(f)
+			}
+		}
+		if err != nil {
+			if isAny(err, spash.ErrNotPrimary) {
+				p.deposeLocked(err)
+				return drained, err
+			}
+			p.setBreakerLocked(BreakerOpen, fmt.Sprintf("drain stalled: %v", err))
+			return drained, fmt.Errorf("repl: draining spill: %w", err)
+		}
+		p.logDeliveredLocked(f.Seq, f)
+		p.spill = p.spill[1:]
+		p.spillBytes -= int64(frameBytes(f))
+		p.setSpillGaugesLocked()
+		drained++
+	}
+	// Close with a finishing resync: spill sheds left cursor gaps the
+	// queue no longer carries, and only the handshake can see them.
+	if err := p.resyncLocked(); err != nil {
+		if isAny(err, spash.ErrNotPrimary) {
+			p.deposeLocked(err)
+			return drained, err
+		}
+		p.setBreakerLocked(BreakerOpen, fmt.Sprintf("resync failed: %v", err))
+		return drained, err
+	}
+	p.setBreakerLocked(BreakerClosed, "")
+	return drained, nil
+}
+
+// startProberLocked launches the background prober (at most one) that
+// periodically half-opens the breaker and tries a drain until the
+// queue is empty, the primary is deposed, or it is closed. Caller
+// holds p.mu. A negative ProbeInterval disables it (recovery is then
+// driven manually through TryDrain).
+func (p *Primary) startProberLocked() {
+	if p.proberOn || p.opts.ProbeInterval < 0 {
+		return
+	}
+	p.proberOn = true
+	go p.proberLoop()
+}
+
+func (p *Primary) proberLoop() {
+	for {
+		time.Sleep(p.opts.ProbeInterval)
+		p.mu.Lock()
+		if p.closed || p.deposed || (p.state == BreakerClosed && len(p.spill) == 0) {
+			p.proberOn = false
+			p.mu.Unlock()
+			return
+		}
+		_, _ = p.drainLocked()
+		p.mu.Unlock()
+	}
+}

@@ -22,6 +22,29 @@
 // drops, and a deposed primary's later frames arrive with a stale
 // epoch and fail apply with spash.ErrNotPrimary.
 //
+// Delivery is hardened against an arbitrarily hostile transport
+// (drop, delay, duplication, reordering, partition — see
+// FaultyTransport and the chaos drills in internal/crashtest):
+//
+//   - Shipping is at-least-once: every Ship attempt runs under a
+//     per-frame deadline and a bounded retry policy with exponential
+//     backoff and jitter (RetryPolicy). A timed-out frame may still
+//     have been delivered, so retries produce duplicates by design.
+//   - Apply is exactly-once: the replica acks-and-drops duplicates
+//     (Seq at or below its cursor), buffers ahead-of-cursor frames in
+//     a bounded reorder window, and persists a durable applied-seq
+//     cursor (core.Index.SetAppliedSeq on shard 0) after every apply.
+//   - When retries exhaust, the primary trips a circuit breaker into
+//     degraded-async mode: writes keep succeeding locally, frames
+//     spill to a bounded queue, health reports DEGRADED, and a
+//     background prober half-opens the breaker and drains the queue
+//     once the transport recovers.
+//   - A cursor handshake (Transport.Hello) lets the primary detect
+//     what the replica is missing: gaps inside the replay log are
+//     re-shipped, anything older — including an ADR Rejoin that
+//     rolled back applies the cursor covers — triggers an automated
+//     seal-verified FullSync re-seed. No operator step is needed.
+//
 // The Transport is in-process today; the interface is shaped so a
 // future spash-serve wire layer can slot in (frames and fetch
 // requests are plain value types with no shared-memory hooks).
@@ -30,6 +53,7 @@ package repl
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -65,7 +89,7 @@ const (
 
 // Frame is one replication message. Every frame carries the shipping
 // primary's promotion epoch (fencing) and a per-primary sequence
-// number (gap detection).
+// number (duplicate and gap detection).
 type Frame struct {
 	Kind  FrameKind
 	Epoch uint64
@@ -81,10 +105,15 @@ type Frame struct {
 	Val []byte
 
 	// FrameSegment payload: every live pair of the (Prefix, Depth)
-	// hash range. Depth 0 is the whole shard.
-	Prefix uint64
-	Depth  uint
-	KVs    []KV
+	// hash range. Depth 0 is the whole shard. Replace marks the
+	// payload authoritative: the replica deletes local keys in the
+	// range that the payload lacks before upserting it, and re-anchors
+	// its sequence cursor at Seq — the frame that carries a FullSync
+	// or an automated re-seed.
+	Prefix  uint64
+	Depth   uint
+	Replace bool
+	KVs     []KV
 }
 
 // FetchReq asks a peer for the authoritative live contents of one
@@ -95,14 +124,28 @@ type FetchReq struct {
 	Depth  uint
 }
 
+// Hello is the replica's answer to the cursor handshake: its current
+// promotion epoch, the durable applied-sequence cursor (the highest
+// frame whose apply is on its devices), and whether its image can no
+// longer anchor the record stream (an ADR rejoin rolled back applies
+// the cursor covers) and must be re-seeded.
+type Hello struct {
+	Epoch       uint64
+	AppliedSeq  uint64
+	NeedsReseed bool
+}
+
 // Transport carries frames to, and range fetches from, the peer.
 // Ship must be synchronous: it returns only after the peer accepted
 // (or rejected) the frame, so a nil return means the write is on both
 // nodes. A wire implementation would put acknowledgement latency
-// here.
+// here; the retry policy treats any Ship error that is not a typed
+// protocol refusal as transient. Hello is the cheap cursor handshake
+// the primary probes and resyncs with.
 type Transport interface {
 	Ship(f *Frame) error
 	Fetch(req FetchReq) ([]KV, error)
+	Hello() (Hello, error)
 }
 
 // InProc is the in-process Transport: frames apply synchronously to a
@@ -113,26 +156,66 @@ type InProc struct {
 
 func (t *InProc) Ship(f *Frame) error              { return t.R.Apply(f) }
 func (t *InProc) Fetch(req FetchReq) ([]KV, error) { return t.R.Serve(req) }
+func (t *InProc) Hello() (Hello, error)            { return t.R.Hello() }
+
+// replayEntry is one delivered frame retained for cursor-handshake
+// replay. f is nil for frames that cannot be replayed (segment
+// ranges): a gap covering one forces a re-seed.
+type replayEntry struct {
+	seq uint64
+	f   *Frame
+}
 
 // Primary wraps a primary-role DB with shipping: every write applies
-// locally first and then ships to the peer before it is acknowledged.
-// Like the Session it wraps, a Primary is single-worker state — one
-// per goroutine.
+// locally first and then ships to the peer before it is acknowledged
+// (synchronously while the circuit breaker is closed; via the spill
+// queue in degraded-async mode). Like the Session it wraps, a Primary
+// is single-worker state for writes — one per goroutine; the
+// background prober synchronises with the write path internally.
 type Primary struct {
-	db  *spash.DB
-	s   *spash.Session
-	t   Transport
-	seq uint64
+	db   *spash.DB
+	s    *spash.Session
+	t    Transport
+	opts PrimaryOptions
+
+	mu      sync.Mutex
+	seq     uint64 // last allocated frame sequence
+	rng     *rand.Rand
+	state   BreakerState
+	reason  string
+	deposed bool
+	closed  bool
+
+	spill      []*Frame
+	spillBytes int64
+	// shedGap marks that a spill-queue overflow shed at least one
+	// frame: its sequence number is burned and its payload exists only
+	// in the local image, so the next resync must re-seed rather than
+	// trust the delivered cursor.
+	shedGap bool
+
+	replay    []replayEntry
+	delivered uint64 // highest sequence the peer acknowledged
+
+	proberOn bool
 }
 
 // NewPrimary wraps db (which must hold the primary role) for shipping
-// over t.
+// over t with default hardening options.
 func NewPrimary(db *spash.DB, t Transport) (*Primary, error) {
+	return NewPrimaryWith(db, t, PrimaryOptions{})
+}
+
+// NewPrimaryWith wraps db for shipping over t under explicit retry,
+// spill, replay and prober options.
+func NewPrimaryWith(db *spash.DB, t Transport, popts PrimaryOptions) (*Primary, error) {
 	if db.IsReplica() {
 		return nil, &spash.ReplicationError{Op: "new-primary", Shard: -1,
 			Epoch: db.Epoch(), Err: spash.ErrNotPrimary}
 	}
-	return &Primary{db: db, s: db.Session(), t: t}, nil
+	popts = popts.withDefaults()
+	return &Primary{db: db, s: db.Session(), t: t, opts: popts,
+		rng: rand.New(rand.NewSource(popts.Retry.JitterSeed))}, nil
 }
 
 // DB returns the wrapped database.
@@ -142,16 +225,24 @@ func (p *Primary) DB() *spash.DB { return p.db }
 // they never touch the transport).
 func (p *Primary) Session() *spash.Session { return p.s }
 
-// Close releases the primary's session (the DB stays open).
-func (p *Primary) Close() { p.s.Close() }
+// Close releases the primary's session (the DB stays open) and stops
+// the background prober.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.s.Close()
+}
 
 // Get reads locally (primary reads never consult the peer).
 func (p *Primary) Get(key, dst []byte) ([]byte, bool, error) {
 	return p.s.Get(key, dst)
 }
 
-// Insert applies the upsert locally, then ships it. The write is
-// acknowledged (nil error) only once it is on both nodes.
+// Insert applies the upsert locally, then ships it. A nil return
+// means the write is on both nodes while the breaker is closed, or
+// acknowledged locally and parked in the spill queue in
+// degraded-async mode (health reports DEGRADED for the duration).
 func (p *Primary) Insert(key, val []byte) error {
 	if err := p.s.Insert(key, val); err != nil {
 		return err
@@ -182,14 +273,19 @@ func (p *Primary) Delete(key []byte) (bool, error) {
 
 func (p *Primary) shipRecord(op RecOp, key, val []byte) error {
 	sh := spash.ShardOf(key, p.db.Shards())
-	p.seq++
-	f := &Frame{Kind: FrameRecord, Epoch: p.db.Epoch(), Seq: p.seq,
-		Shard: sh, Op: op, Key: key, Val: val}
 	// Ship time is wall-clock, not virtual: the transport (a future
 	// wire layer) is outside the performance model's clock. It feeds
-	// the repl_ship phase histogram directly.
+	// the repl_ship phase histogram directly, retries included.
 	start := time.Now()
-	err := p.t.Ship(f)
+	p.mu.Lock()
+	p.seq++
+	// The frame owns its payload: callers reuse key/val buffers, and
+	// the frame may outlive the call in the spill queue or replay log.
+	f := &Frame{Kind: FrameRecord, Epoch: p.db.Epoch(), Seq: p.seq,
+		Shard: sh, Op: op,
+		Key: append([]byte(nil), key...), Val: append([]byte(nil), val...)}
+	err := p.shipFrameLocked(f)
+	p.mu.Unlock()
 	reg := p.db.Indexes()[sh].Obs()
 	reg.ObservePhaseNS(obs.PhaseReplShip, f.Seq, time.Since(start).Nanoseconds())
 	if err != nil {
@@ -200,23 +296,34 @@ func (p *Primary) shipRecord(op RecOp, key, val []byte) error {
 }
 
 // FullSync ships every shard's full live contents as one seal-verified
-// segment-range frame per shard, seeding a fresh (empty) replica.
-// The primary must be quiescent for the export walk (same contract as
+// segment-range frame per shard. The frames carry Replace semantics,
+// so the pass both seeds a fresh (empty) replica and re-converges a
+// diverged one (stale local keys are deleted on the far side). The
+// primary must be quiescent for the export walk (same contract as
 // Fsck). Returns the number of pairs shipped.
 func (p *Primary) FullSync() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncLocked("full-sync")
+}
+
+// syncLocked ships one Replace segment frame per shard through the
+// retry policy. Caller holds p.mu.
+func (p *Primary) syncLocked(op string) (int, error) {
 	shipped := 0
 	for i, ix := range p.db.Indexes() {
 		kvs, err := exportRange(p.db, i, 0, 0)
 		if err != nil {
-			return shipped, &spash.ReplicationError{Op: "full-sync", Shard: i,
+			return shipped, &spash.ReplicationError{Op: op, Shard: i,
 				Epoch: p.db.Epoch(), Err: err}
 		}
 		p.seq++
 		f := &Frame{Kind: FrameSegment, Epoch: p.db.Epoch(), Seq: p.seq,
-			Shard: i, Prefix: 0, Depth: 0, KVs: kvs}
-		if err := p.t.Ship(f); err != nil {
+			Shard: i, Prefix: 0, Depth: 0, Replace: true, KVs: kvs}
+		if err := p.shipRetryLocked(f); err != nil {
 			return shipped, fmt.Errorf("repl: shipping segment range: %w", err)
 		}
+		p.logDeliveredLocked(f.Seq, nil) // segment ranges are not replayable
 		ix.Obs().Inc(obs.CReplShipSegments)
 		shipped += len(kvs)
 	}
@@ -267,26 +374,84 @@ func (p *Primary) ReadRepair(rep *spash.FsckReport) (*RepairReport, error) {
 	return out, nil
 }
 
+// ReplicaOptions bound the replica's buffering.
+type ReplicaOptions struct {
+	// ReorderWindow caps the ahead-of-cursor frames buffered while a
+	// gap fills (out-of-order delivery). Past the cap — or with the
+	// window disabled — an ahead frame is rejected with ErrReplicaLag
+	// and the sender must retry or resync. Default 64; negative
+	// disables buffering (strict in-order apply).
+	ReorderWindow int
+	// PauseLimit caps the Pause buffer: past it, incoming frames are
+	// shed with ErrReplicaLag (counted in obs as repl_sheds) instead
+	// of growing memory without bound. Default 4096; negative means
+	// unbounded.
+	PauseLimit int
+}
+
+func (ro ReplicaOptions) withDefaults() ReplicaOptions {
+	if ro.ReorderWindow == 0 {
+		ro.ReorderWindow = 64
+	}
+	if ro.ReorderWindow < 0 {
+		ro.ReorderWindow = 0
+	}
+	if ro.PauseLimit == 0 {
+		ro.PauseLimit = 4096
+	}
+	return ro
+}
+
 // Replica wraps a replica-role DB with the apply side of the
-// protocol. All entry points (Apply, Serve, Pause/Resume, Promote)
-// are serialised by one mutex: apply order is ship order.
+// protocol. All entry points (Apply, Serve, Hello, Pause/Resume,
+// Promote) are serialised by one mutex: apply order is cursor order.
 type Replica struct {
-	mu     sync.Mutex
-	db     *spash.DB
-	s      *spash.Session // applier session (write-fence exempt)
-	next   uint64         // last applied (or buffered) sequence number
+	mu   sync.Mutex
+	db   *spash.DB
+	s    *spash.Session // applier session (write-fence exempt)
+	opts ReplicaOptions
+
+	// next is the highest accepted (applied or pause-buffered)
+	// sequence; applied mirrors the durable applied-seq cursor on
+	// shard 0 (everything at or below it is on the devices).
+	next    uint64
+	applied uint64
+	// needsReseed marks an image that can no longer anchor the record
+	// stream: an ADR rejoin rolled back applies the cursor covers.
+	// Only a Replace segment frame (automated re-seed) clears it.
+	needsReseed bool
+	// fresh is set while no frame has been accepted since (re)joining.
+	// A fresh replica provably has nothing in reorder flight (its
+	// window was dropped with the rest of volatile state), so an
+	// ahead-of-cursor frame means loss, not reordering: it is refused
+	// with ErrReplicaLag — the signal that makes the primary replay or
+	// re-seed the gap instead of the window silently acking a frame
+	// whose predecessors will never arrive.
+	fresh bool
+
 	paused bool
 	buf    []*Frame
+	window map[uint64]*Frame
 }
 
 // NewReplica wraps db, which must hold the replica role
-// (spash.Options.Replica).
+// (spash.Options.Replica), with default buffering bounds.
 func NewReplica(db *spash.DB) (*Replica, error) {
+	return NewReplicaWith(db, ReplicaOptions{})
+}
+
+// NewReplicaWith wraps db under explicit buffering bounds. The stream
+// cursor starts at the durable applied cursor on the image (0 on a
+// fresh replica).
+func NewReplicaWith(db *spash.DB, ropts ReplicaOptions) (*Replica, error) {
 	if !db.IsReplica() {
 		return nil, &spash.ReplicationError{Op: "new-replica", Shard: -1,
 			Epoch: db.Epoch(), Err: errors.New("db holds the primary role")}
 	}
-	return &Replica{db: db, s: db.ApplierSession()}, nil
+	applied := db.Indexes()[0].AppliedSeq()
+	return &Replica{db: db, s: db.ApplierSession(), opts: ropts.withDefaults(),
+		next: applied, applied: applied, fresh: true,
+		window: map[uint64]*Frame{}}, nil
 }
 
 // DB returns the wrapped database (reads via its ordinary Sessions).
@@ -299,8 +464,26 @@ func (r *Replica) Close() {
 	r.s.Close()
 }
 
+// Hello answers the cursor handshake: the durable applied cursor and
+// whether the image must be re-seeded.
+func (r *Replica) Hello() (Hello, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Hello{Epoch: r.db.Epoch(), AppliedSeq: r.applied,
+		NeedsReseed: r.needsReseed}, nil
+}
+
+// AppliedSeq returns the durable applied-sequence cursor.
+func (r *Replica) AppliedSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
 // Pause buffers incoming frames instead of applying them (models a
-// slow or stalled applier; the buffered frames are the replica's lag).
+// slow or stalled applier; the buffered frames are the replica's
+// lag). The buffer is bounded by ReplicaOptions.PauseLimit: past it,
+// frames are shed with ErrReplicaLag.
 func (r *Replica) Pause() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -321,14 +504,15 @@ func (r *Replica) Resume() error {
 			return err
 		}
 	}
-	return nil
+	return r.drainWindowLocked()
 }
 
-// Lag returns the number of shipped frames not yet applied.
+// Lag returns the number of shipped frames not yet applied (the pause
+// buffer plus the reorder window).
 func (r *Replica) Lag() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.buf)
+	return len(r.buf) + len(r.window)
 }
 
 // LagBytes returns the payload bytes of the shipped frames not yet
@@ -338,6 +522,9 @@ func (r *Replica) LagBytes() int {
 	defer r.mu.Unlock()
 	n := 0
 	for _, f := range r.buf {
+		n += frameBytes(f)
+	}
+	for _, f := range r.window {
 		n += frameBytes(f)
 	}
 	return n
@@ -353,6 +540,25 @@ func frameBytes(f *Frame) int {
 	return n
 }
 
+// cloneFrame deep-copies a frame the receiver retains beyond the call
+// (reorder window, pause buffer, transport hold queues): senders own
+// and may reuse the original's payload slices.
+func cloneFrame(f *Frame) *Frame {
+	c := *f
+	c.Key = append([]byte(nil), f.Key...)
+	c.Val = append([]byte(nil), f.Val...)
+	if f.KVs != nil {
+		c.KVs = make([]KV, len(f.KVs))
+		for i := range f.KVs {
+			c.KVs[i] = KV{
+				Key: append([]byte(nil), f.KVs[i].Key...),
+				Val: append([]byte(nil), f.KVs[i].Val...),
+			}
+		}
+	}
+	return &c
+}
+
 // setLagGauges republishes the per-shard lag levels (records and
 // bytes behind) onto each shard's registry, where Snapshot and the
 // Prometheus exporter pick them up. Caller holds r.mu.
@@ -360,11 +566,17 @@ func (r *Replica) setLagGauges() {
 	nsh := r.db.Shards()
 	recs := make([]int64, nsh)
 	bytes := make([]int64, nsh)
-	for _, f := range r.buf {
+	count := func(f *Frame) {
 		if f.Shard >= 0 && f.Shard < nsh {
 			recs[f.Shard]++
 			bytes[f.Shard] += int64(frameBytes(f))
 		}
+	}
+	for _, f := range r.buf {
+		count(f)
+	}
+	for _, f := range r.window {
+		count(f)
 	}
 	for i, ix := range r.db.Indexes() {
 		ix.Obs().SetGauge(obs.GReplLagRecords, recs[i])
@@ -372,10 +584,20 @@ func (r *Replica) setLagGauges() {
 	}
 }
 
-// Apply ingests one frame: epoch fencing first, sequence-gap check,
-// then the payload goes through the ordinary crash-consistent
+// pauseFullLocked reports whether the pause buffer is at its cap.
+func (r *Replica) pauseFullLocked() bool {
+	return r.opts.PauseLimit > 0 && len(r.buf) >= r.opts.PauseLimit
+}
+
+// Apply ingests one frame: epoch fencing first, then idempotent
+// cursor accounting — duplicates (Seq at or below the cursor) are
+// acked and dropped, ahead-of-cursor frames buffer in the bounded
+// reorder window, and only the next-in-stream frame reaches the
+// payload path, which goes through the ordinary crash-consistent
 // operation paths of the applier session — never a raw image install,
-// so the replica's devices are recoverable at every instant.
+// so the replica's devices are recoverable at every instant. A
+// Replace segment frame re-anchors the cursor (FullSync / automated
+// re-seed).
 func (r *Replica) Apply(f *Frame) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -391,17 +613,106 @@ func (r *Replica) Apply(f *Frame) error {
 		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
 			Epoch: r.db.Epoch(), Err: spash.ErrNotPrimary}
 	}
-	if f.Seq != r.next+1 {
+	reg := r.db.Indexes()[boundShard(r.db, f.Shard)].Obs()
+	anchor := f.Kind == FrameSegment && f.Replace
+	if r.needsReseed && !anchor {
+		// The image rolled back under the cursor: record frames cannot
+		// anchor (a duplicate ack here would vouch for data the crash
+		// took). Only a re-seed recovers the stream.
 		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
 			Epoch: r.db.Epoch(),
-			Err:   fmt.Errorf("sequence gap (want %d, got %d): %w", r.next+1, f.Seq, spash.ErrReplicaLag)}
+			Err: fmt.Errorf("applied cursor %d unanchored after rollback: %w",
+				r.applied, spash.ErrNeedsReseed)}
 	}
+	switch {
+	case anchor && f.Seq > r.next:
+		// Re-anchor below: the authoritative range image subsumes
+		// whatever sits between the cursor and Seq.
+	case f.Seq <= r.next:
+		reg.Inc(obs.CReplApplyDupes)
+		return nil // duplicate: acked and dropped
+	case f.Seq == r.next+1:
+		// In order: accepted below.
+	default:
+		// Ahead of the cursor: a gap is still in flight somewhere —
+		// unless nothing has been accepted since (re)joining, in which
+		// case the gap is known loss and buffering would ack a frame
+		// that can never apply. Refuse typed; the sender resyncs.
+		if r.fresh {
+			return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+				Epoch: r.db.Epoch(),
+				Err: fmt.Errorf("stream unanchored since (re)join (cursor %d, got %d): %w",
+					r.next, f.Seq, spash.ErrReplicaLag)}
+		}
+		if _, held := r.window[f.Seq]; held {
+			reg.Inc(obs.CReplApplyDupes)
+			return nil
+		}
+		if r.opts.ReorderWindow > 0 && len(r.window) < r.opts.ReorderWindow {
+			r.window[f.Seq] = cloneFrame(f)
+			reg.Inc(obs.CReplReorderBuffered)
+			r.setLagGauges()
+			return nil
+		}
+		reg.Inc(obs.CReplSheds)
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(),
+			Err: fmt.Errorf("sequence gap (want %d, got %d, reorder window full): %w",
+				r.next+1, f.Seq, spash.ErrReplicaLag)}
+	}
+	if r.paused && r.pauseFullLocked() {
+		reg.Inc(obs.CReplSheds)
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(),
+			Err: fmt.Errorf("pause buffer full (%d frames): %w",
+				len(r.buf), spash.ErrReplicaLag)}
+	}
+	if err := r.acceptLocked(f); err != nil {
+		return err
+	}
+	return r.drainWindowLocked()
+}
+
+// drainWindowLocked applies (or pause-buffers) every now-consecutive
+// frame held in the reorder window. Frames that cannot move into a
+// full pause buffer stay in the window — they were already
+// acknowledged, so they must not be shed.
+func (r *Replica) drainWindowLocked() error {
+	for {
+		nf, ok := r.window[r.next+1]
+		if !ok {
+			return nil
+		}
+		if r.paused && r.pauseFullLocked() {
+			return nil
+		}
+		delete(r.window, r.next+1)
+		if err := r.acceptLocked(nf); err != nil {
+			return err
+		}
+	}
+}
+
+// acceptLocked advances the cursor over f and applies it (or buffers
+// it while paused). Caller holds r.mu and has validated the sequence.
+func (r *Replica) acceptLocked(f *Frame) error {
+	if f.Kind == FrameSegment && f.Replace {
+		// The re-anchor subsumes every held frame at or below it.
+		for seq := range r.window {
+			if seq <= f.Seq {
+				delete(r.window, seq)
+			}
+		}
+		r.needsReseed = false
+	}
+	r.fresh = false
 	r.next = f.Seq
 	if r.paused {
-		r.buf = append(r.buf, f)
+		r.buf = append(r.buf, cloneFrame(f))
 		r.setLagGauges()
 		return nil
 	}
+	r.setLagGauges()
 	return r.applyLocked(f)
 }
 
@@ -422,17 +733,70 @@ func (r *Replica) applyLocked(f *Frame) error {
 			return fmt.Errorf("repl: unknown record op %d", int(f.Op))
 		}
 		ix.Obs().Inc(obs.CReplApplyRecords)
-		return nil
 	case FrameSegment:
-		for _, kv := range f.KVs {
-			if err := r.s.Insert(kv.Key, kv.Val); err != nil {
-				return fmt.Errorf("repl: applying segment range: %w", err)
+		if f.Replace {
+			if err := r.reconcileLocked(f); err != nil {
+				return err
+			}
+		} else {
+			for _, kv := range f.KVs {
+				if err := r.s.Insert(kv.Key, kv.Val); err != nil {
+					return fmt.Errorf("repl: applying segment range: %w", err)
+				}
 			}
 		}
 		ix.Obs().Inc(obs.CReplApplySegments)
-		return nil
+	default:
+		return fmt.Errorf("repl: unknown frame kind %d", int(f.Kind))
 	}
-	return fmt.Errorf("repl: unknown frame kind %d", int(f.Kind))
+	r.persistCursorLocked(f.Seq)
+	return nil
+}
+
+// reconcileLocked installs an authoritative range image: local keys
+// in the range that the payload lacks are deleted (a delete the
+// replica missed must not survive a re-seed), then every payload pair
+// upserts. All mutations go through the ordinary crash-consistent
+// operation paths, so the image stays recoverable mid-reconcile.
+func (r *Replica) reconcileLocked(f *Frame) error {
+	have := make(map[string]struct{}, len(f.KVs))
+	for i := range f.KVs {
+		have[string(f.KVs[i].Key)] = struct{}{}
+	}
+	local, err := exportRange(r.db, f.Shard, f.Prefix, f.Depth)
+	if err != nil {
+		return fmt.Errorf("repl: reconciling range: %w", err)
+	}
+	for i := range local {
+		if _, ok := have[string(local[i].Key)]; ok {
+			continue
+		}
+		if _, err := r.s.Delete(local[i].Key); err != nil {
+			return fmt.Errorf("repl: reconciling range: %w", err)
+		}
+	}
+	for _, kv := range f.KVs {
+		if err := r.s.Insert(kv.Key, kv.Val); err != nil {
+			return fmt.Errorf("repl: applying segment range: %w", err)
+		}
+	}
+	return nil
+}
+
+// persistCursorLocked durably advances the applied-seq cursor on
+// shard 0 after an apply completed. Under eADR the cursor is exact;
+// under ADR a crash can roll back applies the cursor covers, which
+// Rejoin detects via the device's lost-line count and converts into a
+// reseed condition.
+func (r *Replica) persistCursorLocked(seq uint64) {
+	if seq <= r.applied {
+		return
+	}
+	ix := r.db.Indexes()[0]
+	c := ix.Pool().NewCtx()
+	ix.SetAppliedSeq(c, seq)
+	c.Release()
+	r.applied = seq
 }
 
 // Serve answers a peer's range fetch with the authoritative live
@@ -457,17 +821,24 @@ func (r *Replica) Serve(req FetchReq) ([]KV, error) {
 
 // Promote turns the replica into the primary: refuse if any shipped
 // frame is still unapplied (promoting over lag would drop writes the
-// old primary acknowledged), then durably advance the epoch on every
-// shard and drop the write fence (spash.DB.Promote). Returns the new
-// epoch. After promotion, Apply rejects everything — the deposed
-// primary's frames by the epoch fence.
+// old primary acknowledged) or the image awaits a re-seed, then
+// durably advance the epoch on every shard and drop the write fence
+// (spash.DB.Promote). Returns the new epoch. After promotion, Apply
+// rejects everything — the deposed primary's frames by the epoch
+// fence.
 func (r *Replica) Promote() (uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.buf) > 0 {
+	if n := len(r.buf) + len(r.window); n > 0 {
 		return 0, &spash.ReplicationError{Op: "promote", Shard: -1,
 			Epoch: r.db.Epoch(),
-			Err:   fmt.Errorf("%d frames unapplied: %w", len(r.buf), spash.ErrReplicaLag)}
+			Err:   fmt.Errorf("%d frames unapplied: %w", n, spash.ErrReplicaLag)}
+	}
+	if r.needsReseed {
+		return 0, &spash.ReplicationError{Op: "promote", Shard: -1,
+			Epoch: r.db.Epoch(),
+			Err: fmt.Errorf("image awaits re-seed (applied cursor %d rolled back): %w",
+				r.applied, spash.ErrNeedsReseed)}
 	}
 	return r.db.Promote()
 }
@@ -477,17 +848,21 @@ func (r *Replica) Promote() (uint64, error) {
 // through spash.RecoverAll — the same recovery path a standalone
 // database uses, which is the point: because apply only ever goes
 // through ordinary operation paths, a replica image is always
-// recoverable. Under eADR nothing is lost and the replica resumes in
-// place; under ADR the roll-back of unflushed applies means the
-// replica must be re-seeded (FullSync) before it can be trusted
-// again.
+// recoverable. The stream cursor is re-derived from the durable
+// applied cursor on the recovered image; buffered (acknowledged but
+// unapplied) frames are gone, and the primary's cursor handshake
+// replays or re-seeds them — no caller bookkeeping. Under eADR
+// nothing applied is lost; under ADR the crash may roll back applies
+// the cursor already covers, in which case the replica marks itself
+// reseed-pending and Rejoin returns a typed ErrNeedsReseed (the
+// replica stays wired: the primary's next ship auto-resyncs).
 func (r *Replica) Rejoin(opts spash.Options) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.s.Close()
 	r.db.Close()
 	platforms := r.db.Platforms()
-	r.db.Crash()
+	lost := r.db.Crash()
 	opts.Replica = true
 	db, err := spash.RecoverAll(platforms, opts)
 	if err != nil {
@@ -495,7 +870,33 @@ func (r *Replica) Rejoin(opts spash.Options) error {
 	}
 	r.db = db
 	r.s = db.ApplierSession()
+	r.paused = false
+	r.buf = nil
+	r.window = map[uint64]*Frame{}
+	r.applied = db.Indexes()[0].AppliedSeq()
+	r.next = r.applied
+	r.fresh = true
+	r.setLagGauges()
+	if lost > 0 {
+		// Unflushed lines rolled back: the image may no longer hold
+		// applies the cursor vouches for. Only a re-seed re-anchors.
+		r.needsReseed = true
+		return &spash.ReplicationError{Op: "rejoin", Shard: -1, Epoch: db.Epoch(),
+			Err: fmt.Errorf("%d unflushed line(s) rolled back under applied cursor %d: %w",
+				lost, r.applied, spash.ErrNeedsReseed)}
+	}
+	r.needsReseed = false
 	return nil
+}
+
+// boundShard clamps a frame's shard into the db's range for metric
+// attribution (a malformed frame must not panic the registry lookup;
+// the payload path validates separately).
+func boundShard(db *spash.DB, sh int) int {
+	if sh < 0 || sh >= db.Shards() {
+		return 0
+	}
+	return sh
 }
 
 // exportRange collects one shard's live pairs in the (prefix, depth)

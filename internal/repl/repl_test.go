@@ -25,24 +25,30 @@ func testOpts(n int) spash.Options {
 }
 
 // pair opens a primary and a replica wired over the in-process
-// transport.
+// transport with default hardening options.
 func pair(t *testing.T, n int) (*repl.Primary, *repl.Replica) {
+	t.Helper()
+	return pairWith(t, n, repl.PrimaryOptions{}, repl.ReplicaOptions{})
+}
+
+// pairWith is pair with explicit hardening options on both ends.
+func pairWith(t *testing.T, n int, popts repl.PrimaryOptions, ropts repl.ReplicaOptions) (*repl.Primary, *repl.Replica) {
 	t.Helper()
 	pdb, err := spash.Open(testOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ropts := testOpts(n)
-	ropts.Replica = true
-	rdb, err := spash.Open(ropts)
+	dopts := testOpts(n)
+	dopts.Replica = true
+	rdb, err := spash.Open(dopts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := repl.NewReplica(rdb)
+	rep, err := repl.NewReplicaWith(rdb, ropts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prim, err := repl.NewPrimary(pdb, &repl.InProc{R: rep})
+	prim, err := repl.NewPrimaryWith(pdb, &repl.InProc{R: rep}, popts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,21 +223,57 @@ func TestPromoteRefusesLag(t *testing.T) {
 	}
 }
 
-func TestSequenceGapDetected(t *testing.T) {
+func mkRecord(seq uint64, i uint64) *repl.Frame {
+	return &repl.Frame{Kind: repl.FrameRecord, Epoch: 1, Seq: seq,
+		Shard: int(spash.ShardOf(key64(i), 2)), Op: repl.RecInsert,
+		Key: key64(i), Val: key64(i)}
+}
+
+func TestSequenceGapBuffersInReorderWindow(t *testing.T) {
 	_, rep := pair(t, 2)
-	mk := func(seq uint64, i uint64) *repl.Frame {
-		return &repl.Frame{Kind: repl.FrameRecord, Epoch: 1, Seq: seq,
-			Shard: int(spash.ShardOf(key64(i), 2)), Op: repl.RecInsert,
-			Key: key64(i), Val: key64(i)}
-	}
-	if err := rep.Apply(mk(1, 1)); err != nil {
+	if err := rep.Apply(mkRecord(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	err := rep.Apply(mk(3, 3)) // skipped seq 2
+	// Ahead of the cursor: buffered, acked, not applied yet.
+	if err := rep.Apply(mkRecord(3, 3)); err != nil {
+		t.Fatalf("ahead-of-cursor frame: %v, want buffered ack", err)
+	}
+	if lag := rep.Lag(); lag != 1 {
+		t.Fatalf("lag with one buffered frame = %d, want 1", lag)
+	}
+	if _, found, _ := rep.DB().Session().Get(key64(3), nil); found {
+		t.Fatal("buffered frame applied before its gap filled")
+	}
+	// The gap frame arrives: both it and the buffered one apply.
+	if err := rep.Apply(mkRecord(2, 2)); err != nil {
+		t.Fatalf("gap-filling frame: %v", err)
+	}
+	if lag := rep.Lag(); lag != 0 {
+		t.Fatalf("lag after gap filled = %d, want 0", lag)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if _, found, err := rep.DB().Session().Get(key64(i), nil); err != nil || !found {
+			t.Fatalf("key %d after window drain: found=%v err=%v", i, found, err)
+		}
+	}
+	if got := rep.AppliedSeq(); got != 3 {
+		t.Fatalf("applied cursor = %d, want 3", got)
+	}
+}
+
+func TestSequenceGapDetected(t *testing.T) {
+	// With the reorder window disabled the replica is strict: a gap is
+	// refused typed, and the missing frame still applies cleanly.
+	_, rep := pairWith(t, 2, repl.PrimaryOptions{},
+		repl.ReplicaOptions{ReorderWindow: -1})
+	if err := rep.Apply(mkRecord(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := rep.Apply(mkRecord(3, 3)) // skipped seq 2
 	if !errors.Is(err, spash.ErrReplicaLag) {
 		t.Fatalf("gap: %v, want ErrReplicaLag", err)
 	}
-	if err := rep.Apply(mk(2, 2)); err != nil {
+	if err := rep.Apply(mkRecord(2, 2)); err != nil {
 		t.Fatalf("in-order frame after gap report: %v", err)
 	}
 }

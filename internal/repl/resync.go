@@ -1,0 +1,119 @@
+// Auto-resync: the cursor handshake (Transport.Hello) tells the
+// primary the replica's durable applied cursor and whether its image
+// rolled back (ADR rejoin). Gaps the bounded replay log still covers
+// are re-shipped frame by frame; anything past the replayable horizon
+// — or a reseed-pending image — gets an automated seal-verified
+// FullSync re-seed. No operator step in either path.
+package repl
+
+import (
+	"fmt"
+
+	"spash"
+	"spash/internal/obs"
+)
+
+// logDeliveredLocked records a delivered frame for cursor-handshake
+// replay. Segment-range frames are logged as nil markers (they are
+// rebuilt from the live image, not replayed), which still lets the
+// contiguity check see the hole they occupy in the stream. The log is
+// trimmed to the configured horizon. Caller holds p.mu.
+func (p *Primary) logDeliveredLocked(seq uint64, f *Frame) {
+	if seq > p.delivered {
+		p.delivered = seq
+	}
+	if p.opts.ReplayLog <= 0 {
+		return
+	}
+	p.replay = append(p.replay, replayEntry{seq: seq, f: f})
+	if excess := len(p.replay) - p.opts.ReplayLog; excess > 0 {
+		p.replay = append([]replayEntry(nil), p.replay[excess:]...)
+	}
+}
+
+// replayableLocked returns the record frames that bridge the replica
+// from applied (exclusive) to the primary's delivered cursor, or nil
+// if the log cannot bridge it: the cursor predates the log's horizon,
+// an entry in the span is a non-replayable marker (segment range), or
+// the stream has a hole (a shed frame never entered the log). Caller
+// holds p.mu.
+func (p *Primary) replayableLocked(applied uint64) []*Frame {
+	if applied >= p.delivered {
+		return []*Frame{}
+	}
+	var out []*Frame
+	want := applied + 1
+	for i := range p.replay {
+		e := &p.replay[i]
+		if e.seq <= applied {
+			continue
+		}
+		if e.seq != want || e.f == nil {
+			return nil
+		}
+		out = append(out, e.f)
+		want++
+	}
+	if want != p.delivered+1 {
+		return nil // log starts past the cursor, or ends short of it
+	}
+	return out
+}
+
+// Resync runs one cursor handshake and whatever repair it calls for
+// (replay or re-seed). Shipping does this automatically — on cursor
+// refusals and when a drain finishes — but a caller can force a pass,
+// e.g. right after wiring a primary to a rejoined replica.
+func (p *Primary) Resync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.deposed {
+		return &spash.ReplicationError{Op: "resync", Shard: -1,
+			Epoch: p.db.Epoch(), Err: spash.ErrNotPrimary}
+	}
+	return p.resyncLocked()
+}
+
+// resyncLocked converges the replica's cursor with the handshake:
+// replay the record frames the log still holds, or re-seed the whole
+// image when it cannot anchor (rollback) or the gap is past the
+// replayable horizon. Caller holds p.mu.
+func (p *Primary) resyncLocked() error {
+	h, err := p.t.Hello()
+	if err != nil {
+		return fmt.Errorf("repl: hello: %w", err)
+	}
+	if h.Epoch > p.db.Epoch() {
+		return &spash.ReplicationError{Op: "resync", Shard: -1,
+			Epoch: p.db.Epoch(),
+			Err: fmt.Errorf("peer at epoch %d: %w", h.Epoch,
+				spash.ErrNotPrimary)}
+	}
+	reg := p.db.Indexes()[0].Obs()
+	reg.Inc(obs.CReplResyncs)
+	// A shed frame's payload exists only in the local image — no log
+	// entry, no queue slot — so the delivered cursor cannot be trusted
+	// until a re-seed rebuilds the replica from that image.
+	if !h.NeedsReseed && !p.shedGap {
+		if h.AppliedSeq >= p.delivered {
+			return nil // caught up (or ahead of anything we delivered)
+		}
+		if frames := p.replayableLocked(h.AppliedSeq); frames != nil {
+			for _, f := range frames {
+				if err := p.shipRetryLocked(f); err != nil {
+					return fmt.Errorf("repl: replaying frame %d: %w", f.Seq, err)
+				}
+				reg.Inc(obs.CReplReplays)
+			}
+			return nil
+		}
+	}
+	// Re-seed: rollback, shed gap, or a cursor past the replayable
+	// horizon.
+	reg.Inc(obs.CReplReseeds)
+	if _, err := p.syncLocked("reseed"); err != nil {
+		return err
+	}
+	p.shedGap = false
+	return nil
+}

@@ -27,8 +27,29 @@ var (
 	// ErrReplicaLag is returned (wrapped in a *ReplicationError) when
 	// an operation requires a fully caught-up replica — promotion with
 	// unapplied frames buffered loses acknowledged writes, so it is
-	// refused.
+	// refused. The replica's apply path also wraps it when a frame
+	// cannot be accepted yet (sequence gap past the reorder window, or
+	// a full pause buffer sheds the frame): the sender must retry or
+	// resync.
 	ErrReplicaLag = errors.New("spash: replica lags the primary")
+	// ErrTransportTimeout is returned (wrapped in a *ReplicationError)
+	// when one Ship attempt misses its per-frame deadline. The retry
+	// policy (internal/repl.RetryPolicy) treats it as transient and
+	// retries with backoff; the frame may still have been delivered —
+	// the replica's idempotent apply absorbs the duplicate.
+	ErrTransportTimeout = errors.New("spash: replication transport timeout")
+	// ErrRetryExhausted is returned (wrapped in a *ReplicationError)
+	// when every retry of a frame failed and the primary tripped its
+	// circuit breaker into degraded-async mode, or when the bounded
+	// spill queue is full and a write's frame had to be refused.
+	ErrRetryExhausted = errors.New("spash: replication retries exhausted")
+	// ErrNeedsReseed is returned (wrapped in a *ReplicationError) when
+	// a replica's durable applied cursor can no longer anchor the
+	// record stream: an ADR rejoin rolled back applies the cursor
+	// covers, or the cursor fell behind the primary's replayable
+	// horizon. The primary's auto-resync answers it with a
+	// seal-verified FullSync re-seed; no operator step is needed.
+	ErrNeedsReseed = errors.New("spash: replica needs reseed")
 )
 
 // ReplicationError is the typed error of the replication protocol:

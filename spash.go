@@ -169,8 +169,14 @@ func DescribeError(err error) string {
 		switch {
 		case errors.Is(err, ErrNotPrimary):
 			return fmt.Sprintf("%v (this node is a replica or was fenced by a newer epoch; retry against the current primary)", re)
+		case errors.Is(err, ErrNeedsReseed):
+			return fmt.Sprintf("%v (replica state rolled back past the replayable horizon; the primary's auto-resync re-seeds it via FullSync)", re)
 		case errors.Is(err, ErrReplicaLag):
 			return fmt.Sprintf("%v (drain the apply stream, then retry the promotion)", re)
+		case errors.Is(err, ErrRetryExhausted):
+			return fmt.Sprintf("%v (circuit breaker open, degraded-async shipping; writes continue locally and the prober drains the spill queue on recovery)", re)
+		case errors.Is(err, ErrTransportTimeout):
+			return fmt.Sprintf("%v (transport missed its per-frame deadline; the retry policy backs off and re-ships)", re)
 		}
 		return re.Error()
 	}
