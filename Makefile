@@ -6,7 +6,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint vet staticcheck govulncheck fuzz-smoke clean
+.PHONY: all build test race lint vet staticcheck govulncheck fuzz-smoke serve-smoke clean
 
 all: build test
 
@@ -18,7 +18,8 @@ test:
 
 race:
 	go test -race ./internal/core ./internal/pmem ./internal/htm ./internal/obs \
-		./internal/harness ./internal/shard ./internal/alloc
+		./internal/harness ./internal/shard ./internal/alloc ./internal/repl \
+		./internal/resp ./internal/server
 	go test -race . -run 'Sharded|Shard|Close|Scrubber'
 	go test -race ./internal/crashtest -short
 
@@ -52,6 +53,22 @@ govulncheck:
 fuzz-smoke:
 	go test ./internal/core -run '^$$' -fuzz=FuzzInsertSearchDelete -fuzztime=30s
 	go test ./internal/core -run '^$$' -fuzz=FuzzSlotCodec -fuzztime=30s
+	go test ./internal/resp -run '^$$' -fuzz=FuzzReadCommand -fuzztime=30s
+	go test ./internal/resp -run '^$$' -fuzz=FuzzReadReply -fuzztime=30s
+
+# serve-smoke starts spash-serve on loopback, runs a short pipelined
+# YCSB scan against it and checks the artifact, mirroring CI's job.
+serve-smoke:
+	mkdir -p bin
+	go build -o bin/spash-serve ./cmd/spash-serve
+	go build -o bin/spash-cli ./cmd/spash-cli
+	go build -o bin/spash-ycsb ./cmd/spash-ycsb
+	bin/spash-serve -addr 127.0.0.1:6399 -shards 2 & \
+		pid=$$!; sleep 1; \
+		printf 'put smoke v1\nget smoke\nquit\n' | bin/spash-cli -connect 127.0.0.1:6399; \
+		bin/spash-ycsb -net 127.0.0.1:6399 -records 20000 -ops 40000 \
+			-connections 1,4,16 -shards 2 -json /tmp/BENCH_serve_smoke.json; \
+		kill -INT $$pid; wait $$pid
 
 clean:
 	rm -rf bin

@@ -2,9 +2,14 @@
 // simulated PM device: put/get/update/delete keys, inspect index and
 // memory statistics, and inject power failures with recovery.
 //
+// With -connect host:port it instead speaks RESP to a running
+// spash-serve (same client code as spash-ycsb -net), so the wire
+// front end is testable without redis-cli.
+//
 // Usage:
 //
 //	spash-cli [-shards N]
+//	spash-cli -connect 127.0.0.1:6399
 //	> put user1 hello
 //	> get user1
 //	> stats
@@ -24,7 +29,12 @@ import (
 
 func main() {
 	shards := flag.Int("shards", 1, "shard count (independent devices + HTM domains)")
+	connect := flag.String("connect", "", "connect to a running spash-serve at host:port instead of opening a local index")
 	flag.Parse()
+	if *connect != "" {
+		runConnect(*connect)
+		return
+	}
 	opts := spash.Options{Shards: *shards}
 	db, err := spash.Open(opts)
 	if err != nil {

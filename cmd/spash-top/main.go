@@ -174,12 +174,40 @@ func render(w interface{ WriteString(string) (int, error) }, cur, prev *frame, i
 	// the health verdict; retry/resync counters are cumulative (not
 	// interval-diffed) so a glance shows whether the transport has ever
 	// struggled.
-	fmt.Fprintf(&b, "repl: breaker %s  spill %d frame(s)  retries %d  resyncs %d (replays %d, reseeds %d)\n\n",
+	fmt.Fprintf(&b, "repl: breaker %s  spill %d frame(s)  retries %d  resyncs %d (replays %d, reseeds %d)\n",
 		repl.BreakerState(h.BreakerState), h.SpillDepth,
 		cur.agg.Counters[obs.CounterNames[obs.CReplRetries]],
 		cur.agg.Counters[obs.CounterNames[obs.CReplResyncs]],
 		cur.agg.Counters[obs.CounterNames[obs.CReplReplays]],
 		cur.agg.Counters[obs.CounterNames[obs.CReplReseeds]])
+
+	// RESP front end (spash-serve): shown only when the feed's process
+	// has ever accepted a connection, so library-only exporters keep
+	// their old frame layout. Connection/inflight are levels; commands
+	// and batch shape come from the interval view.
+	if _, serving := cur.agg.Counters[obs.CounterNames[obs.CServeAccepts]]; serving {
+		cmds := view.Counters[obs.CounterNames[obs.CServeCmds]]
+		batch := view.Hists[obs.HistNames[obs.HServeBatch]]
+		if secs > 0 {
+			fmt.Fprintf(&b, "serve: conns %d  inflight %d  %s cmds/s",
+				cur.agg.Gauges[obs.GaugeNames[obs.GServeConns]],
+				cur.agg.Gauges[obs.GaugeNames[obs.GServeInflight]],
+				fmtCount(int64(float64(cmds)/secs)))
+		} else {
+			fmt.Fprintf(&b, "serve: conns %d  inflight %d  %s cmds",
+				cur.agg.Gauges[obs.GaugeNames[obs.GServeConns]],
+				cur.agg.Gauges[obs.GaugeNames[obs.GServeInflight]],
+				fmtCount(cmds))
+		}
+		fmt.Fprintf(&b, "  batch p50/p99 %d/%d  get/set/del/other %s/%s/%s/%s  errors %d\n",
+			batch.Percentile(50), batch.Percentile(99),
+			fmtCount(view.Counters[obs.CounterNames[obs.CServeCmdGet]]),
+			fmtCount(view.Counters[obs.CounterNames[obs.CServeCmdSet]]),
+			fmtCount(view.Counters[obs.CounterNames[obs.CServeCmdDel]]),
+			fmtCount(view.Counters[obs.CounterNames[obs.CServeCmdOther]]),
+			cur.agg.Counters[obs.CounterNames[obs.CServeErrors]])
+	}
+	b.WriteString("\n")
 
 	commits := view.HTM.Commits
 	aborts := view.HTM.Conflicts + view.HTM.Capacities + view.HTM.Explicits

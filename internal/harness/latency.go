@@ -26,6 +26,11 @@ func (h *LatencyHist) add(batch []int64) {
 	h.mu.Unlock()
 }
 
+// Add records a batch of externally measured latency samples (ns) —
+// the wall-clock path of spash-ycsb -net, which never goes through
+// the virtual-clock sampling of RunWithLatency.
+func (h *LatencyHist) Add(batch []int64) { h.add(batch) }
+
 // sortedSamples returns an ascending copy of the samples, built under
 // the lock on first use after a mutation and cached so repeated
 // percentile queries sort once. The samples themselves are never

@@ -126,11 +126,13 @@ func mixSource(mix ycsb.Mix, n uint64, theta float64, valSize int, seed int64) O
 	}
 }
 
-// loadIndex bulk-loads n keys with the given value size (8 = inline
-// 8-byte keys, otherwise 16-byte keys). Returns the load-phase result.
-func loadIndex(ix ixapi.Index, workers, n, valSize int, pipeline bool) Result {
-	per := n / workers
-	src := func(id int) func(i int) Op {
+// LoadSource is the bulk-load op stream: worker id inserts keys
+// [id*per, (id+1)*per) with the standard key/value encoding (8 =
+// inline 8-byte keys, otherwise 16-byte keys). Shared by the harness
+// load phase and the network load of spash-ycsb -net, so both sides
+// of a net-vs-inproc comparison populate an identical keyspace.
+func LoadSource(per, valSize int) OpSource {
+	return func(id int) func(i int) Op {
 		kb := make([]byte, keyBytes16)
 		vb := make([]byte, valSize)
 		start := uint64(id * per)
@@ -144,7 +146,13 @@ func loadIndex(ix ixapi.Index, workers, n, valSize int, pipeline bool) Result {
 			return Op{Kind: ycsb.OpInsert, Key: ycsb.KeyBytes(kb, kid), Val: vb}
 		}
 	}
-	return RunWorkload("load", ix, workers, per, pipeline, src)
+}
+
+// loadIndex bulk-loads n keys with the given value size (8 = inline
+// 8-byte keys, otherwise 16-byte keys). Returns the load-phase result.
+func loadIndex(ix ixapi.Index, workers, n, valSize int, pipeline bool) Result {
+	per := n / workers
+	return RunWorkload("load", ix, workers, per, pipeline, LoadSource(per, valSize))
 }
 
 // mustOpen builds an entry's index on the scale's platform.

@@ -116,6 +116,21 @@ const (
 	CReplReplays
 	CReplReseeds
 
+	// Serving-layer counters (internal/server). CServeAccepts counts
+	// accepted connections; CServeCmds counts commands executed, with
+	// CServeCmdGet/Set/Del/Other breaking them out by verb family;
+	// CServeBatches counts ExecBatch calls made on behalf of
+	// connections (one per drained read burst); CServeErrors counts
+	// error replies written (protocol and command errors alike).
+	CServeAccepts
+	CServeCmds
+	CServeCmdGet
+	CServeCmdSet
+	CServeCmdDel
+	CServeCmdOther
+	CServeBatches
+	CServeErrors
+
 	numCounters
 )
 
@@ -163,6 +178,14 @@ var CounterNames = [...]string{
 	CReplResyncs:         "repl_resyncs",
 	CReplReplays:         "repl_replays",
 	CReplReseeds:         "repl_reseeds",
+	CServeAccepts:        "serve_accepts",
+	CServeCmds:           "serve_cmds",
+	CServeCmdGet:         "serve_cmd_get",
+	CServeCmdSet:         "serve_cmd_set",
+	CServeCmdDel:         "serve_cmd_del",
+	CServeCmdOther:       "serve_cmd_other",
+	CServeBatches:        "serve_batches",
+	CServeErrors:         "serve_errors",
 }
 
 // Gauge identifies one last-value metric: a level (not a rate) that a
@@ -186,6 +209,12 @@ const (
 	GReplBreakerState
 	GReplSpillDepth
 	GReplSpillBytes
+	// GServeConns: currently open server connections.
+	// GServeInflight: ops parsed but not yet replied to, summed over
+	// connections — the live pipelining depth the backpressure window
+	// bounds.
+	GServeConns
+	GServeInflight
 
 	numGauges
 )
@@ -199,6 +228,8 @@ var GaugeNames = [...]string{
 	GReplBreakerState:  "repl_breaker_state",
 	GReplSpillDepth:    "repl_spill_depth",
 	GReplSpillBytes:    "repl_spill_bytes",
+	GServeConns:        "serve_conns",
+	GServeInflight:     "serve_inflight",
 }
 
 // Hist identifies one bounded-value histogram.
@@ -213,6 +244,10 @@ const (
 	// restructure time (split/merge), the distribution behind the
 	// load-factor claim of Fig 9.
 	HSegOccupancy
+	// HServeBatch is the op count of one server-side ExecBatch (the
+	// size of a drained read burst, clamped at the backpressure
+	// window). Values ≥ histBuckets land in the top bucket.
+	HServeBatch
 
 	numHists
 )
@@ -221,6 +256,7 @@ const (
 var HistNames = [...]string{
 	HProbeLen:     "probe_len",
 	HSegOccupancy: "seg_occupancy",
+	HServeBatch:   "serve_batch",
 }
 
 // histBuckets is the value range of a histogram: values are clamped to

@@ -1,0 +1,79 @@
+package resp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCommand feeds arbitrary bytes through the command parser.
+// The invariant is "no panic, no hang, no garbage": every outcome is a
+// parsed command, a typed protocol error, or EOF — and parsing the
+// same input in one-byte chunks must agree with parsing it whole.
+func FuzzReadCommand(f *testing.F) {
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("PING\r\nGET k\r\n"))
+	f.Add([]byte("*1\r\n$-1\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$100\r\nshort\r\n"))
+	f.Add([]byte("*0\r\n\r\n*abc\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte{'*', 0xff, '\r', '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		whole := collect(data, len(data)+1)
+		byOne := collect(data, 1)
+		if len(whole) != len(byOne) {
+			t.Fatalf("chunking changed command count: %d vs %d", len(whole), len(byOne))
+		}
+		for i := range whole {
+			if len(whole[i]) != len(byOne[i]) {
+				t.Fatalf("cmd %d: arity %d vs %d", i, len(whole[i]), len(byOne[i]))
+			}
+			for j := range whole[i] {
+				if !bytes.Equal(whole[i][j], byOne[i][j]) {
+					t.Fatalf("cmd %d arg %d: %q vs %q", i, j, whole[i][j], byOne[i][j])
+				}
+			}
+		}
+	})
+}
+
+// collect parses data (delivered chunk bytes at a time) to exhaustion,
+// copying out each command. It stops at the first error.
+func collect(data []byte, chunk int) [][][]byte {
+	rd := NewReaderSize(&chunkReader{data: append([]byte(nil), data...), n: chunk}, 512)
+	var out [][][]byte
+	for {
+		args, err := rd.ReadCommand()
+		if err != nil {
+			return out
+		}
+		cp := make([][]byte, len(args))
+		for i, a := range args {
+			cp[i] = append([]byte(nil), a...)
+		}
+		out = append(out, cp)
+		rd.Release()
+	}
+}
+
+// FuzzReadReply does the same for the reply parser (client side).
+func FuzzReadReply(f *testing.F) {
+	f.Add([]byte("+OK\r\n:1\r\n$2\r\nhi\r\n*2\r\n:1\r\n:2\r\n"))
+	f.Add([]byte("$-1\r\n*-1\r\n-ERR x\r\n"))
+	f.Add([]byte("*2\r\n*1\r\n:5\r\n+a\r\n"))
+	f.Add([]byte{'*', '9', '\r', '\n', ':'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		rd := NewReaderSize(bytes.NewReader(data), 512)
+		for i := 0; i < 1<<12; i++ {
+			if _, err := rd.ReadReply(); err != nil {
+				return
+			}
+			rd.Release()
+		}
+	})
+}

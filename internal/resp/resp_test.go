@@ -1,0 +1,391 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader delivers its payload n bytes at a time to exercise the
+// incremental-parse paths (errIncomplete → fill → resume).
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func argsToStrings(args [][]byte) []string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		out[i] = string(a)
+	}
+	return out
+}
+
+func TestReadCommandConformance(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		want  [][]string // commands in order
+		fatal bool       // expect a fatal protocol error after want
+		errAt string     // substring of the expected error
+	}{
+		{
+			name: "multibulk basic",
+			in:   "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n",
+			want: [][]string{{"SET", "k", "v"}},
+		},
+		{
+			name: "multibulk empty values",
+			in:   "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$0\r\n\r\n",
+			want: [][]string{{"SET", "k", ""}},
+		},
+		{
+			name: "multibulk binary value",
+			in:   "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$4\r\n\r\n\x00\xff\r\n",
+			want: [][]string{{"SET", "k", "\r\n\x00\xff"}},
+		},
+		{
+			name: "inline basic",
+			in:   "PING\r\n",
+			want: [][]string{{"PING"}},
+		},
+		{
+			name: "inline multiple words and tabs",
+			in:   "SET  k\tv\r\n",
+			want: [][]string{{"SET", "k", "v"}},
+		},
+		{
+			name: "inline bare LF",
+			in:   "PING\n",
+			want: [][]string{{"PING"}},
+		},
+		{
+			name: "empty inline lines skipped",
+			in:   "\r\n\r\nPING\r\n",
+			want: [][]string{{"PING"}},
+		},
+		{
+			name: "zero-length multibulk skipped",
+			in:   "*0\r\nPING\r\n",
+			want: [][]string{{"PING"}},
+		},
+		{
+			name: "pipelined mixed",
+			in:   "PING\r\n*2\r\n$3\r\nGET\r\n$1\r\nk\r\nECHO hi\r\n",
+			want: [][]string{{"PING"}, {"GET", "k"}, {"ECHO", "hi"}},
+		},
+		{
+			name:  "bad multibulk count",
+			in:    "*abc\r\n",
+			fatal: true,
+			errAt: "invalid multibulk length",
+		},
+		{
+			name:  "negative multibulk count",
+			in:    "*-5\r\n",
+			fatal: true,
+			errAt: "invalid multibulk length",
+		},
+		{
+			name:  "non-dollar element",
+			in:    "*1\r\n:5\r\n",
+			fatal: true,
+			errAt: "expected '$'",
+		},
+		{
+			name:  "bad bulk length",
+			in:    "*1\r\n$x\r\n",
+			fatal: true,
+			errAt: "invalid bulk length",
+		},
+		{
+			name:  "negative bulk length in command",
+			in:    "*1\r\n$-1\r\n",
+			fatal: true,
+			errAt: "invalid bulk length",
+		},
+		{
+			name:  "bulk missing CRLF",
+			in:    "*1\r\n$2\r\nabXY",
+			fatal: true,
+			errAt: "missing CRLF",
+		},
+		{
+			name:  "good then bad frame",
+			in:    "PING\r\n*1\r\n$boom\r\n",
+			want:  [][]string{{"PING"}},
+			fatal: true,
+			errAt: "invalid bulk length",
+		},
+	}
+	for _, tc := range cases {
+		for _, chunk := range []int{1 << 20, 1, 3} {
+			t.Run(tc.name, func(t *testing.T) {
+				rd := NewReaderSize(&chunkReader{data: []byte(tc.in), n: chunk}, 512)
+				for i, want := range tc.want {
+					args, err := rd.ReadCommand()
+					if err != nil {
+						t.Fatalf("cmd %d: unexpected error: %v", i, err)
+					}
+					got := argsToStrings(args)
+					if strings.Join(got, "\x00") != strings.Join(want, "\x00") {
+						t.Fatalf("cmd %d: got %q want %q", i, got, want)
+					}
+					rd.Release()
+				}
+				_, err := rd.ReadCommand()
+				if tc.fatal {
+					if !IsFatal(err) {
+						t.Fatalf("expected fatal protocol error, got %v", err)
+					}
+					if tc.errAt != "" && !strings.Contains(err.Error(), tc.errAt) {
+						t.Fatalf("error %q does not contain %q", err, tc.errAt)
+					}
+				} else if !errors.Is(err, io.EOF) {
+					t.Fatalf("expected EOF, got %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestTryReadCommandDoesNotTouchSource(t *testing.T) {
+	// TryReadCommand must only parse already-buffered bytes: a source
+	// that panics on Read proves no fill happens.
+	rd := NewReader(panicReader{})
+	// Pre-seed the buffer by hand.
+	seed := []byte("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n*1\r\n$4\r\nPI") // second command incomplete
+	copy(rd.buf, seed)
+	rd.w = len(seed)
+
+	args, ok, err := rd.TryReadCommand()
+	if err != nil || !ok {
+		t.Fatalf("first TryReadCommand: ok=%v err=%v", ok, err)
+	}
+	if got := argsToStrings(args); got[0] != "GET" || got[1] != "k" {
+		t.Fatalf("got %q", got)
+	}
+	_, ok, err = rd.TryReadCommand()
+	if err != nil {
+		t.Fatalf("second TryReadCommand err: %v", err)
+	}
+	if ok {
+		t.Fatal("second TryReadCommand reported a complete command from a partial frame")
+	}
+}
+
+type panicReader struct{}
+
+func (panicReader) Read([]byte) (int, error) { panic("TryReadCommand read from source") }
+
+func TestZeroCopyAliasing(t *testing.T) {
+	payload := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"
+	rd := NewReader(bytes.NewReader([]byte(payload)))
+	args, err := rd.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The value slice must point into the reader's buffer (zero copy).
+	val := args[2]
+	inBuf := false
+	for i := range rd.buf {
+		if &rd.buf[i] == &val[0] {
+			inBuf = true
+			break
+		}
+	}
+	if !inBuf {
+		t.Fatal("argument does not alias the reader buffer")
+	}
+}
+
+func TestAliasesSurviveFillWithoutRelease(t *testing.T) {
+	// Reading a second command before releasing the first must not
+	// move the first command's bytes, even when the read forces fills
+	// (and would otherwise compact or grow the buffer).
+	payload := "*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$5\r\nfirst\r\n" +
+		"*3\r\n$3\r\nSET\r\n$2\r\nk2\r\n$600\r\n" + strings.Repeat("z", 600) + "\r\n"
+	rd := NewReaderSize(&chunkReader{data: []byte(payload), n: 5}, 512)
+	first, err := rd.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, v1 := first[1], first[2]
+	second, err := rd.ReadCommand() // forces fills + growth, no Release yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(k1) != "k1" || string(v1) != "first" {
+		t.Fatalf("first command corrupted by later fill: key=%q val=%q", k1, v1)
+	}
+	if string(second[1]) != "k2" || len(second[2]) != 600 {
+		t.Fatalf("second command wrong: %q len=%d", second[1], len(second[2]))
+	}
+}
+
+func TestReleaseCompaction(t *testing.T) {
+	// Feed many commands through a small buffer; Release must reclaim
+	// space so the buffer does not grow without bound.
+	var stream bytes.Buffer
+	for i := 0; i < 1000; i++ {
+		stream.WriteString("*3\r\n$3\r\nSET\r\n$4\r\nkey1\r\n$8\r\nvalue999\r\n")
+	}
+	rd := NewReaderSize(&stream, 512)
+	for i := 0; i < 1000; i++ {
+		if _, err := rd.ReadCommand(); err != nil {
+			t.Fatalf("cmd %d: %v", i, err)
+		}
+		rd.Release()
+	}
+	if len(rd.buf) > 4096 {
+		t.Fatalf("buffer grew to %d despite Release", len(rd.buf))
+	}
+}
+
+func TestLargeBulkGrowsBuffer(t *testing.T) {
+	big := bytes.Repeat([]byte{'x'}, 200<<10) // larger than the 64 KiB initial buffer
+	var stream bytes.Buffer
+	wr := NewWriter(&stream)
+	wr.Command([]byte("SET"), []byte("k"), big)
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&stream)
+	args, err := rd.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(args[2], big) {
+		t.Fatal("large bulk payload mismatch")
+	}
+}
+
+func TestOversizeBulkIsFatal(t *testing.T) {
+	rd := NewReader(strings.NewReader("*1\r\n$999999999999\r\n"))
+	_, err := rd.ReadCommand()
+	if !IsFatal(err) {
+		t.Fatalf("expected fatal error for oversize bulk, got %v", err)
+	}
+}
+
+func TestWriterReplies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("OK")
+	w.Error("ERR boom\r\nwith newline")
+	w.Int(-42)
+	w.Bulk([]byte("hello"))
+	w.NullBulk()
+	w.Array(2)
+	w.BulkString("a")
+	w.BulkString("b")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR boom  with newline\r\n:-42\r\n$5\r\nhello\r\n$-1\r\n*2\r\n$1\r\na\r\n$1\r\nb\r\n"
+	if buf.String() != want {
+		t.Fatalf("got %q want %q", buf.String(), want)
+	}
+}
+
+func TestReadReply(t *testing.T) {
+	in := "+OK\r\n-ERR boom\r\n:123\r\n$5\r\nhello\r\n$-1\r\n*3\r\n:1\r\n$1\r\nx\r\n*-1\r\n*0\r\n"
+	for _, chunk := range []int{1 << 20, 1, 7} {
+		rd := NewReader(&chunkReader{data: []byte(in), n: chunk})
+		r, err := rd.ReadReply()
+		if err != nil || r.Kind != SimpleString || string(r.Str) != "OK" {
+			t.Fatalf("simple: %+v %v", r, err)
+		}
+		r, err = rd.ReadReply()
+		if err != nil || !r.IsError() || r.Err() == nil || string(r.Str) != "ERR boom" {
+			t.Fatalf("error: %+v %v", r, err)
+		}
+		r, err = rd.ReadReply()
+		if err != nil || r.Kind != Integer || r.Int != 123 {
+			t.Fatalf("int: %+v %v", r, err)
+		}
+		r, err = rd.ReadReply()
+		if err != nil || r.Kind != BulkString || string(r.Str) != "hello" {
+			t.Fatalf("bulk: %+v %v", r, err)
+		}
+		r, err = rd.ReadReply()
+		if err != nil || !r.Null {
+			t.Fatalf("null bulk: %+v %v", r, err)
+		}
+		r, err = rd.ReadReply()
+		if err != nil || r.Kind != Array || len(r.Arr) != 3 {
+			t.Fatalf("array: %+v %v", r, err)
+		}
+		if r.Arr[0].Int != 1 || string(r.Arr[1].Str) != "x" || !r.Arr[2].Null {
+			t.Fatalf("array elements: %+v", r.Arr)
+		}
+		r, err = rd.ReadReply()
+		if err != nil || r.Kind != Array || len(r.Arr) != 0 || r.Null {
+			t.Fatalf("empty array: %+v %v", r, err)
+		}
+		rd.Release()
+	}
+}
+
+func TestReadReplyBadType(t *testing.T) {
+	rd := NewReader(strings.NewReader("?what\r\n"))
+	_, err := rd.ReadReply()
+	if !IsFatal(err) {
+		t.Fatalf("expected fatal, got %v", err)
+	}
+}
+
+func TestClientPipeline(t *testing.T) {
+	// Round-trip a pipelined burst through an in-memory "connection".
+	var wire bytes.Buffer
+	srvW := NewWriter(&wire)
+	srvW.SimpleString("OK")
+	srvW.Bulk([]byte("v1"))
+	srvW.Int(1)
+	if err := srvW.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&wire)
+	for i, want := range []ReplyKind{SimpleString, BulkString, Integer} {
+		r, err := rd.ReadReply()
+		if err != nil || r.Kind != want {
+			t.Fatalf("reply %d: %+v %v", i, r, err)
+		}
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true}, {"123", 123, true}, {"-7", -7, true},
+		{"", 0, false}, {"-", 0, false}, {"1a", 0, false},
+		{"99999999999999999999", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseInt([]byte(c.in))
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseInt(%q) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

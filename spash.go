@@ -480,6 +480,14 @@ func (db *DB) ExportSources() obs.Sources {
 	}
 }
 
+// Obs returns shard 0's metrics registry. Layers above the index
+// (internal/server) record their own counters, gauges, and histograms
+// here so they flow through the same snapshot aggregation and export
+// feeds as the engine's.
+func (db *DB) Obs() *obs.Registry {
+	return db.units[0].Ix.Obs()
+}
+
 // Group exposes the virtual-time serialisation group (benchmarking) of
 // a single-shard DB. It panics on a multi-shard DB — use Groups there
 // (each shard serialises independently; the harness bounds elapsed
