@@ -94,7 +94,8 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		obs.SetDefault(nil, func() obs.Snapshot { return curRec.Load().Obs() })
-		addr, err := obs.Serve(*metricsAddr)
+		// The metrics server intentionally lives until process exit.
+		addr, _, err := obs.Serve(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)

@@ -47,13 +47,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	stopMetrics := func() {}
 	if *metricsAddr != "" {
 		obs.SetSources(db.ExportSources())
-		maddr, err := obs.Serve(*metricsAddr)
+		maddr, stop, err := obs.Serve(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)
 		}
+		stopMetrics = stop
 		fmt.Printf("metrics: http://%s/metrics (also /debug/spash/*, /debug/vars, /debug/pprof)\n", maddr)
 	}
 
@@ -75,6 +77,7 @@ func main() {
 	fmt.Println("spash-serve: draining...")
 	start := time.Now()
 	_ = srv.Close()
+	stopMetrics()
 	db.Close()
 	fmt.Printf("spash-serve: drained in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -5,11 +5,24 @@
 //	go run ./cmd/spash-vet ./...            # whole module
 //	go run ./cmd/spash-vet -summary ./...   # + suppressions & annotations
 //	go run ./cmd/spash-vet -json ./...      # machine-readable findings
+//	go run ./cmd/spash-vet -sarif ./...     # SARIF 2.1.0 (code scanning)
+//	go run ./cmd/spash-vet -baseline .spash-vet-baseline ./...
+//	go run ./cmd/spash-vet -write-baseline .spash-vet-baseline ./...
+//
+// A baseline file lists findings that do not fail the run
+// (path:analyzer:message, sorted, deduplicated). Baselines only
+// shrink: entries matching no current finding fail the run as stale.
 //
 // As a vet tool (one package per invocation, driven by the go command):
 //
 //	go build -o /tmp/spash-vet ./cmd/spash-vet
 //	go vet -vettool=/tmp/spash-vet ./...
+//
+// In vettool mode the units exchange analyzer facts through the go
+// command's .vetx files, so cross-package analyzers (respalias,
+// golifetime, epochgate, wireerr) see their dependencies' facts just
+// as the standalone driver does — with per-package caching from the
+// build cache for free.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
 package main
@@ -30,7 +43,7 @@ import (
 	"spash/internal/analysis/framework"
 )
 
-const version = "spash-vet version 1 (spash invariant suite)"
+const version = "spash-vet version 2 (spash invariant suite)"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -61,6 +74,9 @@ func runStandalone(args []string) int {
 	fs := flag.NewFlagSet("spash-vet", flag.ExitOnError)
 	summary := fs.Bool("summary", false, "print //spash:allow suppressions and //spash:guarded annotations after the findings")
 	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	asSARIF := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for code scanning upload)")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings; covered findings pass, stale entries fail")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit clean")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	fs.Parse(args)
 	patterns := fs.Args()
@@ -95,7 +111,46 @@ func runStandalone(args []string) int {
 		return 2
 	}
 
-	if *asJSON {
+	// Baseline keys and SARIF URIs are relative to the module root the
+	// loader ran in (the working directory).
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
+	}
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, framework.FormatBaseline(root, diags), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "spash-vet: wrote baseline with %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	var stale []string
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+			return 2
+		}
+		entries, err := framework.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spash-vet: %s: %v\n", *baselinePath, err)
+			return 2
+		}
+		diags, stale = framework.ApplyBaseline(entries, root, diags)
+	}
+
+	if *asSARIF {
+		out, err := framework.SARIF(root, version, suite, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+	} else if *asJSON {
 		type finding struct {
 			File     string `json:"file"`
 			Line     int    `json:"line"`
@@ -129,8 +184,11 @@ func runStandalone(args []string) int {
 		}
 	}
 
-	if len(diags) > 0 {
-		if !*asJSON {
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "spash-vet: stale baseline entry (no matching finding): %s\n", s)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
+		if !*asJSON && !*asSARIF && len(diags) > 0 {
 			fmt.Fprintf(os.Stderr, "spash-vet: %d finding(s)\n", len(diags))
 		}
 		return 1
@@ -169,17 +227,26 @@ type vetConfig struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
-// analyzable reports whether this unit is production code the suite
-// should check. Dependency units (VetxOnly — the suite exchanges no
-// facts) and test-binary packages are skipped: tests deliberately
-// violate the invariants to inject faults.
+// spashPath reports whether an import path belongs to this module —
+// the only packages whose facts the suite consumes.
+func spashPath(p string) bool {
+	return p == "spash" || strings.HasPrefix(p, "spash/")
+}
+
+// analyzable reports whether this unit should run the suite at all.
+// VetxOnly units of this module still run (facts-only — their exported
+// facts feed dependents through the .vetx exchange); VetxOnly units of
+// other modules contribute nothing and are skipped. Test-binary
+// packages are skipped: tests deliberately violate the invariants to
+// inject faults.
 func (cfg *vetConfig) analyzable() bool {
-	if cfg.VetxOnly {
+	if cfg.VetxOnly && !spashPath(cfg.ImportPath) {
 		return false
 	}
 	return !strings.Contains(cfg.ImportPath, " [") &&
@@ -213,11 +280,11 @@ func runUnit(cfgPath string) int {
 		return 2
 	}
 	if !cfg.analyzable() {
-		return writeVetx(cfg)
+		return writeVetx(cfg, nil)
 	}
 	goFiles := productionFiles(cfg.GoFiles)
 	if len(goFiles) == 0 {
-		return writeVetx(cfg)
+		return writeVetx(cfg, nil)
 	}
 
 	fset := token.NewFileSet()
@@ -226,7 +293,7 @@ func runUnit(cfgPath string) int {
 		af, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return writeVetx(cfg)
+				return writeVetx(cfg, nil)
 			}
 			fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
 			return 2
@@ -247,17 +314,42 @@ func runUnit(cfgPath string) int {
 	pkg, err := framework.CheckFiles(fset, cfg.ImportPath, goFiles, files, imp)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return writeVetx(cfg)
+			return writeVetx(cfg, nil)
 		}
 		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
 		return 2
 	}
-	diags, _, err := framework.Run([]*framework.Package{pkg}, analysis.Suite())
+	// A VetxOnly unit runs for its exported facts alone; its own
+	// diagnostics belong to the go vet invocation that targets it.
+	pkg.FactsOnly = cfg.VetxOnly
+
+	suite := analysis.Suite()
+	facts := framework.NewFactStore()
+	registry := framework.FactTypes(suite)
+	for dep, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A dependency with no readable vetx simply contributed
+			// no facts (e.g. it was built by an older tool).
+			continue
+		}
+		if err := facts.DecodeFacts(data, registry); err != nil {
+			fmt.Fprintf(os.Stderr, "spash-vet: facts of %s: %v\n", dep, err)
+			return 2
+		}
+	}
+
+	diags, _, err := framework.RunWithFacts([]*framework.Package{pkg}, suite, facts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
 		return 2
 	}
-	if rc := writeVetx(cfg); rc != 0 {
+	vetx, err := facts.EncodePackageFacts(cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
+		return 2
+	}
+	if rc := writeVetx(cfg, vetx); rc != 0 {
 		return rc
 	}
 	if len(diags) > 0 {
@@ -269,13 +361,13 @@ func runUnit(cfgPath string) int {
 	return 0
 }
 
-// writeVetx writes the (empty) facts file the go command expects; the
-// suite does not exchange facts between packages.
-func writeVetx(cfg vetConfig) int {
+// writeVetx writes the unit's facts file (possibly empty) where the go
+// command expects it; dependents read it back through PackageVetx.
+func writeVetx(cfg vetConfig, facts []byte) int {
 	if cfg.VetxOutput == "" {
 		return 0
 	}
-	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
 		fmt.Fprintf(os.Stderr, "spash-vet: %v\n", err)
 		return 2
 	}

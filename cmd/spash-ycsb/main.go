@@ -141,7 +141,8 @@ func main() {
 		defer harness.SetRecorder(nil)
 	}
 	if *metricsAddr != "" {
-		addr, err := obs.Serve(*metricsAddr)
+		// The metrics server intentionally lives until process exit.
+		addr, _, err := obs.Serve(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)

@@ -35,39 +35,67 @@ var wantRE = regexp.MustCompile("// want `([^`]+)`")
 // the build cache.
 func Fixture(t *testing.T, name string, deps ...string) *framework.Package {
 	t.Helper()
+	return Fixtures(t, []string{name}, deps...)[0]
+}
+
+// Fixtures loads several fixture directories as one multi-package
+// fixture, listed dependency-first: testdata/src/<name> becomes import
+// path <name>, and later fixtures may import earlier ones by that path
+// (so a facts-producing package can be consumed by a second fixture,
+// exercising cross-package propagation).
+func Fixtures(t *testing.T, names []string, deps ...string) []*framework.Package {
+	t.Helper()
 	_, thisFile, _, ok := runtime.Caller(0)
 	if !ok {
 		t.Fatal("cannot locate atest source directory")
 	}
-	dir := filepath.Join(filepath.Dir(thisFile), "..", "testdata", "src", name)
-	loader := &framework.Loader{Dir: filepath.Dir(thisFile)}
-	pkg, err := loader.LoadDir(dir, name, deps...)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", name, err)
+	base := filepath.Join(filepath.Dir(thisFile), "..", "testdata", "src")
+	fixtures := make([]framework.FixtureDir, 0, len(names))
+	for _, name := range names {
+		fixtures = append(fixtures, framework.FixtureDir{
+			Dir:        filepath.Join(base, filepath.FromSlash(name)),
+			ImportPath: name,
+		})
 	}
-	return pkg
+	loader := &framework.Loader{Dir: filepath.Dir(thisFile)}
+	pkgs, err := loader.LoadDirs(fixtures, deps...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", names, err)
+	}
+	return pkgs
 }
 
 // Check runs the analyzers over the fixture package and compares the
 // diagnostics against the fixture's // want comments.
 func Check(t *testing.T, pkg *framework.Package, analyzers ...*framework.Analyzer) {
 	t.Helper()
-	diags, _, err := framework.Run([]*framework.Package{pkg}, analyzers)
+	CheckPkgs(t, []*framework.Package{pkg}, analyzers...)
+}
+
+// CheckPkgs runs the analyzers over a multi-package fixture in one
+// shared-facts run and compares the merged diagnostics against every
+// package's // want comments — each want matched on its line, nothing
+// unexpected anywhere.
+func CheckPkgs(t *testing.T, pkgs []*framework.Package, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	diags, _, err := framework.Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
 
 	var wants []*want
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 					}
-					pos := pkg.Fset.Position(c.Pos())
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
 				}
 			}
 		}
@@ -99,7 +127,13 @@ func consume(wants []*want, file string, line int, msg string) bool {
 // for fixtures asserting that //spash:allow works.
 func Suppressions(t *testing.T, pkg *framework.Package, analyzers ...*framework.Analyzer) []framework.Suppression {
 	t.Helper()
-	_, supp, err := framework.Run([]*framework.Package{pkg}, analyzers)
+	return SuppressionsPkgs(t, []*framework.Package{pkg}, analyzers...)
+}
+
+// SuppressionsPkgs is Suppressions over a multi-package fixture.
+func SuppressionsPkgs(t *testing.T, pkgs []*framework.Package, analyzers ...*framework.Analyzer) []framework.Suppression {
+	t.Helper()
+	_, supp, err := framework.Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}

@@ -1,0 +1,19 @@
+package epochgate_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/epochgate"
+)
+
+func TestEpochgateFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "epochgate", "spash/internal/pmem")
+	atest.Check(t, pkg, epochgate.Analyzer)
+}
+
+func TestEpochgateSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "epochgate", "spash/internal/pmem")
+	supp := atest.Suppressions(t, pkg, epochgate.Analyzer)
+	atest.MustContainSuppression(t, supp, "epochgate", "authoritative image")
+}

@@ -8,12 +8,12 @@ import (
 )
 
 func TestErrtypeFixture(t *testing.T) {
-	pkg := atest.Fixture(t, "errtype", "errors", "fmt", "spash", "spash/internal/pmem", "spash/internal/core")
+	pkg := atest.Fixture(t, "errtype", "errors", "fmt", "spash", "spash/internal/pmem", "spash/internal/core", "spash/internal/resp")
 	atest.Check(t, pkg, errtype.Analyzer)
 }
 
 func TestErrtypeSuppressionRecorded(t *testing.T) {
-	pkg := atest.Fixture(t, "errtype", "errors", "fmt", "spash", "spash/internal/pmem", "spash/internal/core")
+	pkg := atest.Fixture(t, "errtype", "errors", "fmt", "spash", "spash/internal/pmem", "spash/internal/core", "spash/internal/resp")
 	supp := atest.Suppressions(t, pkg, errtype.Analyzer)
 	atest.MustContainSuppression(t, supp, "errtype", "pointer identity")
 }

@@ -1,0 +1,92 @@
+// Baseline: the list of findings a tree is allowed to carry. The file
+// holds one "path:analyzer:message" key per line (paths repo-relative,
+// forward slashes), sorted and deduplicated — both enforced at parse
+// time so the committed file never drifts into a state a regenerate
+// would rewrite. '#' comments and blank lines are ignored. A baseline
+// may only shrink: entries that no longer match a finding are reported
+// as stale, mirroring the stale //spash:allow rule.
+package framework
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BaselineKey is the stable identity of one diagnostic in a baseline
+// file. Line numbers are deliberately excluded: unrelated edits above
+// a finding must not invalidate its baseline entry.
+func BaselineKey(root string, d Diagnostic) string {
+	return sarifRelURI(root, d.Pos.Filename) + ":" + d.Analyzer + ":" + d.Message
+}
+
+// ParseBaseline reads a baseline file's entries. Malformed lines,
+// out-of-order lines, and duplicates are errors.
+func ParseBaseline(data []byte) (map[string]bool, error) {
+	entries := map[string]bool{}
+	prev := ""
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, ":") < 2 {
+			return nil, fmt.Errorf("baseline line %d: want path:analyzer:message, got %q", i+1, line)
+		}
+		if entries[line] {
+			return nil, fmt.Errorf("baseline line %d: duplicate entry %q", i+1, line)
+		}
+		if prev != "" && line < prev {
+			return nil, fmt.Errorf("baseline line %d: entries not sorted (%q after %q)", i+1, line, prev)
+		}
+		prev = line
+		entries[line] = true
+	}
+	return entries, nil
+}
+
+// FormatBaseline renders diags as a baseline file body: header comment,
+// then sorted, deduplicated keys.
+func FormatBaseline(root string, diags []Diagnostic) []byte {
+	keys := map[string]bool{}
+	for _, d := range diags {
+		keys[BaselineKey(root, d)] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var b strings.Builder
+	b.WriteString("# spash-vet baseline: findings exempted from failing the run.\n")
+	b.WriteString("# One path:analyzer:message per line, sorted and deduplicated\n")
+	b.WriteString("# (regenerate with spash-vet -write-baseline). May only shrink:\n")
+	b.WriteString("# entries matching no current finding are reported as stale.\n")
+	for _, k := range sorted {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ApplyBaseline splits diags into findings not covered by the baseline
+// (kept) and baseline entries that matched nothing (stale). Covered
+// findings are dropped.
+func ApplyBaseline(entries map[string]bool, root string, diags []Diagnostic) (kept []Diagnostic, stale []string) {
+	matched := map[string]bool{}
+	for _, d := range diags {
+		k := BaselineKey(root, d)
+		if entries[k] {
+			matched[k] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for k := range entries {
+		if !matched[k] {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return kept, stale
+}

@@ -1,0 +1,96 @@
+package framework
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(file, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: 3, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("/repo/internal/server/wire.go", "wireerr", "code never decoded"),
+		baselineDiag("/repo/internal/core/index.go", "epochgate", "stores without flushing"),
+	}
+	body := FormatBaseline("/repo", diags)
+	entries, err := ParseBaseline(body)
+	if err != nil {
+		t.Fatalf("formatted baseline does not reparse: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if !entries["internal/core/index.go:epochgate:stores without flushing"] {
+		t.Errorf("missing expected key; got %v", entries)
+	}
+
+	kept, stale := ApplyBaseline(entries, "/repo", diags)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Errorf("full coverage: kept=%v stale=%v, want none of either", kept, stale)
+	}
+}
+
+func TestBaselineKeyIgnoresLine(t *testing.T) {
+	a := baselineDiag("/repo/a.go", "wireerr", "m")
+	b := a
+	b.Pos.Line = 999
+	if BaselineKey("/repo", a) != BaselineKey("/repo", b) {
+		t.Error("baseline keys must not depend on line numbers")
+	}
+}
+
+func TestBaselineRejectsUnsorted(t *testing.T) {
+	_, err := ParseBaseline([]byte("b.go:x:m\na.go:x:m\n"))
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("want not-sorted error, got %v", err)
+	}
+}
+
+func TestBaselineRejectsDuplicate(t *testing.T) {
+	_, err := ParseBaseline([]byte("a.go:x:m\na.go:x:m\n"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate error, got %v", err)
+	}
+}
+
+func TestBaselineRejectsMalformed(t *testing.T) {
+	_, err := ParseBaseline([]byte("no separators here\n"))
+	if err == nil || !strings.Contains(err.Error(), "path:analyzer:message") {
+		t.Fatalf("want malformed error, got %v", err)
+	}
+}
+
+func TestBaselineCommentsAndBlanksIgnored(t *testing.T) {
+	entries, err := ParseBaseline([]byte("# header\n\n# more\na.go:x:m\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries["a.go:x:m"] {
+		t.Errorf("got %v", entries)
+	}
+}
+
+func TestBaselineStaleEntriesSurface(t *testing.T) {
+	entries := map[string]bool{
+		"gone.go:wireerr:fixed long ago": true,
+		"internal/a.go:epochgate:live":   true,
+	}
+	diags := []Diagnostic{
+		baselineDiag("/repo/internal/a.go", "epochgate", "live"),
+		baselineDiag("/repo/internal/b.go", "respalias", "new finding"),
+	}
+	kept, stale := ApplyBaseline(entries, "/repo", diags)
+	if len(kept) != 1 || kept[0].Analyzer != "respalias" {
+		t.Errorf("kept = %v, want only the uncovered respalias finding", kept)
+	}
+	if len(stale) != 1 || stale[0] != "gone.go:wireerr:fixed long ago" {
+		t.Errorf("stale = %v", stale)
+	}
+}

@@ -1,7 +1,8 @@
 // Package framework is a minimal, dependency-free reimplementation of
 // the golang.org/x/tools/go/analysis surface the spash-vet suite
-// needs: an Analyzer/Pass pair over type-checked packages, plus the
-// repo's two source directives:
+// needs: an Analyzer/Pass pair over type-checked packages, exported
+// facts that propagate across package boundaries in dependency order,
+// plus the repo's source directives:
 //
 //	//spash:guarded <justification>
 //	    on a function declaration's doc comment: the function's raw
@@ -13,7 +14,14 @@
 //	//spash:allow <analyzer> -- <justification>
 //	    on (or immediately above) a flagged line: suppresses that
 //	    analyzer's diagnostic there. Suppressions are collected and
-//	    printed by `spash-vet -summary` so they stay auditable.
+//	    printed by `spash-vet -summary` so they stay auditable. A
+//	    directive that suppresses nothing is itself reported as stale —
+//	    justifications must not outlive the finding they justify.
+//
+//	//spash:aliased -- <justification>
+//	    sugar for "//spash:allow respalias": marks a deliberate
+//	    retention of a buffer that aliases a resp.Reader's arena (the
+//	    zero-copy contract: valid until Release).
 //
 // The package mirrors go/analysis closely enough that the analyzers
 // can be ported to the real framework by swapping imports once the
@@ -29,11 +37,15 @@ import (
 	"strings"
 )
 
-// An Analyzer is one named invariant check.
+// An Analyzer is one named invariant check. Analyzers that export or
+// import facts list their concrete fact types in FactTypes (as nil
+// pointers, e.g. (*ReturnsAlias)(nil)) so the vettool mode can decode
+// them from dependency .vetx files.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	FactTypes []Fact
 }
 
 // A Diagnostic is one reported invariant violation.
@@ -57,7 +69,8 @@ type Suppression struct {
 	Directive token.Position
 }
 
-// allowDirective is one parsed //spash:allow comment.
+// allowDirective is one parsed //spash:allow (or //spash:aliased)
+// comment.
 type allowDirective struct {
 	analyzer string
 	reason   string
@@ -65,57 +78,126 @@ type allowDirective struct {
 	used     bool
 }
 
+// directiveSet is a package's parsed allow directives, shared by every
+// pass over the package so a directive's used flag survives across
+// analyzers (stale-allow detection needs the union).
+type directiveSet struct {
+	// allow maps filename -> line -> directives covering that line.
+	allow map[string]map[int][]*allowDirective
+	all   []*allowDirective
+}
+
+// directivesOf returns pkg's directive set, building it on first use.
+func directivesOf(pkg *Package) *directiveSet {
+	if pkg.dirs != nil {
+		return pkg.dirs
+	}
+	ds := &directiveSet{allow: map[string]map[int][]*allowDirective{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				dp := &d
+				dp.pos = pos
+				byLine := ds.allow[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*allowDirective{}
+					ds.allow[pos.Filename] = byLine
+				}
+				// A directive covers its own line and the next one, so
+				// it works both trailing a statement and standing on
+				// the line above it.
+				byLine[pos.Line] = append(byLine[pos.Line], dp)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], dp)
+				ds.all = append(ds.all, dp)
+			}
+		}
+	}
+	pkg.dirs = ds
+	return ds
+}
+
 // A Pass carries one analyzer's run over one package. Report applies
 // the package's //spash:allow directives, so Diagnostics holds only
-// unsuppressed findings.
+// unsuppressed findings. The fact methods exchange facts with passes
+// over other packages (Run orders packages so dependencies' facts are
+// already present).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// ImportPath is the package's import path as the loader saw it
+	// (Pkg.Path() matches for real packages; fixtures may differ).
+	ImportPath string
 
 	Diagnostics []Diagnostic
 	Suppressed  []Suppression
 
-	// allow maps filename -> line -> directives covering that line.
-	allow map[string]map[int][]*allowDirective
+	dirs  *directiveSet
+	facts *FactStore
 }
 
-// NewPass prepares a pass of a over pkg, indexing the package's
-// //spash:allow directives.
+// NewPass prepares a pass of a over pkg with an empty fact store
+// (callers that need cross-package facts use Run, which shares one
+// store across the ordered packages).
 func NewPass(a *Analyzer, pkg *Package) *Pass {
-	p := &Pass{
-		Analyzer: a,
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		allow:    map[string]map[int][]*allowDirective{},
+	return newPass(a, pkg, NewFactStore())
+}
+
+func newPass(a *Analyzer, pkg *Package, facts *FactStore) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		ImportPath: pkg.ImportPath,
+		dirs:       directivesOf(pkg),
+		facts:      facts,
 	}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				d, ok := parseAllow(c.Text)
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				d.pos = pos
-				byLine := p.allow[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]*allowDirective{}
-					p.allow[pos.Filename] = byLine
-				}
-				// A directive covers its own line and the next one, so
-				// it works both trailing a statement and standing on
-				// the line above it.
-				byLine[pos.Line] = append(byLine[pos.Line], &d)
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], &d)
-			}
-		}
+}
+
+// ExportObjectFact records fact for obj (a package-level object of
+// this pass's package) so downstream packages can import it.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(obj, fact)
+}
+
+// ImportObjectFact copies the stored fact of fact's concrete type for
+// obj into fact, reporting whether one was found. obj may belong to
+// any package (typically an import resolved from export data).
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.importObject(obj, fact)
+}
+
+// ExportPackageFact records fact for this pass's package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the stored package fact of fact's concrete
+// type for pkg into fact, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
 	}
-	return p
+	return p.facts.importPackage(pkg.Path(), fact)
+}
+
+// parseDirective parses one allow-shaped directive comment:
+// //spash:allow, or its respalias sugar //spash:aliased.
+func parseDirective(text string) (allowDirective, bool) {
+	if rest, ok := strings.CutPrefix(text, "//spash:aliased"); ok {
+		reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "--"))
+		return allowDirective{analyzer: "respalias", reason: reason}, true
+	}
+	return parseAllow(text)
 }
 
 // parseAllow parses one "//spash:allow <analyzer> -- <reason>" comment.
@@ -149,7 +231,7 @@ func GuardReason(doc *ast.CommentGroup) (string, bool) {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	msg := fmt.Sprintf(format, args...)
-	for _, d := range p.allow[position.Filename][position.Line] {
+	for _, d := range p.dirs.allow[position.Filename][position.Line] {
 		if d.analyzer == p.Analyzer.Name {
 			d.used = true
 			p.Suppressed = append(p.Suppressed, Suppression{
@@ -165,31 +247,104 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Diagnostics = append(p.Diagnostics, Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: msg})
 }
 
-// Run executes every analyzer over every package, returning the merged
-// unsuppressed diagnostics (sorted by position) and the suppressions.
-// Malformed or unknown directives are reported under the pseudo-
-// analyzer "directive".
+// Run executes every analyzer over every package in dependency order
+// (so exported facts are visible to importing packages), returning the
+// merged unsuppressed diagnostics (sorted by position) and the
+// suppressions. Packages marked FactsOnly contribute facts but no
+// diagnostics. Malformed, unknown, and stale directives are reported
+// under the pseudo-analyzer "directive".
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Suppression, error) {
+	return RunWithFacts(pkgs, analyzers, NewFactStore())
+}
+
+// RunWithFacts is Run with a caller-supplied fact store (the vettool
+// mode pre-fills it with dependency facts decoded from .vetx files).
+func RunWithFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, []Suppression, error) {
 	var diags []Diagnostic
 	var supp []Suppression
 	names := map[string]bool{}
 	for _, a := range analyzers {
 		names[a.Name] = true
 	}
-	for _, pkg := range pkgs {
-		diags = append(diags, checkDirectives(pkg, names)...)
-		for _, a := range analyzers {
-			pass := NewPass(a, pkg)
-			if err := a.Run(pass); err != nil {
-				return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
-			}
-			diags = append(diags, pass.Diagnostics...)
-			supp = append(supp, pass.Suppressed...)
+	for _, pkg := range topoOrder(pkgs) {
+		pd, ps, err := runPackage(pkg, analyzers, facts, names)
+		if err != nil {
+			return nil, nil, err
 		}
+		if pkg.FactsOnly {
+			continue // dependency loaded for facts only; findings are the owner's business
+		}
+		diags = append(diags, pd...)
+		supp = append(supp, ps...)
 	}
 	sort.Slice(diags, func(i, j int) bool { return lessPosition(diags[i].Pos, diags[j].Pos) })
 	sort.Slice(supp, func(i, j int) bool { return lessPosition(supp[i].Pos, supp[j].Pos) })
 	return diags, supp, nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *FactStore, names map[string]bool) ([]Diagnostic, []Suppression, error) {
+	diags := checkDirectives(pkg, names)
+	var supp []Suppression
+	ds := directivesOf(pkg)
+	for _, d := range ds.all {
+		d.used = false // a fresh run re-earns every suppression
+	}
+	for _, a := range analyzers {
+		pass := newPass(a, pkg, facts)
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, pass.Diagnostics...)
+		supp = append(supp, pass.Suppressed...)
+	}
+	// Stale-allow detection: a directive for an analyzer that ran but
+	// suppressed nothing no longer attaches to a real finding.
+	for _, d := range ds.all {
+		if !d.used && names[d.analyzer] {
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message: fmt.Sprintf("stale //spash:allow %s: the %s analyzer reports nothing here — remove the directive",
+					d.analyzer, d.analyzer),
+			})
+		}
+	}
+	return diags, supp, nil
+}
+
+// topoOrder sorts the packages so that every package follows the
+// packages it imports (only edges inside the given set matter; facts
+// from outside arrive via the pre-filled store). Go's import graph is
+// acyclic, so one pass is the cross-package fixpoint; ties keep the
+// deterministic by-path order.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	out := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return // a cycle cannot occur in a valid import graph; be safe anyway
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
 }
 
 func lessPosition(a, b token.Position) bool {
@@ -204,7 +359,7 @@ func lessPosition(a, b token.Position) bool {
 
 // checkDirectives validates every spash: directive in the package: the
 // verb must be known, //spash:allow must name a known analyzer, and
-// both directives must carry a justification.
+// every directive must carry a justification.
 func checkDirectives(pkg *Package, analyzers map[string]bool) []Diagnostic {
 	var diags []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
@@ -225,6 +380,10 @@ func checkDirectives(pkg *Package, analyzers map[string]bool) []Diagnostic {
 					}
 					if d.reason == "" {
 						report(c.Pos(), "//spash:allow %s needs a justification (\"//spash:allow %s -- why\")", d.analyzer, d.analyzer)
+					}
+				case strings.HasPrefix(c.Text, "//spash:aliased"):
+					if d, _ := parseDirective(c.Text); d.reason == "" {
+						report(c.Pos(), "//spash:aliased needs a justification (\"//spash:aliased -- why\")")
 					}
 				case strings.HasPrefix(c.Text, "//spash:guarded"):
 					if reason, _ := GuardReason(&ast.CommentGroup{List: []*ast.Comment{c}}); reason == "" {

@@ -13,8 +13,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for analysis: the parsed
@@ -24,11 +27,18 @@ import (
 type Package struct {
 	ImportPath string
 	Dir        string
+	Imports    []string
 	Fset       *token.FileSet
 	Files      []*ast.File
 	Filenames  []string
 	Types      *types.Package
 	Info       *types.Info
+	// FactsOnly marks a dependency loaded from source solely so the
+	// fact-producing analyzers can run over it; its diagnostics are
+	// not reported (they belong to a run that targets it).
+	FactsOnly bool
+
+	dirs *directiveSet
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -37,14 +47,17 @@ type listEntry struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 }
 
 // Loader loads module packages for analysis. It shells out to the go
 // tool for package metadata and export data (the same information a
-// `go vet` unit receives), then parses and type-checks only the target
-// packages from source. A Loader is not safe for concurrent use.
+// `go vet` unit receives), then parses and type-checks the target
+// packages — and, for cross-package facts, the module-local
+// dependencies — from source, in parallel. A Loader is not safe for
+// concurrent use (the packages it returns are).
 type Loader struct {
 	// Dir is the directory go list runs in (the module root). Empty
 	// means the current directory.
@@ -69,7 +82,7 @@ func (l *Loader) Fset() *token.FileSet {
 
 func (l *Loader) goList(args ...string) ([]listEntry, error) {
 	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, args...)...)
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,DepOnly"}, args...)...)
 	cmd.Dir = l.Dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -91,6 +104,20 @@ func (l *Loader) goList(args ...string) ([]listEntry, error) {
 	return entries, nil
 }
 
+// lockedImporter serialises Import calls: the gc export-data importer
+// keeps an internal package cache that is not safe for the loader's
+// parallel type-checking.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
+}
+
 // ensureImporter records export data for every package in entries and
 // (once) builds the shared gc-export-data importer.
 func (l *Loader) ensureImporter(entries []listEntry) {
@@ -110,7 +137,7 @@ func (l *Loader) ensureImporter(entries []listEntry) {
 			}
 			return os.Open(f)
 		}
-		l.imp = importer.ForCompiler(l.Fset(), "gc", lookup)
+		l.imp = &lockedImporter{imp: importer.ForCompiler(l.Fset(), "gc", lookup)}
 	}
 }
 
@@ -134,22 +161,42 @@ func (l *Loader) parseFile(filename string) (*ast.File, error) {
 
 // Load loads the packages matching the go list patterns, type-checking
 // each target from source with dependencies resolved from export data.
+// Module-local dependencies outside the patterns are loaded from
+// source too, marked FactsOnly, so cross-package facts are complete no
+// matter how narrow the pattern; standard-library dependencies stay on
+// export data. Packages are parsed and type-checked in parallel.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	entries, err := l.goList(patterns...)
 	if err != nil {
 		return nil, err
 	}
 	l.ensureImporter(entries)
-	var pkgs []*Package
+	l.Fset() // materialise before the parallel phase
+	var targets []listEntry
 	for _, e := range entries {
-		if e.DepOnly || len(e.GoFiles) == 0 {
+		if e.Standard || len(e.GoFiles) == 0 {
 			continue
 		}
-		p, err := l.check(e)
+		targets = append(targets, e)
+	}
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = l.check(targets[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
@@ -176,11 +223,13 @@ func (l *Loader) check(e listEntry) (*Package, error) {
 	return &Package{
 		ImportPath: e.ImportPath,
 		Dir:        e.Dir,
+		Imports:    e.Imports,
 		Fset:       l.Fset(),
 		Files:      files,
 		Filenames:  names,
 		Types:      tpkg,
 		Info:       info,
+		FactsOnly:  e.DepOnly,
 	}, nil
 }
 
@@ -201,6 +250,7 @@ func CheckFiles(fset *token.FileSet, importPath string, filenames []string, file
 	return &Package{
 		ImportPath: importPath,
 		Dir:        dir,
+		Imports:    astImports(files),
 		Fset:       fset,
 		Files:      files,
 		Filenames:  filenames,
@@ -209,12 +259,50 @@ func CheckFiles(fset *token.FileSet, importPath string, filenames []string, file
 	}, nil
 }
 
+// astImports collects the distinct import paths of the files.
+func astImports(files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FixtureDir names one loose directory of Go files to check under an
+// import path (an analysistest fixture package).
+type FixtureDir struct {
+	Dir        string
+	ImportPath string
+}
+
 // LoadDir type-checks a loose directory of Go files (an analysistest
 // fixture) under the given import path. deps lists go packages the
 // fixture may import (transitive closures are resolved automatically);
 // the spash module packages and any std package reachable from them
 // are available.
 func (l *Loader) LoadDir(dir, importPath string, deps ...string) (*Package, error) {
+	pkgs, err := l.LoadDirs([]FixtureDir{{Dir: dir, ImportPath: importPath}}, deps...)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// LoadDirs type-checks several fixture directories as one multi-package
+// fixture: later fixtures may import earlier ones by their fixture
+// import path (so a facts-producing "reader" package can be consumed
+// by a "user" package, exercising cross-package propagation). Fixtures
+// must be listed dependency-first.
+func (l *Loader) LoadDirs(fixtures []FixtureDir, deps ...string) ([]*Package, error) {
 	if len(deps) > 0 {
 		entries, err := l.goList(deps...)
 		if err != nil {
@@ -224,35 +312,53 @@ func (l *Loader) LoadDir(dir, importPath string, deps ...string) (*Package, erro
 	} else {
 		l.ensureImporter(nil)
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil {
-		return nil, err
-	}
-	if len(matches) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
-	}
-	sort.Strings(matches)
-	var files []*ast.File
-	for _, fn := range matches {
-		af, err := l.parseFile(fn)
+	checked := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if fp, ok := checked[path]; ok {
+			return fp, nil
+		}
+		return l.imp.Import(path)
+	})
+	var out []*Package
+	for _, fx := range fixtures {
+		matches, err := filepath.Glob(filepath.Join(fx.Dir, "*.go"))
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, af)
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", fx.Dir)
+		}
+		sort.Strings(matches)
+		var files []*ast.File
+		for _, fn := range matches {
+			af, err := l.parseFile(fn)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, af)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(fx.ImportPath, l.Fset(), files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking fixture %s: %v", fx.Dir, err)
+		}
+		checked[fx.ImportPath] = tpkg
+		out = append(out, &Package{
+			ImportPath: fx.ImportPath,
+			Dir:        fx.Dir,
+			Imports:    astImports(files),
+			Fset:       l.Fset(),
+			Files:      files,
+			Filenames:  matches,
+			Types:      tpkg,
+			Info:       info,
+		})
 	}
-	info := newInfo()
-	conf := types.Config{Importer: l.imp}
-	tpkg, err := conf.Check(importPath, l.Fset(), files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
-	}
-	return &Package{
-		ImportPath: importPath,
-		Dir:        dir,
-		Fset:       l.Fset(),
-		Files:      files,
-		Filenames:  matches,
-		Types:      tpkg,
-		Info:       info,
-	}, nil
+	return out, nil
 }
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,156 @@
+// SARIF output: the suite's findings in the interchange format GitHub
+// code scanning ingests (SARIF 2.1.0). One run, one driver ("spash-vet"),
+// one reportingDescriptor per analyzer, one result per diagnostic.
+// Artifact URIs are repo-relative with uriBaseId %SRCROOT% so the same
+// log resolves on any checkout.
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRelURI turns a diagnostic's filename into a repo-relative,
+// forward-slash URI. Paths outside root (or when relativizing fails)
+// fall back to the cleaned original so the result is still a valid URI.
+func sarifRelURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filepath.Clean(filename))
+}
+
+// SARIF renders diags as a SARIF 2.1.0 log. Every analyzer in the
+// suite appears as a rule (so code scanning knows the full invariant
+// set even when the tree is clean); root anchors the repo-relative
+// artifact URIs; version is the driver's version string.
+func SARIF(root, version string, analyzers []*Analyzer, diags []Diagnostic) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		short := a.Doc
+		if i := strings.IndexByte(short, '\n'); i >= 0 {
+			short = short[:i]
+		}
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: strings.TrimSpace(short)},
+			FullDescription:  sarifMessage{Text: strings.TrimSpace(a.Doc)},
+			DefaultConfig:    sarifConfig{Level: "error"},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			return nil, fmt.Errorf("diagnostic from analyzer %q not in the rule set", d.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{
+					URI:       sarifRelURI(root, d.Pos.Filename),
+					URIBaseID: "%SRCROOT%",
+				},
+				Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	// Deterministic output regardless of analyzer scheduling.
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Locations[0].PhysicalLocation.ArtifactLocation.URI != b.Locations[0].PhysicalLocation.ArtifactLocation.URI {
+			return a.Locations[0].PhysicalLocation.ArtifactLocation.URI < b.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		}
+		if a.Locations[0].PhysicalLocation.Region.StartLine != b.Locations[0].PhysicalLocation.Region.StartLine {
+			return a.Locations[0].PhysicalLocation.Region.StartLine < b.Locations[0].PhysicalLocation.Region.StartLine
+		}
+		return a.RuleID < b.RuleID
+	})
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "spash-vet", Version: version, Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

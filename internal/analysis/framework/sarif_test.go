@@ -1,0 +1,129 @@
+package framework
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sarifFixtureDiags() ([]*Analyzer, []Diagnostic) {
+	analyzers := []*Analyzer{
+		{Name: "epochgate", Doc: "epoch fencing\n\nLong form."},
+		{Name: "wireerr", Doc: "wire error maps"},
+	}
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/repl/repl.go", Line: 42, Column: 7},
+			Analyzer: "wireerr",
+			Message:  `wire code "LAG" is never decoded`,
+		},
+		{
+			Pos:      token.Position{Filename: "/repo/internal/core/index.go", Line: 9, Column: 2},
+			Analyzer: "epochgate",
+			Message:  "stores without flushing",
+		},
+	}
+	return analyzers, diags
+}
+
+// TestSARIFStructure decodes the emitted log generically and checks
+// the exact shape GitHub code scanning requires of a 2.1.0 log.
+func TestSARIFStructure(t *testing.T) {
+	analyzers, diags := sarifFixtureDiags()
+	out, err := SARIF("/repo", "spash-vet version 2", analyzers, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log map[string]any
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := log["version"]; got != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", got)
+	}
+	if got, _ := log["$schema"].(string); !strings.Contains(got, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema URI", got)
+	}
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "spash-vet" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != len(analyzers) {
+		t.Fatalf("got %d rules, want %d (every analyzer is a rule)", len(rules), len(analyzers))
+	}
+	rule0 := rules[0].(map[string]any)
+	if rule0["id"] != "epochgate" {
+		t.Errorf("rule 0 id = %v", rule0["id"])
+	}
+	if short := rule0["shortDescription"].(map[string]any)["text"]; short != "epoch fencing" {
+		t.Errorf("shortDescription = %v, want the doc's first line", short)
+	}
+
+	results, _ := run["results"].([]any)
+	if len(results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(results), len(diags))
+	}
+	// Results are sorted by URI: core/index.go before repl/repl.go.
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "epochgate" {
+		t.Errorf("first result ruleId = %v, want epochgate (sorted by path)", first["ruleId"])
+	}
+	if lvl := first["level"]; lvl != "error" {
+		t.Errorf("level = %v, want error", lvl)
+	}
+	if idx, ok := first["ruleIndex"].(float64); !ok || int(idx) != 0 {
+		t.Errorf("ruleIndex = %v, want 0", first["ruleIndex"])
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	art := loc["artifactLocation"].(map[string]any)
+	if art["uri"] != "internal/core/index.go" {
+		t.Errorf("artifact uri = %v, want repo-relative internal/core/index.go", art["uri"])
+	}
+	if art["uriBaseId"] != "%SRCROOT%" {
+		t.Errorf("uriBaseId = %v, want %%SRCROOT%%", art["uriBaseId"])
+	}
+	region := loc["region"].(map[string]any)
+	if line, _ := region["startLine"].(float64); int(line) != 9 {
+		t.Errorf("startLine = %v, want 9", region["startLine"])
+	}
+}
+
+func TestSARIFCleanTreeStillListsRules(t *testing.T) {
+	analyzers, _ := sarifFixtureDiags()
+	out, err := SARIF("/repo", "v2", analyzers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != 2 {
+		t.Errorf("clean tree must still publish the rule set, got %d rules", len(log.Runs[0].Tool.Driver.Rules))
+	}
+	if log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean tree wants an empty (non-null) results array, got %#v", log.Runs[0].Results)
+	}
+}
+
+func TestSARIFRejectsUnknownAnalyzer(t *testing.T) {
+	_, diags := sarifFixtureDiags()
+	if _, err := SARIF("/repo", "v2", nil, diags); err == nil {
+		t.Fatal("want an error for a diagnostic with no matching rule")
+	}
+}
+
+func TestSARIFRelURIOutsideRoot(t *testing.T) {
+	if got := sarifRelURI("/repo", "/elsewhere/x.go"); got != "/elsewhere/x.go" {
+		t.Errorf("outside-root path mangled: %q", got)
+	}
+}

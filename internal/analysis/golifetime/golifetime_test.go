@@ -1,0 +1,19 @@
+package golifetime_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/golifetime"
+)
+
+func TestGolifetimeFixture(t *testing.T) {
+	pkg := atest.Fixture(t, "golifetime", "fmt", "sync")
+	atest.Check(t, pkg, golifetime.Analyzer)
+}
+
+func TestGolifetimeSuppressionRecorded(t *testing.T) {
+	pkg := atest.Fixture(t, "golifetime", "fmt", "sync")
+	supp := atest.Suppressions(t, pkg, golifetime.Analyzer)
+	atest.MustContainSuppression(t, supp, "golifetime", "process-lifetime by design")
+}

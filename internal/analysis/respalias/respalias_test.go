@@ -1,0 +1,23 @@
+package respalias_test
+
+import (
+	"testing"
+
+	"spash/internal/analysis/atest"
+	"spash/internal/analysis/respalias"
+)
+
+// The fixture is deliberately two packages: the arena and its facts
+// live in respalias/reader, every escape lives in respalias/user, so
+// each diagnostic proves ReturnsAlias/AliasCarrier propagation across
+// the package boundary.
+func TestRespaliasFixture(t *testing.T) {
+	pkgs := atest.Fixtures(t, []string{"respalias/reader", "respalias/user"})
+	atest.CheckPkgs(t, pkgs, respalias.Analyzer)
+}
+
+func TestRespaliasSuppressionRecorded(t *testing.T) {
+	pkgs := atest.Fixtures(t, []string{"respalias/reader", "respalias/user"})
+	supp := atest.SuppressionsPkgs(t, pkgs, respalias.Analyzer)
+	atest.MustContainSuppression(t, supp, "respalias", "flushes before Release")
+}

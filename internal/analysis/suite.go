@@ -1,17 +1,27 @@
-// Package analysis assembles the spash-vet analyzer suite. The five
+// Package analysis assembles the spash-vet analyzer suite. The nine
 // analyzers mechanically enforce the invariants DESIGN.md states in
 // prose: PM mutation discipline (pmstore), flush-ordered durability
 // (flushfence), per-worker context confinement (ctxescape), panic-free
-// recovery (panicfree), and wrappable typed errors (errtype).
+// recovery (panicfree), wrappable typed errors (errtype), the
+// zero-copy RESP aliasing contract (respalias), goroutine shutdown
+// edges in the serving layers (golifetime), replication epoch fencing
+// and durable-word ordering (epochgate), and wire error round-tripping
+// (wireerr). The last four are cross-package: they exchange facts
+// through the framework's topological run (or, under `go vet`,
+// through .vetx files).
 package analysis
 
 import (
 	"spash/internal/analysis/ctxescape"
+	"spash/internal/analysis/epochgate"
 	"spash/internal/analysis/errtype"
 	"spash/internal/analysis/flushfence"
 	"spash/internal/analysis/framework"
+	"spash/internal/analysis/golifetime"
 	"spash/internal/analysis/panicfree"
 	"spash/internal/analysis/pmstore"
+	"spash/internal/analysis/respalias"
+	"spash/internal/analysis/wireerr"
 )
 
 // Suite returns the full analyzer suite in reporting order.
@@ -22,5 +32,9 @@ func Suite() []*framework.Analyzer {
 		ctxescape.Analyzer,
 		panicfree.Analyzer,
 		errtype.Analyzer,
+		respalias.Analyzer,
+		golifetime.Analyzer,
+		epochgate.Analyzer,
+		wireerr.Analyzer,
 	}
 }

@@ -15,6 +15,7 @@ const (
 	PmemPath = "internal/pmem"
 	HTMPath  = "internal/htm"
 	CorePath = "internal/core"
+	RespPath = "internal/resp"
 	RootPath = "spash"
 )
 
@@ -134,13 +135,16 @@ func IsErrorInterface(t types.Type) bool {
 // TypedError reports whether t (after pointer stripping) is one of the
 // repo's typed errors that must be matched with errors.Is/errors.As:
 // core.CorruptionError, core.GeometryError, pmem.AccessError,
-// spash.ReplicationError.
+// spash.ReplicationError, resp.Error (fatal/recoverable protocol
+// classification goes through resp.IsFatal, which is errors.As
+// underneath — never a type switch on the error value).
 func TypedError(t types.Type) (string, bool) {
 	for _, te := range []struct{ pkg, name string }{
 		{CorePath, "CorruptionError"},
 		{CorePath, "GeometryError"},
 		{PmemPath, "AccessError"},
 		{RootPath, "ReplicationError"},
+		{RespPath, "Error"},
 	} {
 		if isNamed(t, te.pkg, te.name) {
 			return te.name, true

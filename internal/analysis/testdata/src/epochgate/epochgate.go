@@ -1,0 +1,104 @@
+// Fixture for the epochgate analyzer: epoch fencing before mutation
+// (E1), Store64→Flush→Fence on durable epoch/cursor words (E2), and
+// bounds checks before frame-Shard indexing (E3).
+package epochgate
+
+import "spash/internal/pmem"
+
+// Frame is frame-shaped: Epoch, Seq and Shard fields.
+type Frame struct {
+	Epoch uint64
+	Seq   uint64
+	Shard int
+	Key   []byte
+}
+
+type index struct{ epoch uint64 }
+
+func (ix *index) Insert(key []byte) {}
+func (ix *index) Delete(key []byte) {}
+
+type node struct {
+	ix     *index
+	shards []*index
+}
+
+// E1 flagged: an exported frame entry point reaching a mutation with
+// no epoch comparison anywhere on the path.
+func (n *node) Apply(f *Frame) {
+	n.ix.Insert(f.Key) // want `Apply mutates through Insert without fencing on the frame epoch`
+}
+
+// E1 flagged: the mutation may hide behind a same-package helper.
+func (n *node) ApplyIndirect(f *Frame) {
+	n.install(f) // want `ApplyIndirect mutates through install -> Delete without fencing on the frame epoch`
+}
+
+func (n *node) install(f *Frame) {
+	n.ix.Delete(f.Key)
+}
+
+// E1 allowed: the epoch gate fences before the mutation.
+func (n *node) ApplyGated(f *Frame) {
+	if f.Epoch < n.ix.epoch {
+		return
+	}
+	n.ix.Insert(f.Key)
+}
+
+// E1 allowed: delegating to a helper that carries its own gate.
+func (n *node) ApplyDelegated(f *Frame) {
+	n.gatedInstall(f)
+}
+
+func (n *node) gatedInstall(f *Frame) {
+	if f.Epoch < n.ix.epoch {
+		return
+	}
+	n.ix.Insert(f.Key)
+}
+
+// E1 allowed (suppressed): a justified ungated path is recorded.
+func (n *node) Reseed(f *Frame) {
+	//spash:allow epochgate -- fixture: reseed installs an authoritative image; the caller fenced
+	n.ix.Insert(f.Key)
+}
+
+// E2 flagged: the epoch word is stored but the line is never flushed.
+func persistEpochBad(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 0, 7) // want `persistEpochBad stores a durable epoch/cursor word without flushing the line`
+	p.Fence(c)
+}
+
+// E2 flagged: flushed but never fenced after the flush.
+func persistCursorHalf(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 8, 9) // want `persistCursorHalf flushes the epoch/cursor word but never fences`
+	p.Flush(c, 8, 8)
+}
+
+// E2 allowed: Store64 → Flush → Fence in source order.
+func persistEpochGood(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 16, 1)
+	p.Flush(c, 16, 8)
+	p.Fence(c)
+}
+
+// E2 not applicable: the name does not speak of epoch or cursor words
+// (the ordinary data path belongs to flushfence).
+func storePayload(c *pmem.Ctx, p *pmem.Pool) {
+	p.Store64(c, 24, 2)
+}
+
+// E3 flagged: indexing by the frame's Shard without a bounds check —
+// a hostile frame panics instead of being refused.
+func (n *node) Route(f *Frame) *index {
+	return n.shards[f.Shard] // want `Route indexes by a frame's Shard field without bounds-checking it`
+}
+
+// E3 allowed: a same-function bounds check fences the index.
+func (n *node) RouteChecked(f *Frame) *index {
+	if f.Shard < 0 || f.Shard >= len(n.shards) {
+		return nil
+	}
+	return n.shards[f.Shard]
+}

@@ -9,6 +9,7 @@ import (
 	"spash"
 	"spash/internal/core"
 	"spash/internal/pmem"
+	"spash/internal/resp"
 )
 
 // Flagged: identity comparison with a module sentinel.
@@ -100,6 +101,26 @@ func GoodReplWrap(re *spash.ReplicationError) error {
 func BadReplAssert(err error) bool {
 	_, ok := err.(*spash.ReplicationError) // want `type assertion on error value for ReplicationError`
 	return ok
+}
+
+// Flagged: fatal/recoverable classification of protocol errors must go
+// through resp.IsFatal (errors.As underneath), never a type switch.
+func BadRespSwitch(err error) bool {
+	switch err.(type) {
+	case *resp.Error: // want `type switch on error value matches Error`
+		return true
+	}
+	return false
+}
+
+// Flagged: %v severs the chain to a *resp.Error.
+func BadRespWrap(pe *resp.Error) error {
+	return fmt.Errorf("conn: %v", pe) // want `Error formatted with %v: wrap with %w`
+}
+
+// Allowed: the classification helper and %w keep the chain intact.
+func GoodResp(err error) (bool, error) {
+	return resp.IsFatal(err), fmt.Errorf("conn: %w", err)
 }
 
 // Allowed: a justified suppression.

@@ -1,0 +1,136 @@
+// Fixture for the golifetime analyzer: every goroutine spawned here
+// either carries a reachable shutdown edge (join, signal channel,
+// bounded errand, deferred close) or is flagged.
+package golifetime
+
+import (
+	"fmt"
+	"sync"
+)
+
+type owner struct {
+	mu   sync.Mutex
+	stop bool
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func work()        {}
+func work2() error { return nil }
+
+// Flagged: a polling loop with no channel or join edge — Close cannot
+// wake or join it.
+func (o *owner) BadPoll() {
+	go func() { // want `goroutine has no reachable shutdown edge`
+		for {
+			o.mu.Lock()
+			s := o.stop
+			o.mu.Unlock()
+			if s {
+				return
+			}
+		}
+	}()
+}
+
+// Flagged: a named same-package function without an edge.
+func (o *owner) BadNamed() {
+	go o.spin() // want `goroutine runs spin, which has no reachable shutdown edge`
+}
+
+func (o *owner) spin() {
+	for {
+		o.mu.Lock()
+		o.mu.Unlock()
+	}
+}
+
+// Flagged: a cross-package spawn whose callee exports no
+// HasShutdownEdge fact — this package cannot prove its lifetime.
+func BadCross() {
+	go fmt.Println("leak") // want `goroutine runs fmt\.Println, which exports no shutdown-edge fact`
+}
+
+// Flagged: a function value cannot be resolved, so its shutdown
+// behaviour cannot be checked.
+func BadDynamic(fns []func()) {
+	go fns[0]() // want `goroutine spawns an unresolvable function`
+}
+
+// Flagged: an edge two calls down a work path does not pace shutdown —
+// the depth-limited search must not credit it (the prober-loop shape).
+func (o *owner) BadDeep() {
+	go func() { // want `goroutine has no reachable shutdown edge`
+		for {
+			o.outer()
+		}
+	}()
+}
+
+func (o *owner) outer() { o.inner() }
+func (o *owner) inner() { <-o.done }
+
+// Allowed: deferred WaitGroup.Done — the owner joins in Close.
+func (o *owner) GoodJoin() {
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		work()
+	}()
+}
+
+// Allowed: blocks on the done channel.
+func (o *owner) GoodSignal() {
+	go func() {
+		<-o.done
+	}()
+}
+
+// Allowed: a select with a receive case polls the signal every lap.
+func (o *owner) GoodSelect(tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-o.done:
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// Allowed: one bounded errand completing on a channel made buffered in
+// the spawning function — the goroutine exits even if abandoned.
+func GoodErrand() chan error {
+	res := make(chan error, 1)
+	go func() {
+		res <- work2()
+	}()
+	return res
+}
+
+// Allowed: a deferred close is a join handle the owner can wait on.
+func GoodHandle() chan struct{} {
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		work()
+	}()
+	return served
+}
+
+// Allowed: the edge may sit one call down in the same package.
+func (o *owner) GoodIndirect() {
+	go o.inner()
+}
+
+// Allowed: a justified suppression is recorded, not reported.
+func BadJustified() {
+	//spash:allow golifetime -- fixture: the loop is process-lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,44 @@
+// Fixture arena package for the respalias analyzer: the shape the
+// analyzer recognises structurally — a named struct with a Release
+// method and byte-slice buffer fields. Functions returning aliases of
+// the buffer export ReturnsAlias facts; struct types carrying aliased
+// bytes out export AliasCarrier facts; the consuming fixture package
+// (respalias/user) imports both.
+package reader
+
+// Reader is the arena: Release recycles buf, so anything aliasing it
+// is valid only until then.
+type Reader struct {
+	buf  []byte
+	args [][]byte
+}
+
+// Release recycles the buffer. Stores into the arena's own fields are
+// the arena managing itself and are exempt.
+func (r *Reader) Release() {
+	r.args = r.args[:0]
+}
+
+// Next hands out a window into the arena buffer (exports ReturnsAlias).
+func (r *Reader) Next() []byte {
+	return r.buf[1:4]
+}
+
+// Reply carries an aliased payload (exports AliasCarrier via the
+// tainted composite return below).
+type Reply struct {
+	Str []byte
+}
+
+// ReadReply returns a carrier holding arena bytes (ReturnsAlias).
+func (r *Reader) ReadReply() Reply {
+	return Reply{Str: r.buf}
+}
+
+var last []byte
+
+// Flagged: even inside the arena's package, parking an alias in
+// package-level state outlives every Release window.
+func (r *Reader) Remember() {
+	last = r.buf // want `aliased resp buffer stored in package-level variable last`
+}

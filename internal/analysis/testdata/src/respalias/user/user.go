@@ -1,0 +1,71 @@
+// Fixture consumer package for the respalias analyzer: every aliasing
+// value here is obtained through the reader package's facts
+// (ReturnsAlias on Next/ReadReply, AliasCarrier on Reply), so each
+// diagnostic below proves cross-package fact propagation.
+package user
+
+import "respalias/reader"
+
+type Conn struct {
+	rd   *reader.Reader
+	args [][]byte
+	name string
+	out  chan []byte
+}
+
+// Flagged: the fact-tainted slice escapes into a receiver field (the
+// slice header copied by append still points at the arena).
+func (c *Conn) Queue() {
+	b := c.rd.Next()
+	c.args = append(c.args, b) // want `aliased resp buffer escapes into caller-visible state through c`
+}
+
+// Flagged: the carrier fact makes rep.Str an alias.
+func (c *Conn) Hold(rep reader.Reply) {
+	c.args = append(c.args, rep.Str) // want `aliased resp buffer escapes into caller-visible state through c`
+}
+
+// Flagged: a channel send outlives the Release window.
+func (c *Conn) Publish() {
+	b := c.rd.Next()
+	c.out <- b // want `aliased resp buffer sent on a channel`
+}
+
+// Flagged: a goroutine capturing an alias runs unbounded by Release.
+func (c *Conn) Spawn() {
+	b := c.rd.Next()
+	go func() { // want `goroutine captures a buffer aliasing the resp read arena`
+		_ = b[0]
+	}()
+}
+
+// Flagged: handing the alias to a goroutine as an argument.
+func (c *Conn) SpawnArg() {
+	b := c.rd.Next()
+	go sink(b) // want `aliased resp buffer passed to a goroutine`
+}
+
+func sink(b []byte) {}
+
+// Allowed: the blessed copy idiom and the string conversion both
+// duplicate the bytes and break the alias.
+func (c *Conn) Copy() {
+	b := c.rd.Next()
+	c.args = append(c.args, append([]byte(nil), b...))
+	c.name = string(b)
+}
+
+// Allowed: stores rooted at short-lived locals stay in the window.
+func (c *Conn) Local() int {
+	b := c.rd.Next()
+	var scratch [][]byte
+	scratch = append(scratch, b)
+	return len(scratch)
+}
+
+// Allowed: a justified retention is a suppression, not a diagnostic.
+func (c *Conn) Justified() {
+	b := c.rd.Next()
+	//spash:aliased -- fixture: the batch flushes before Release in this request cycle
+	c.args = append(c.args, b)
+}

@@ -1,0 +1,30 @@
+// Fixture transport package for the wireerr analyzer: declares the
+// Ship interface seam and references module sentinels in its refusal
+// paths, so the analyzer exports a WireSentinels package fact for the
+// consuming wire fixture to diff against.
+package transport
+
+import (
+	"fmt"
+
+	"spash"
+)
+
+// Carrier is the transport seam (an interface with a Ship method).
+type Carrier interface {
+	Ship(payload []byte) error
+}
+
+// Refuse stands in for the refusal paths of a real transport: the
+// sentinels referenced here land in the WireSentinels fact.
+func Refuse(kind int) error {
+	switch kind {
+	case 0:
+		return spash.ErrNotPrimary
+	case 1:
+		return spash.ErrReplicaLag
+	case 2:
+		return fmt.Errorf("ship: %w", spash.ErrTransportTimeout)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Fixture wire package for the wireerr analyzer: an encode/decode map
+// pair with deliberate drift in every direction the analyzer diffs —
+// encoded-but-never-decoded, decoded-but-never-encoded, the same code
+// translating to different sentinels, and (via the transport fixture's
+// WireSentinels fact) a transport sentinel with no encoding at all.
+package wire
+
+import (
+	"errors"
+
+	"spash"
+	"wireerr/transport"
+)
+
+var _ transport.Carrier = nil
+
+// encode renders a refusal as a wire code. The fact diff reports at
+// the switch below: the transport references spash.ErrTransportTimeout
+// but no case here encodes it.
+func encode(err error) string {
+	code := "ERR"
+	switch { // want `transport sentinel spash\.ErrTransportTimeout has no wire encoding`
+	case errors.Is(err, spash.ErrNotPrimary):
+		code = "NOTPRIMARY"
+	case errors.Is(err, spash.ErrReplicaLag):
+		code = "LAG" // want `wire code "LAG" \(encoding spash\.ErrReplicaLag\) is never decoded`
+	case errors.Is(err, spash.ErrClosed):
+		code = "CLOSED" // want `wire code "CLOSED" encodes spash\.ErrClosed but decodes to spash\.ErrRetryExhausted`
+	case errors.Is(err, spash.ErrNeedsReseed):
+		//spash:allow wireerr -- fixture: reseed refusals stay in-process by design
+		code = "RESEED"
+	}
+	return code
+}
+
+// decode maps a wire code back to a sentinel.
+func decode(code string) error {
+	var err error
+	switch code {
+	case "NOTPRIMARY":
+		err = spash.ErrNotPrimary
+	case "CLOSED":
+		err = spash.ErrRetryExhausted
+	case "STALE": // want `wire code "STALE" is decoded but never encoded`
+		err = spash.ErrNeedsReseed
+	}
+	return err
+}

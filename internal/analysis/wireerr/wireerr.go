@@ -1,0 +1,321 @@
+// Package wireerr keeps the typed replication errors round-trippable
+// across the wire. The contract: every "-REPL <CODE>" the server
+// encodes must decode back to the same sentinel on the client, so
+// errors.Is(err, spash.ErrNotPrimary) and friends hold on both sides
+// of a TCP hop exactly as in-process.
+//
+// The check is a symbol-table diff, fed by a cross-package fact. The
+// package that declares the replication transport (an interface with a
+// Ship method — internal/repl) exports a WireSentinels package fact
+// listing the module sentinels its refusal paths reference. The
+// package that owns the wire mapping (internal/server's wire.go)
+// declares two switches: an encode map (tagless switch of errors.Is
+// cases assigning code literals) and a decode map (switch on the code
+// string assigning sentinels back). wireerr diffs the three:
+//
+//   - a code the encoder emits but the decoder never maps back turns a
+//     typed refusal into an untyped error on the client — retry/breaker
+//     policy silently degrades;
+//   - a code the decoder accepts but the encoder never emits is dead
+//     or drifted vocabulary;
+//   - the same code mapping to different sentinels on the two sides is
+//     a silent mistranslation;
+//   - a transport sentinel (from the fact) with no encode case falls
+//     through to the generic ERR code and loses its identity crossing
+//     the wire.
+package wireerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"spash/internal/analysis/framework"
+	"spash/internal/analysis/sym"
+)
+
+// WireSentinels is a package fact listing the fully-qualified names of
+// the module sentinels a transport-declaring package references in its
+// refusal paths.
+type WireSentinels struct {
+	Names []string
+}
+
+func (*WireSentinels) AFact() {}
+
+var Analyzer = &framework.Analyzer{
+	Name:      "wireerr",
+	Doc:       "every -REPL <CODE> wire error must round-trip encode/decode to the same registered sentinel",
+	Run:       run,
+	FactTypes: []framework.Fact{(*WireSentinels)(nil)},
+}
+
+// entry is one side of a code<->sentinel mapping.
+type entry struct {
+	sentinel string // qualified sentinel name, e.g. "spash.ErrNotPrimary"
+	pos      token.Pos
+}
+
+// codeMap is one recognised mapping switch.
+type codeMap struct {
+	codes map[string]entry
+	pos   token.Pos
+}
+
+func run(pass *framework.Pass) error {
+	if declaresTransport(pass.Pkg) {
+		if names := referencedSentinels(pass); len(names) > 0 {
+			pass.ExportPackageFact(&WireSentinels{Names: names})
+		}
+	}
+	enc := findEncodeMap(pass)
+	dec := findDecodeMap(pass)
+	if enc == nil || dec == nil {
+		// Half a mapping in a package would be odd, but encode and
+		// decode legitimately live together (wire.go); nothing to diff
+		// until both exist.
+		return nil
+	}
+	for _, code := range sortedKeys(enc.codes) {
+		e := enc.codes[code]
+		d, ok := dec.codes[code]
+		if !ok {
+			pass.Reportf(e.pos,
+				"wire code %q (encoding %s) is never decoded: the client gets an untyped error and errors.Is breaks across the wire — add the case to the decode map", code, e.sentinel)
+			continue
+		}
+		if d.sentinel != e.sentinel {
+			pass.Reportf(e.pos,
+				"wire code %q encodes %s but decodes to %s: the sentinel is mistranslated crossing the wire", code, e.sentinel, d.sentinel)
+		}
+	}
+	for _, code := range sortedKeys(dec.codes) {
+		if _, ok := enc.codes[code]; !ok {
+			pass.Reportf(dec.codes[code].pos,
+				"wire code %q is decoded but never encoded: dead or drifted vocabulary — remove the case or add the matching encode entry", code)
+		}
+	}
+	encoded := map[string]bool{}
+	for _, e := range enc.codes {
+		encoded[e.sentinel] = true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var ws WireSentinels
+		if !pass.ImportPackageFact(imp, &ws) {
+			continue
+		}
+		for _, name := range ws.Names {
+			if !encoded[name] {
+				pass.Reportf(enc.pos,
+					"transport sentinel %s has no wire encoding: refusals carrying it degrade to a generic ERR across the wire — add an encode/decode pair", name)
+			}
+		}
+	}
+	return nil
+}
+
+// declaresTransport reports whether pkg declares an interface with a
+// Ship method (the replication transport seam).
+func declaresTransport(pkg *types.Package) bool {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "Ship" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// referencedSentinels lists the module sentinels the package's source
+// references, qualified as pkgpath.Name, sorted.
+func referencedSentinels(pass *framework.Pass) []string {
+	seen := map[string]bool{}
+	for _, obj := range pass.Info.Uses {
+		if sym.SentinelError(obj) {
+			seen[obj.Pkg().Path()+"."+obj.Name()] = true
+		}
+	}
+	var out []string
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findEncodeMap finds the package's encode switch: a tagless switch
+// whose cases test errors.Is(err, <sentinel>) and assign a string
+// literal code. At least two such cases make it the encode map.
+func findEncodeMap(pass *framework.Pass) *codeMap {
+	var found *codeMap
+	eachSwitch(pass, func(sw *ast.SwitchStmt) {
+		if sw.Tag != nil || found != nil {
+			return
+		}
+		cm := &codeMap{codes: map[string]entry{}, pos: sw.Pos()}
+		for _, cl := range sw.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok || len(cc.List) == 0 {
+				continue
+			}
+			sentinel := ""
+			for _, cond := range cc.List {
+				if s, ok := errorsIsSentinel(pass, cond); ok {
+					sentinel = s
+					break
+				}
+			}
+			if sentinel == "" {
+				continue
+			}
+			code, pos, ok := assignedStringLit(cc.Body)
+			if !ok {
+				continue
+			}
+			cm.codes[code] = entry{sentinel: sentinel, pos: pos}
+		}
+		if len(cm.codes) >= 2 {
+			found = cm
+		}
+	})
+	return found
+}
+
+// findDecodeMap finds the package's decode switch: a tagged switch
+// whose cases are string literals and whose bodies assign a sentinel.
+func findDecodeMap(pass *framework.Pass) *codeMap {
+	var found *codeMap
+	eachSwitch(pass, func(sw *ast.SwitchStmt) {
+		if sw.Tag == nil || found != nil {
+			return
+		}
+		cm := &codeMap{codes: map[string]entry{}, pos: sw.Pos()}
+		for _, cl := range sw.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok || len(cc.List) == 0 {
+				continue
+			}
+			sentinel, ok := assignedSentinel(pass, cc.Body)
+			if !ok {
+				continue
+			}
+			for _, cond := range cc.List {
+				lit, ok := ast.Unparen(cond).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				code, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				cm.codes[code] = entry{sentinel: sentinel, pos: lit.Pos()}
+			}
+		}
+		if len(cm.codes) >= 2 {
+			found = cm
+		}
+	})
+	return found
+}
+
+func eachSwitch(pass *framework.Pass, fn func(*ast.SwitchStmt)) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				fn(sw)
+			}
+			return true
+		})
+	}
+}
+
+// errorsIsSentinel matches errors.Is(err, <sentinel>) and returns the
+// sentinel's qualified name.
+func errorsIsSentinel(pass *framework.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+		return "", false
+	}
+	return sentinelName(pass, call.Args[1])
+}
+
+// sentinelName resolves e to a module sentinel's qualified name.
+func sentinelName(pass *framework.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !sym.SentinelError(obj) {
+		return "", false
+	}
+	return obj.Pkg().Path() + "." + obj.Name(), true
+}
+
+// assignedStringLit finds `x = "CODE"` in a case body.
+func assignedStringLit(body []ast.Stmt) (string, token.Pos, bool) {
+	for _, stmt := range body {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			continue
+		}
+		lit, ok := ast.Unparen(as.Rhs[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			continue
+		}
+		code, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			continue
+		}
+		return code, as.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// assignedSentinel finds `x = <sentinel>` in a case body.
+func assignedSentinel(pass *framework.Pass, body []ast.Stmt) (string, bool) {
+	for _, stmt := range body {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			continue
+		}
+		if name, ok := sentinelName(pass, as.Rhs[0]); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -297,14 +297,25 @@ func NewMux() *http.ServeMux {
 }
 
 // Serve starts the observability HTTP server on addr (e.g.
-// "127.0.0.1:9100"; ":0" picks a free port) and returns the bound
-// address. The server runs until the process exits.
-func Serve(addr string) (string, error) {
+// "127.0.0.1:9100"; ":0" picks a free port), returning the bound
+// address and a stop function. stop closes the listener and joins the
+// serving goroutine, so after it returns no goroutine of this server
+// is running — callers own the lifetime instead of leaking the server
+// until process exit.
+func Serve(addr string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: NewMux()}
-	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ln)
+	}()
+	stop := func() {
+		_ = srv.Close()
+		<-served
+	}
+	return ln.Addr().String(), stop, nil
 }

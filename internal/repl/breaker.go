@@ -295,16 +295,30 @@ func (p *Primary) drainLocked() (int, error) {
 // holds p.mu. A negative ProbeInterval disables it (recovery is then
 // driven manually through TryDrain).
 func (p *Primary) startProberLocked() {
-	if p.proberOn || p.opts.ProbeInterval < 0 {
+	if p.proberOn || p.closed || p.opts.ProbeInterval < 0 {
 		return
 	}
 	p.proberOn = true
+	p.proberWG.Add(1)
 	go p.proberLoop()
 }
 
+// proberLoop probes on a ticker and exits promptly when Close fires
+// the done channel — Close joins it through proberWG, so the loop
+// never outlives its Primary.
 func (p *Primary) proberLoop() {
+	defer p.proberWG.Done()
+	ticker := time.NewTicker(p.opts.ProbeInterval)
+	defer ticker.Stop()
 	for {
-		time.Sleep(p.opts.ProbeInterval)
+		select {
+		case <-p.done:
+			p.mu.Lock()
+			p.proberOn = false
+			p.mu.Unlock()
+			return
+		case <-ticker.C:
+		}
 		p.mu.Lock()
 		if p.closed || p.deposed || (p.state == BreakerClosed && len(p.spill) == 0) {
 			p.proberOn = false

@@ -1,0 +1,128 @@
+package repl_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spash"
+	"spash/internal/repl"
+)
+
+// countingTransport counts every transport call and can be held down
+// (every call fails with a transient error) so the breaker stays open
+// and the background prober keeps probing.
+type countingTransport struct {
+	inner repl.Transport
+	down  atomic.Bool
+	n     atomic.Int64
+}
+
+func (t *countingTransport) calls() int64 { return t.n.Load() }
+
+func (t *countingTransport) fail(op string) error {
+	return &spash.ReplicationError{Op: op, Shard: -1,
+		Err: spash.ErrTransportTimeout}
+}
+
+func (t *countingTransport) Ship(f *repl.Frame) error {
+	t.n.Add(1)
+	if t.down.Load() {
+		return t.fail("ship")
+	}
+	return t.inner.Ship(f)
+}
+
+func (t *countingTransport) Fetch(req repl.FetchReq) ([]repl.KV, error) {
+	t.n.Add(1)
+	if t.down.Load() {
+		return nil, t.fail("fetch")
+	}
+	return t.inner.Fetch(req)
+}
+
+func (t *countingTransport) Hello() (repl.Hello, error) {
+	t.n.Add(1)
+	if t.down.Load() {
+		return repl.Hello{}, t.fail("hello")
+	}
+	return t.inner.Hello()
+}
+
+// TestCloseJoinsProber pins the prober's lifetime to its Primary:
+// Close must join the prober goroutine, so once Close returns no
+// transport call can start. Before the done-channel join, Close only
+// flipped a flag the prober read on its next tick — a probe in flight
+// kept using the transport (and the DB underneath it) after Close.
+func TestCloseJoinsProber(t *testing.T) {
+	var ct *countingTransport
+	prim, _ := pairOver(t, 2,
+		repl.PrimaryOptions{Retry: fastRetry(2), ProbeInterval: time.Millisecond},
+		func(inner repl.Transport) repl.Transport {
+			ct = &countingTransport{inner: inner}
+			return ct
+		})
+	ct.down.Store(true)
+	if err := prim.Insert(key64(1), key64(1)); err != nil {
+		t.Fatalf("degraded insert: %v", err)
+	}
+	if st, _ := prim.Breaker(); st != repl.BreakerOpen {
+		t.Fatalf("breaker = %v, want open", st)
+	}
+	// Prove the prober is actually running before closing.
+	before := ct.calls()
+	deadline := time.Now().Add(10 * time.Second)
+	for ct.calls() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never probed the dead transport")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	prim.Close()
+	after := ct.calls()
+	time.Sleep(25 * time.Millisecond) // many probe intervals
+	if got := ct.calls(); got != after {
+		t.Fatalf("transport saw %d calls after Close returned", got-after)
+	}
+}
+
+// TestApplyRefusesHostileShard feeds the replica frames whose shard
+// number is out of range — the shape a corrupt or hostile REPL.SHIP
+// payload produces. Apply must refuse with a typed error before any
+// cursor accounting, not panic indexing Indexes()[f.Shard], and the
+// refused sequence number must stay claimable by the real frame.
+func TestApplyRefusesHostileShard(t *testing.T) {
+	prim, rep := pair(t, 2)
+	if err := prim.Insert(key64(1), key64(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []int{-1, rep.DB().Shards(), 1 << 20} {
+		f := &repl.Frame{Kind: repl.FrameRecord, Epoch: rep.DB().Epoch(),
+			Seq: 2, Shard: shard, Op: repl.RecInsert,
+			Key: key64(99), Val: key64(99)}
+		err := rep.Apply(f)
+		var re *spash.ReplicationError
+		if !errors.As(err, &re) {
+			t.Fatalf("Apply(shard %d) = %v, want *spash.ReplicationError", shard, err)
+		}
+		if re.Shard != shard {
+			t.Fatalf("refusal names shard %d, want %d", re.Shard, shard)
+		}
+		if !strings.Contains(err.Error(), "no such shard") {
+			t.Fatalf("refusal %q does not name the cause", err)
+		}
+	}
+	// The refusals must not have acknowledged Seq 2: the real frame
+	// with that sequence number still applies in order.
+	if err := prim.Insert(key64(2), key64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if lag := rep.Lag(); lag != 0 {
+		t.Fatalf("lag = %d after in-order delivery", lag)
+	}
+	if got, want := rep.DB().Len(), prim.DB().Len(); got != want {
+		t.Fatalf("replica holds %d keys, primary %d", got, want)
+	}
+}

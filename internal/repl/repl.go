@@ -198,6 +198,11 @@ type Primary struct {
 	delivered uint64 // highest sequence the peer acknowledged
 
 	proberOn bool
+	// done is closed (once) by Close to wake the prober out of its
+	// ticker wait; proberWG joins it so Close returns only after the
+	// prober goroutine has exited.
+	done     chan struct{}
+	proberWG sync.WaitGroup
 }
 
 // NewPrimary wraps db (which must hold the primary role) for shipping
@@ -215,7 +220,8 @@ func NewPrimaryWith(db *spash.DB, t Transport, popts PrimaryOptions) (*Primary, 
 	}
 	popts = popts.withDefaults()
 	return &Primary{db: db, s: db.Session(), t: t, opts: popts,
-		rng: rand.New(rand.NewSource(popts.Retry.JitterSeed))}, nil
+		rng:  rand.New(rand.NewSource(popts.Retry.JitterSeed)),
+		done: make(chan struct{})}, nil
 }
 
 // DB returns the wrapped database.
@@ -226,12 +232,20 @@ func (p *Primary) DB() *spash.DB { return p.db }
 func (p *Primary) Session() *spash.Session { return p.s }
 
 // Close releases the primary's session (the DB stays open) and stops
-// the background prober.
+// the background prober, waiting for it to exit — after Close returns
+// no goroutine of this Primary is running.
 func (p *Primary) Close() {
 	p.mu.Lock()
+	already := p.closed
 	p.closed = true
 	p.mu.Unlock()
-	p.s.Close()
+	if !already {
+		close(p.done)
+	}
+	p.proberWG.Wait()
+	if !already {
+		p.s.Close()
+	}
 }
 
 // Get reads locally (primary reads never consult the peer).
@@ -613,6 +627,15 @@ func (r *Replica) Apply(f *Frame) error {
 		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
 			Epoch: r.db.Epoch(), Err: spash.ErrNotPrimary}
 	}
+	if f.Shard < 0 || f.Shard >= r.db.Shards() {
+		// Frames arrive from the wire (REPL.SHIP gob payload): a
+		// hostile or corrupt shard number must refuse typed, not panic
+		// the replica — and it must refuse before the cursor accounting
+		// below could acknowledge the frame.
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(),
+			Err:   fmt.Errorf("no such shard (have %d)", r.db.Shards())}
+	}
 	reg := r.db.Indexes()[boundShard(r.db, f.Shard)].Obs()
 	anchor := f.Kind == FrameSegment && f.Replace
 	if r.needsReseed && !anchor {
@@ -717,6 +740,14 @@ func (r *Replica) acceptLocked(f *Frame) error {
 }
 
 func (r *Replica) applyLocked(f *Frame) error {
+	if f.Shard < 0 || f.Shard >= r.db.Shards() {
+		// Apply refuses out-of-range shards on entry; this guards the
+		// indexing below against frames resurfacing from the reorder
+		// window or pause buffer of an older process image.
+		return &spash.ReplicationError{Op: "apply", Shard: f.Shard,
+			Epoch: r.db.Epoch(),
+			Err:   fmt.Errorf("no such shard (have %d)", r.db.Shards())}
+	}
 	ix := r.db.Indexes()[f.Shard]
 	switch f.Kind {
 	case FrameRecord:

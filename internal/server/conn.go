@@ -228,6 +228,7 @@ func (c *connState) queueOp(kind spash.OpKind, key, val []byte) {
 	if kind == spash.OpGet {
 		rb = c.resbufs[i][:0]
 	}
+	//spash:aliased -- the batch executes and its replies flush before the reader's Release; ops is truncated each burst
 	c.ops = append(c.ops, spash.Op{Kind: kind, Key: key, Value: val, ResultBuf: rb})
 }
 
@@ -298,6 +299,7 @@ func (c *connState) dispatch(args [][]byte) {
 	case "PING":
 		c.lane.Inc(obs.CServeCmdOther)
 		if len(args) > 1 {
+			//spash:aliased -- the plan is rendered and flushed before the reader's Release; plans is truncated each burst
 			c.plans = append(c.plans, plan{kind: planBulk, bs: args[1]})
 		} else {
 			c.plans = append(c.plans, plan{kind: planSimple, lit: "PONG"})
@@ -308,6 +310,7 @@ func (c *connState) dispatch(args [][]byte) {
 			c.errf("ERR wrong number of arguments for 'echo' command")
 			return
 		}
+		//spash:aliased -- the plan is rendered and flushed before the reader's Release; plans is truncated each burst
 		c.plans = append(c.plans, plan{kind: planBulk, bs: args[1]})
 	case "DBSIZE":
 		c.lane.Inc(obs.CServeCmdOther)
